@@ -1,0 +1,105 @@
+// E1 — Chase growth |Chase^i(D, T)| per depth, restricted (non-oblivious)
+// vs oblivious, on the paper's example theories. Expected shapes: Example 1
+// and Example 7 grow linearly (one chain), Example 9 exponentially (binary
+// tree); the oblivious chase never reuses witnesses so it dominates the
+// restricted one wherever witnesses pre-exist.
+
+#include "bench_common.h"
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+void PrintTable() {
+  bddfc_bench::Banner("E1", "chase growth per depth (facts)");
+  struct Row {
+    const char* name;
+    Program program;
+  };
+  // cyclic-db: witnesses pre-exist, so the restricted chase stops at once
+  // while the blind chase keeps inventing (the defining difference).
+  Result<Program> cyclic = ParseProgram(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b). e(b, a).
+  )");
+  Row rows[] = {{"example1", Example1()},
+                {"example7", Example7()},
+                {"example9", Example9()},
+                {"section5.5", Section55()},
+                {"cyclic-db", std::move(cyclic).ValueOrDie()}};
+  std::printf("%-12s %-10s", "theory", "mode");
+  for (int d = 2; d <= 10; d += 2) std::printf(" d=%-6d", d);
+  std::printf("\n");
+  for (Row& row : rows) {
+    for (bool oblivious : {false, true}) {
+      std::printf("%-12s %-10s", row.name,
+                  oblivious ? "oblivious" : "restricted");
+      for (int d = 2; d <= 10; d += 2) {
+        ChaseOptions opts;
+        opts.max_rounds = static_cast<size_t>(d);
+        opts.max_facts = 1000000;
+        opts.oblivious = oblivious;
+        ChaseResult r = RunChase(row.program.theory, row.program.instance,
+                                 opts);
+        std::printf(" %-8zu", r.structure.NumFacts());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+void BM_RestrictedChase(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = Example9();
+    state.ResumeTiming();
+    ChaseOptions opts;
+    opts.max_rounds = static_cast<size_t>(state.range(0));
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+    state.counters["facts"] = static_cast<double>(r.structure.NumFacts());
+  }
+}
+BENCHMARK(BM_RestrictedChase)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ObliviousChase(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = Example9();
+    state.ResumeTiming();
+    ChaseOptions opts;
+    opts.max_rounds = static_cast<size_t>(state.range(0));
+    opts.oblivious = true;
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+  }
+}
+BENCHMARK(BM_ObliviousChase)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_DatalogSaturation(benchmark::State& state) {
+  // Transitive closure of a path: the classic datalog saturation load.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto parsed = ParseProgram("e(X, Y), e(Y, Z) -> e(X, Z).");
+    Program& p = parsed.value();
+    TermId prev = p.theory.mutable_sig().AddConstant("c0");
+    PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+    for (int i = 1; i <= state.range(0); ++i) {
+      TermId next = p.theory.mutable_sig().AddConstant(
+          "c" + std::to_string(i));
+      p.instance.AddFact(e, {prev, next});
+      prev = next;
+    }
+    state.ResumeTiming();
+    ChaseResult r = RunChase(p.theory, p.instance);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+  }
+}
+BENCHMARK(BM_DatalogSaturation)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

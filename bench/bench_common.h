@@ -1,0 +1,38 @@
+// Shared helpers for the experiment benchmarks (E1–E10, see DESIGN.md).
+//
+// Each bench binary prints its experiment table (the deterministic
+// "figure/table" reproduction recorded in EXPERIMENTS.md) before running
+// the google-benchmark timing cases.
+
+#ifndef BDDFC_BENCH_BENCH_COMMON_H_
+#define BDDFC_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bddfc/parser/parser.h"
+
+namespace bddfc_bench {
+
+/// Prints the experiment banner.
+inline void Banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+/// Runs the table printer, then the google-benchmark cases.
+#define BDDFC_BENCH_MAIN(table_fn)                        \
+  int main(int argc, char** argv) {                       \
+    table_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }
+
+}  // namespace bddfc_bench
+
+#endif  // BDDFC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+// E6 — Conservativity (Def. 8/9): the smallest n for which the naturally
+// colored chain/tree quotient is n-conservative up to size m, per m.
+// Expected shape (Example 5): n = m + 2 suffices on chains; without colors
+// no n works even for m = 1 (Example 3's parasite self-loop).
+
+#include "bench_common.h"
+
+#include "bddfc/types/conservativity.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+void PrintTable() {
+  bddfc_bench::Banner("E6", "smallest conservative n per m");
+  std::printf("%-14s %-4s %-14s %-14s\n", "structure", "m", "smallest n",
+              "quotient size");
+  struct Shape {
+    const char* name;
+    int chain_len;   // chain length or tree depth
+    bool tree;
+  } shapes[] = {{"chain16", 16, false},
+                {"chain24", 24, false},
+                {"tree4", 4, true}};
+  for (auto& shape : shapes) {
+    for (int m = 1; m <= 2; ++m) {
+      int found_n = -1;
+      int quot = -1;
+      for (int n = 2; n <= m + 3; ++n) {
+        auto sig = std::make_shared<Signature>();
+        Structure c = shape.tree ? MakeBinaryTree(sig, shape.chain_len)
+                                 : MakeChain(sig, shape.chain_len);
+        ConservativityProbe probe = ProbeConservativity(c, m, n, 5000000);
+        if (probe.status.ok() && probe.conservative) {
+          found_n = n;
+          quot = probe.quotient_size;
+          break;
+        }
+      }
+      std::printf("%-14s %-4d %-14s %-14s\n", shape.name, m,
+                  found_n < 0 ? "none<=m+3" : std::to_string(found_n).c_str(),
+                  quot < 0 ? "-" : std::to_string(quot).c_str());
+    }
+  }
+
+  std::printf("\nuncolored control (Example 3): quotient of the bare chain "
+              "is never conservative:\n");
+  auto sig = std::make_shared<Signature>();
+  Structure chain = MakeChain(sig, 16);
+  auto part = ExactPtpPartition(chain, 3);
+  if (part.ok()) {
+    Quotient q = BuildQuotient(chain, part.value());
+    std::vector<PredId> sigma = {
+        std::move(sig->FindPredicate("e")).ValueOrDie()};
+    ConservativityReport rep = CheckConservativeUpTo(chain, q, 1, sigma);
+    std::printf("  n=3, m=1: conservative=%s\n",
+                rep.conservative ? "yes (unexpected)" : "no (as predicted)");
+  }
+}
+
+void BM_ProbeConservativity(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sig = std::make_shared<Signature>();
+    Structure chain = MakeChain(sig, static_cast<int>(state.range(0)));
+    ConservativityProbe probe = ProbeConservativity(chain, 1, 3, 5000000);
+    benchmark::DoNotOptimize(probe.conservative);
+  }
+}
+BENCHMARK(BM_ProbeConservativity)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_ConservativityCheckOnly(benchmark::State& state) {
+  auto sig = std::make_shared<Signature>();
+  Structure chain = MakeChain(sig, static_cast<int>(state.range(0)));
+  Result<Coloring> col = NaturalColoring(chain, 1);
+  auto part = ExactPtpPartition(col.value().colored, 3);
+  if (!part.ok()) {
+    state.SkipWithError("partition budget");
+    return;
+  }
+  Quotient q = BuildQuotient(col.value().colored, part.value());
+  for (auto _ : state) {
+    ConservativityReport rep = CheckConservativeUpTo(
+        col.value().colored, q, 1, col.value().base_predicates);
+    benchmark::DoNotOptimize(rep.conservative);
+  }
+}
+BENCHMARK(BM_ConservativityCheckOnly)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

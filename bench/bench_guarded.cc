@@ -1,0 +1,78 @@
+// E8 — §5.6 guarded→binary blowup: output rules, parent links and monadic
+// predicates versus input rules and maximum arity. Expected shape: rules
+// multiply by ~K^(vars-1) (the parent-index assignments) plus a quadratic
+// number of transfer rules in the monadic encodings.
+
+#include "bench_common.h"
+
+#include "bddfc/guarded/binarize.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+void PrintTable() {
+  bddfc_bench::Banner("E8", "guarded -> binary transformation blowup");
+  std::printf("%-16s %-8s %-8s %-10s %-10s %-10s\n", "input", "rules",
+              "arity", "out-rules", "monadic", "status");
+  // The paper's sample plus generated guarded theories.
+  {
+    Program p = GuardedSample();
+    auto bin = GuardedToBinary(p.theory);
+    std::printf("%-16s %-8zu %-8d %-10s %-10s %-10s\n", "paper-sample",
+                p.theory.size(), p.theory.sig().MaxArity(),
+                bin.ok() ? std::to_string(bin.value().theory.size()).c_str()
+                         : "-",
+                bin.ok() ? std::to_string(bin.value().monadic.size()).c_str()
+                         : "-",
+                bin.ok() ? "ok" : StatusCodeName(bin.status().code()));
+  }
+  for (int arity : {2, 3}) {
+    for (int rules : {2, 4, 8}) {
+      // Find a seed that satisfies the step-(iv) preconditions.
+      for (uint64_t seed = 1; seed <= 50; ++seed) {
+        auto sig = std::make_shared<Signature>();
+        Theory t = RandomGuardedTheory(sig, arity, rules, seed);
+        auto bin = GuardedToBinary(t);
+        if (!bin.ok()) continue;
+        std::printf("%-16s %-8zu %-8d %-10zu %-10zu %-10s\n",
+                    ("rand-a" + std::to_string(arity) + "-r" +
+                     std::to_string(rules))
+                        .c_str(),
+                    t.size(), arity, bin.value().theory.size(),
+                    bin.value().monadic.size(), "ok");
+        break;
+      }
+    }
+  }
+}
+
+void BM_GuardedToBinary(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = GuardedSample();
+    state.ResumeTiming();
+    auto bin = GuardedToBinary(p.theory);
+    benchmark::DoNotOptimize(bin.ok());
+  }
+}
+BENCHMARK(BM_GuardedToBinary);
+
+void BM_GuardedToBinaryRandom(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sig = std::make_shared<Signature>();
+    Theory t = RandomGuardedTheory(sig, 3, static_cast<int>(state.range(0)),
+                                   17);
+    state.ResumeTiming();
+    auto bin = GuardedToBinary(t);
+    benchmark::DoNotOptimize(bin.ok());
+  }
+}
+BENCHMARK(BM_GuardedToBinaryRandom)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

@@ -1,0 +1,82 @@
+// E5 — Cost of deciding positive-type containment (the pattern-enumeration
+// oracle of ptype.h) versus structure size and variable budget n.
+// Expected shape: pattern count grows ~ |C|^(n-1) uncolored; natural
+// coloring slashes the effective cost of downstream conservativity checks
+// because most canonical queries fail fast on color mismatch.
+
+#include "bench_common.h"
+
+#include "bddfc/types/coloring.h"
+#include "bddfc/types/ptype.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+void PrintTable() {
+  bddfc_bench::Banner("E5", "type-oracle pattern counts");
+  std::printf("%-8s %-4s %-14s %-12s\n", "chain", "n", "patterns",
+              "classes");
+  for (int len : {16, 32, 64}) {
+    for (int n = 2; n <= 3; ++n) {
+      auto sig = std::make_shared<Signature>();
+      Structure chain = MakeChain(sig, len);
+      TypeOracleOptions opts;
+      opts.num_variables = n;
+      TypeOracle oracle(chain, chain, opts);
+      // One full containment query between two interior elements.
+      std::vector<TermId> dom = chain.Domain();
+      oracle.TypeContained(dom[len / 2], dom[len / 2 + 1]);
+      auto part = ExactPtpPartition(chain, n);
+      std::printf("%-8d %-4d %-14zu %-12s\n", len, n,
+                  oracle.patterns_checked(),
+                  part.ok() ? std::to_string(part.value().num_classes).c_str()
+                            : "(budget)");
+    }
+  }
+}
+
+void BM_TypeContained(benchmark::State& state) {
+  auto sig = std::make_shared<Signature>();
+  std::vector<TermId> elems;
+  Structure chain = MakeChain(sig, static_cast<int>(state.range(0)), &elems);
+  TypeOracleOptions opts;
+  opts.num_variables = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    TypeOracle oracle(chain, chain, opts);
+    benchmark::DoNotOptimize(
+        oracle.TypeContained(elems[elems.size() / 2],
+                             elems[elems.size() / 2 + 1]));
+  }
+}
+BENCHMARK(BM_TypeContained)
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({16, 3})
+    ->Args({64, 3});
+
+void BM_PartitionTree(benchmark::State& state) {
+  auto sig = std::make_shared<Signature>();
+  Structure tree = MakeBinaryTree(sig, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto p = ExactPtpPartition(tree, 2);
+    benchmark::DoNotOptimize(p.ok());
+  }
+}
+BENCHMARK(BM_PartitionTree)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_AncestorPartitionColored(benchmark::State& state) {
+  auto sig = std::make_shared<Signature>();
+  Structure chain = MakeChain(sig, static_cast<int>(state.range(0)));
+  Result<Coloring> col = NaturalColoring(chain, 2);
+  for (auto _ : state) {
+    TypePartition p = AncestorPathPartition(col.value().colored, 3);
+    benchmark::DoNotOptimize(p.num_classes);
+  }
+}
+BENCHMARK(BM_AncestorPartitionColored)->Arg(128)->Arg(512)->Arg(2048);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

@@ -1,0 +1,112 @@
+// E10 — Normalization and reduction blowups: rules and predicates before
+// vs after (♠5) normalization, §5.1 head binarization, §5.3 multi-head
+// elimination and the §5.2 ternary encoding. Expected shapes: (♠5) at most
+// triples the TGDs; ternarization adds (arity − 2) cells per wide atom.
+
+#include "bench_common.h"
+
+#include "bddfc/reductions/reductions.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+void Report(const char* name, size_t rules_in, int preds_in,
+            const Result<Theory>& out) {
+  std::printf("%-14s %-8zu %-8d %-10s %-10s\n", name, rules_in, preds_in,
+              out.ok() ? std::to_string(out.value().size()).c_str() : "-",
+              out.ok() ? std::to_string(out.value().sig().num_predicates())
+                             .c_str()
+                       : StatusCodeName(out.status().code()));
+}
+
+void PrintTable() {
+  bddfc_bench::Banner("E10", "reduction blowups (rules / predicates)");
+  std::printf("%-14s %-8s %-8s %-10s %-10s\n", "transform", "rules",
+              "preds", "rules'", "preds'");
+
+  {
+    Program p = Example1();
+    size_t r = p.theory.size();
+    int q = p.theory.sig().num_predicates();
+    Report("spade5-ex1", r, q, NormalizeSpade5(p.theory));
+  }
+  {
+    Program p = Example9();
+    size_t r = p.theory.size();
+    int q = p.theory.sig().num_predicates();
+    Report("spade5-ex9", r, q, NormalizeSpade5(p.theory));
+  }
+  {
+    auto p = ParseProgram("e(X, Y) -> exists Z1, Z2: t(Y, Z1, Z2).");
+    size_t r = p.value().theory.size();
+    int q = p.value().theory.sig().num_predicates();
+    Report("binheads-t3", r, q, BinarizeHeads(p.value().theory));
+  }
+  {
+    Program p = Section54();
+    size_t r = p.theory.size();
+    int q = p.theory.sig().num_predicates();
+    auto tern = TernarizeTheory(p.theory);
+    std::printf("%-14s %-8zu %-8d %-10s %-10s\n", "ternary-5.4", r, q,
+                tern.ok() ? std::to_string(tern.value().theory.size()).c_str()
+                          : "-",
+                tern.ok()
+                    ? std::to_string(
+                          tern.value().theory.sig().num_predicates())
+                          .c_str()
+                    : StatusCodeName(tern.status().code()));
+  }
+  {
+    auto p = ParseProgram(R"(
+      p(X) -> q(X, Z), u(Z).
+      p(X) -> s(X), v(X).
+    )");
+    size_t r = p.value().theory.size();
+    int q = p.value().theory.sig().num_predicates();
+    Report("singlehead", r, q, SingleHeadify(p.value().theory));
+  }
+}
+
+void BM_NormalizeSpade5(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sig = std::make_shared<Signature>();
+    Theory t = RandomAcyclicBinaryTheory(sig, 4,
+                                         static_cast<int>(state.range(0)),
+                                         static_cast<int>(state.range(0)), 3);
+    state.ResumeTiming();
+    auto out = NormalizeSpade5(t);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_NormalizeSpade5)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Ternarize(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = Section54();
+    state.ResumeTiming();
+    auto out = TernarizeTheory(p.theory);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_Ternarize);
+
+void BM_HideQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = Example7();
+    auto q = ParseQuery("e(X, X)", p.theory.signature_ptr().get());
+    state.ResumeTiming();
+    auto out = HideQuery(p.theory, q.value());
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_HideQuery);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

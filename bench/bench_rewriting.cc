@@ -1,0 +1,99 @@
+// E3 — UCQ rewriting: size, saturation depth (the k_Φ certificate) and κ
+// versus query size on BDD theories. Expected shapes: on the linear
+// successor theory the minimized rewriting of a k-path collapses to the
+// single edge while generated-query counts grow with k; the transitivity
+// theory never saturates (not BDD) and hits its budget at every k.
+
+#include "bench_common.h"
+
+#include "bddfc/rewrite/rewriter.h"
+#include "bddfc/workload/generators.h"
+
+namespace {
+
+using namespace bddfc;
+
+Program Successor() {
+  return std::move(ParseProgram("e(X, Y) -> exists Z: e(Y, Z).")).ValueOrDie();
+}
+
+Program SuccessorWithSource() {
+  return std::move(ParseProgram(R"(
+    u(X) -> exists Z: e(X, Z).
+    e(X, Y) -> u(Y).
+  )")).ValueOrDie();
+}
+
+Program Transitivity() {
+  return std::move(ParseProgram("e(X, Y), e(Y, Z) -> e(X, Z).")).ValueOrDie();
+}
+
+void PrintTable() {
+  bddfc_bench::Banner("E3", "rewriting size / depth vs query size");
+  std::printf("%-16s %-4s %-10s %-9s %-8s %-8s\n", "theory", "k",
+              "generated", "minimized", "depth", "status");
+  struct Row {
+    const char* name;
+    Program p;
+  };
+  Row rows[] = {{"successor", Successor()},
+                {"succ+source", SuccessorWithSource()},
+                {"transitivity", Transitivity()}};
+  for (Row& row : rows) {
+    PredId e = std::move(row.p.theory.sig().FindPredicate("e")).ValueOrDie();
+    for (int k = 1; k <= 6; ++k) {
+      RewriteOptions opts;
+      opts.max_depth = 12;
+      opts.max_queries = 3000;
+      RewriteResult r = RewriteQuery(row.p.theory, PathQuery(e, k), opts);
+      std::printf("%-16s %-4d %-10zu %-9zu %-8zu %-8s\n", row.name, k,
+                  r.queries_generated, r.rewriting.size(), r.depth_reached,
+                  r.status.ok() ? "saturated" : "budget");
+    }
+  }
+
+  std::printf("\nkappa (§3.3) per theory:\n");
+  for (Row& row : rows) {
+    KappaResult kr = ComputeKappa(row.p.theory);
+    std::printf("  %-16s kappa=%-3d (%s)\n", row.name, kr.kappa,
+                kr.status.ok() ? "exact" : "budgeted");
+  }
+}
+
+void BM_RewritePath(benchmark::State& state) {
+  Program p = SuccessorWithSource();
+  PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q = PathQuery(e, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    RewriteResult r = RewriteQuery(p.theory, q);
+    benchmark::DoNotOptimize(r.rewriting.size());
+  }
+}
+BENCHMARK(BM_RewritePath)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_ProbeBddLinear(benchmark::State& state) {
+  auto sig = std::make_shared<Signature>();
+  Theory t = RandomLinearTheory(sig, 3, static_cast<int>(state.range(0)), 11);
+  for (auto _ : state) {
+    BddProbeResult r = ProbeBdd(t);
+    benchmark::DoNotOptimize(r.certified);
+  }
+}
+BENCHMARK(BM_ProbeBddLinear)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DerivationDepth(benchmark::State& state) {
+  Program p = std::move(ParseProgram(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b).
+  )")).ValueOrDie();
+  PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q = PathQuery(e, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DerivationDepth(p.theory, p.instance, q, 24));
+  }
+}
+BENCHMARK(BM_DerivationDepth)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintTable)

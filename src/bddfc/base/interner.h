@@ -1,0 +1,64 @@
+// String interning: bidirectional mapping between names and dense int ids.
+
+#ifndef BDDFC_BASE_INTERNER_H_
+#define BDDFC_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bddfc {
+
+/// Interns strings to dense, stable 32-bit ids (0, 1, 2, ...).
+///
+/// Used for predicate names, constant names and variable names. Lookup by
+/// name is O(1) amortized; lookup by id is O(1).
+class Interner {
+ public:
+  /// Returns the id for `name`, interning it if new.
+  int32_t Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    int32_t id = static_cast<int32_t>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id for `name`, or -1 if it was never interned.
+  int32_t Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  /// Returns the name for `id`. Precondition: 0 <= id < size().
+  const std::string& NameOf(int32_t id) const { return names_[id]; }
+
+  bool Contains(std::string_view name) const { return Find(name) >= 0; }
+
+  int32_t size() const { return static_cast<int32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int32_t> ids_;
+};
+
+/// Combines a hash value into a running seed (boost::hash_combine recipe).
+inline void HashCombine(size_t& seed, size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+size_t HashRange(It begin, It end, size_t seed = 0) {
+  for (It it = begin; it != end; ++it) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>()(*it));
+  }
+  return seed;
+}
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_INTERNER_H_

@@ -1,0 +1,133 @@
+// Lightweight Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// The library does not throw on fallible operations; functions that can fail
+// return Status (no value) or Result<T> (value or error).
+
+#ifndef BDDFC_BASE_STATUS_H_
+#define BDDFC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace bddfc {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parse errors, bad arities, ...).
+  kNotFound,          ///< A named entity does not exist.
+  kAlreadyExists,     ///< A named entity is being redefined inconsistently.
+  kResourceExhausted, ///< A configured budget (facts, depth, time) ran out.
+  kFailedPrecondition,///< The operation's structural preconditions fail.
+  kUnimplemented,     ///< Reserved for staged features.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnknown,           ///< A semi-decision procedure could not decide in budget.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Move-oriented; access via
+/// ValueOrDie()/value() only after checking ok().
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status must carry a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Returns the value; aborts (assert) if this Result holds an error.
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace bddfc
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define BDDFC_RETURN_NOT_OK(expr)              \
+  do {                                         \
+    ::bddfc::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression, binding the value or propagating error.
+#define BDDFC_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto BDDFC_CONCAT_(_res_, __LINE__) = (expr);\
+  if (!BDDFC_CONCAT_(_res_, __LINE__).ok())    \
+    return BDDFC_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(BDDFC_CONCAT_(_res_, __LINE__)).value();
+
+#define BDDFC_CONCAT_IMPL_(a, b) a##b
+#define BDDFC_CONCAT_(a, b) BDDFC_CONCAT_IMPL_(a, b)
+
+#endif  // BDDFC_BASE_STATUS_H_

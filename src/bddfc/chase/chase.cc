@@ -1,0 +1,248 @@
+#include "bddfc/chase/chase.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "bddfc/eval/match.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Adds a fact and records its birth round. Returns true when new.
+bool AddFactTracked(ChaseResult* out, PredId pred,
+                    const std::vector<TermId>& args, int round) {
+  uint32_t row = static_cast<uint32_t>(out->structure.NumFacts(pred));
+  if (!out->structure.AddFact(pred, args)) return false;
+  out->fact_round.emplace(FactHandle{pred, row}, round);
+  return true;
+}
+
+/// A pending existential trigger: the rule's head with frontier variables
+/// grounded and existential variables still symbolic. Keyed for per-round
+/// deduplication (one witness per demanded head pattern).
+struct PendingExistential {
+  int rule_index;
+  std::vector<Atom> head_pattern;   // grounded except existential vars
+  std::vector<TermId> existentials; // the symbolic witness variables
+};
+
+/// Canonical key of a head pattern: existential variables renumbered by
+/// first occurrence, atoms sorted, then serialized.
+std::string PatternKey(const std::vector<Atom>& pattern) {
+  std::unordered_map<TermId, TermId> ren;
+  int32_t next = 0;
+  std::vector<Atom> key = pattern;
+  for (Atom& a : key) {
+    for (TermId& t : a.args) {
+      if (IsVar(t)) {
+        auto it = ren.find(t);
+        if (it == ren.end()) it = ren.emplace(t, MakeVar(next++)).first;
+        t = it->second;
+      }
+    }
+  }
+  std::sort(key.begin(), key.end());
+  std::string s;
+  for (const Atom& a : key) {
+    s += std::to_string(a.pred);
+    for (TermId t : a.args) s += "," + std::to_string(t);
+    s += "|";
+  }
+  return s;
+}
+
+}  // namespace
+
+ChaseResult RunChase(const Theory& theory, const Structure& instance,
+                     const ChaseOptions& options) {
+  assert(theory.signature_ptr().get() == instance.signature_ptr().get() &&
+         "theory and instance must share one Signature object");
+  ChaseResult out(instance.signature_ptr());
+
+  // Round 0: copy the instance, tagging every fact with round 0.
+  instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    AddFactTracked(&out, p, row, 0);
+  });
+  for (TermId c : instance.Domain()) out.structure.AddDomainElement(c);
+  out.facts_per_round.push_back(out.structure.NumFacts());
+
+  // Oblivious mode: remember fired (rule, body-binding) pairs so each
+  // trigger fires exactly once over the whole run (the blind chase creates
+  // one witness per trigger, not one per round).
+  std::unordered_set<std::string> fired;
+
+  for (size_t round = 1; round <= options.max_rounds; ++round) {
+    Matcher matcher(out.structure);
+
+    // Buffered additions, evaluated against the Chase^{i} snapshot.
+    std::vector<Atom> datalog_additions;
+    std::map<std::string, PendingExistential> existential_triggers;
+
+    for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
+      const Rule& rule = theory.rules()[ri];
+      const bool existential = rule.IsExistential();
+      if (existential && options.datalog_only) continue;
+
+      matcher.Enumerate(rule.body, {}, [&](const Binding& b) {
+        auto ground = [&](const Atom& a) {
+          Atom g = a;
+          for (TermId& t : g.args) {
+            if (IsVar(t)) {
+              auto it = b.find(t);
+              if (it != b.end()) t = it->second;
+            }
+          }
+          return g;
+        };
+        if (!existential) {
+          for (const Atom& h : rule.head) {
+            Atom g = ground(h);
+            assert(g.IsGround() && "datalog rule with unbound head variable");
+            if (!out.structure.Contains(g)) datalog_additions.push_back(g);
+          }
+          return true;
+        }
+        // Existential TGD: the non-oblivious check — is the head already
+        // witnessed in Chase^i under this frontier binding?
+        std::vector<Atom> pattern;
+        pattern.reserve(rule.head.size());
+        for (const Atom& h : rule.head) pattern.push_back(ground(h));
+        std::string key;
+        if (options.oblivious) {
+          // Blind chase: one witness per (rule, body binding), ever.
+          key = std::to_string(ri);
+          for (const Atom& a : rule.body) {
+            Atom g = ground(a);
+            key += "|" + std::to_string(g.pred);
+            for (TermId t : g.args) key += "," + std::to_string(t);
+          }
+          if (!fired.insert(key).second) return true;
+        } else {
+          if (matcher.Exists(pattern, {})) return true;
+          key = PatternKey(pattern);
+        }
+        PendingExistential pe;
+        pe.rule_index = static_cast<int>(ri);
+        pe.head_pattern = pattern;
+        pe.existentials = rule.ExistentialVariables();
+        existential_triggers.emplace(std::move(key), std::move(pe));
+        return true;
+      });
+    }
+
+    if (datalog_additions.empty() && existential_triggers.empty()) {
+      out.fixpoint_reached = true;
+      break;
+    }
+
+    size_t added = 0;
+    for (const Atom& g : datalog_additions) {
+      if (AddFactTracked(&out, g.pred, g.args, static_cast<int>(round))) {
+        ++added;
+      }
+    }
+    for (auto& [key, pe] : existential_triggers) {
+      (void)key;
+      // Invent one null per existential variable of this trigger.
+      std::unordered_map<TermId, TermId> witness;
+      for (TermId v : pe.existentials) {
+        TermId null_id = out.structure.mutable_sig().AddNull();
+        witness.emplace(v, null_id);
+        ++out.nulls_created;
+      }
+      for (Atom g : pe.head_pattern) {
+        for (TermId& t : g.args) {
+          if (IsVar(t)) t = witness.at(t);
+        }
+        if (AddFactTracked(&out, g.pred, g.args, static_cast<int>(round))) {
+          ++added;
+        }
+        // Record provenance on each fresh null (one shared head atom each).
+        for (auto [v, null_id] : witness) {
+          (void)v;
+          auto it = out.null_provenance.find(null_id);
+          if (it == out.null_provenance.end()) {
+            NullProvenance np;
+            np.birth_round = static_cast<int>(round);
+            np.rule_index = pe.rule_index;
+            np.head_atom = g;
+            out.null_provenance.emplace(null_id, std::move(np));
+          }
+        }
+      }
+    }
+
+    out.rounds_run = round;
+    out.facts_per_round.push_back(out.structure.NumFacts());
+
+    if (added == 0) {
+      // Buffered additions all turned out to be duplicates: fixpoint.
+      out.fixpoint_reached = true;
+      break;
+    }
+    if (out.structure.NumFacts() > options.max_facts) {
+      out.status = Status::ResourceExhausted(
+          "chase exceeded max_facts=" + std::to_string(options.max_facts) +
+          " at round " + std::to_string(round));
+      return out;
+    }
+  }
+
+  if (!out.fixpoint_reached) {
+    out.status = Status::ResourceExhausted(
+        "chase did not reach a fixpoint within max_rounds=" +
+        std::to_string(options.max_rounds));
+  }
+  return out;
+}
+
+std::string RuleViolation::ToString(const Signature& sig) const {
+  std::string s = "rule #" + std::to_string(rule_index) + " violated by ";
+  for (size_t i = 0; i < grounded_body.size(); ++i) {
+    if (i) s += ", ";
+    s += grounded_body[i].ToString(sig);
+  }
+  return s;
+}
+
+std::optional<RuleViolation> CheckModel(const Structure& m,
+                                        const Theory& theory) {
+  Matcher matcher(m);
+  std::optional<RuleViolation> violation;
+  for (size_t ri = 0; ri < theory.rules().size() && !violation; ++ri) {
+    const Rule& rule = theory.rules()[ri];
+    matcher.Enumerate(rule.body, {}, [&](const Binding& b) {
+      // Check head satisfaction: grounded atoms for bound variables,
+      // existential variables free for the matcher.
+      std::vector<Atom> head = rule.head;
+      for (Atom& a : head) {
+        for (TermId& t : a.args) {
+          if (IsVar(t)) {
+            auto it = b.find(t);
+            if (it != b.end()) t = it->second;
+          }
+        }
+      }
+      if (!matcher.Exists(head, {})) {
+        RuleViolation v;
+        v.rule_index = static_cast<int>(ri);
+        for (const Atom& a : rule.body) {
+          Atom g = a;
+          for (TermId& t : g.args) {
+            auto it = b.find(t);
+            if (it != b.end()) t = it->second;
+          }
+          v.grounded_body.push_back(std::move(g));
+        }
+        violation = std::move(v);
+        return false;
+      }
+      return true;
+    });
+  }
+  return violation;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,98 @@
+// The chase (§1.1): round-based, non-oblivious by default.
+//
+// Chase^{i+1}(D, T) extends Chase^i(D, T) by simultaneously firing every
+// rule whose body matches and (for existential TGDs) whose head is not
+// already witnessed — the *non-oblivious* (restricted) chase the paper uses.
+// An oblivious variant (create a witness for every trigger) is provided as a
+// baseline for experiments.
+//
+// Within one round, existential triggers are deduplicated per
+// (head predicate, grounded non-existential head positions): the
+// non-oblivious chase demands at most one witness per demanded atom, which
+// is what Lemma 3(iv) relies on.
+
+#ifndef BDDFC_CHASE_CHASE_H_
+#define BDDFC_CHASE_CHASE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// Budgets and variants for a chase run.
+struct ChaseOptions {
+  /// Maximum number of rounds (Chase^i levels) to run.
+  size_t max_rounds = 64;
+  /// Fact budget; the run stops with ResourceExhausted when exceeded.
+  size_t max_facts = 1000000;
+  /// Oblivious (blind) chase: fire every existential trigger regardless of
+  /// existing witnesses. Default false = the paper's non-oblivious chase.
+  bool oblivious = false;
+  /// Fire only the plain datalog rules (the saturation mode of Lemma 5 —
+  /// existential TGDs are still *checked* afterwards by CheckModel).
+  bool datalog_only = false;
+};
+
+/// Provenance of a labeled null invented by the chase.
+struct NullProvenance {
+  int birth_round = 0;
+  int rule_index = -1;
+  /// The grounded head atom the null was created in.
+  Atom head_atom;
+};
+
+/// Output of a chase run.
+struct ChaseResult {
+  /// OK when a fixpoint was reached; ResourceExhausted when a budget ran
+  /// out first (the structure is then the Chase^L prefix).
+  Status status = Status::OK();
+  Structure structure;
+  /// True iff no rule was applicable in the last round: structure ⊨ T.
+  bool fixpoint_reached = false;
+  size_t rounds_run = 0;
+  size_t nulls_created = 0;
+  /// Birth round per fact (round 0 = the facts of D).
+  std::unordered_map<FactHandle, int, FactHandleHash> fact_round;
+  /// Provenance per invented null.
+  std::unordered_map<TermId, NullProvenance> null_provenance;
+  /// |Chase^i| after each round i (index 0 = |D|); for growth experiments.
+  std::vector<size_t> facts_per_round;
+
+  explicit ChaseResult(SignaturePtr sig) : structure(std::move(sig)) {}
+
+  /// Birth round of an element: 0 for named constants, the creating round
+  /// for nulls.
+  int ElementBirthRound(TermId e) const {
+    auto it = null_provenance.find(e);
+    return it == null_provenance.end() ? 0 : it->second.birth_round;
+  }
+};
+
+/// Runs the chase of `theory` on `instance`. The instance's signature object
+/// is shared and mutated (nulls are added to it).
+ChaseResult RunChase(const Theory& theory, const Structure& instance,
+                     const ChaseOptions& options = {});
+
+/// One violated rule instance found by CheckModel.
+struct RuleViolation {
+  int rule_index = -1;
+  /// The grounded body of the violated rule.
+  std::vector<Atom> grounded_body;
+  std::string ToString(const Signature& sig) const;
+};
+
+/// Checks M ⊨ T: every datalog rule's grounded head is present, and every
+/// existential TGD's head has a witness. Returns the first violation found,
+/// or nullopt when M is a model of T.
+std::optional<RuleViolation> CheckModel(const Structure& m,
+                                        const Theory& theory);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_CHASE_H_

@@ -1,0 +1,100 @@
+#include "bddfc/chase/seminaive.h"
+
+#include <vector>
+
+#include "bddfc/eval/match.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Unifies a body atom pattern against a ground row into `binding`.
+/// Returns false on mismatch; bindings added on success stay (caller keeps
+/// a fresh copy per row).
+bool BindRow(const Atom& pattern, const std::vector<TermId>& row,
+             Binding* binding) {
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    TermId t = pattern.args[i];
+    if (IsConst(t)) {
+      if (t != row[i]) return false;
+      continue;
+    }
+    auto [it, inserted] = binding->emplace(t, row[i]);
+    if (!inserted && it->second != row[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
+                               const SaturateOptions& options) {
+  SaturateResult out(instance.signature_ptr());
+
+  std::vector<const Rule*> rules;
+  for (const Rule& r : theory.rules()) {
+    if (r.IsDatalog()) rules.push_back(&r);
+  }
+
+  // Full structure and the last round's delta.
+  instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    out.structure.AddFact(p, row);
+  });
+  for (TermId e : instance.Domain()) out.structure.AddDomainElement(e);
+
+  Structure delta(instance.signature_ptr());
+  instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    delta.AddFact(p, row);
+  });
+
+  while (delta.NumFacts() > 0) {
+    if (++out.rounds_run > options.max_rounds) {
+      out.status = Status::ResourceExhausted("max_rounds exhausted");
+      return out;
+    }
+    std::vector<Atom> additions;
+    Matcher full(out.structure);
+
+    for (const Rule* rule : rules) {
+      for (size_t di = 0; di < rule->body.size(); ++di) {
+        const Atom& danchor = rule->body[di];
+        // Remaining atoms evaluated over the full structure.
+        std::vector<Atom> rest;
+        for (size_t j = 0; j < rule->body.size(); ++j) {
+          if (j != di) rest.push_back(rule->body[j]);
+        }
+        for (const auto& row : delta.Rows(danchor.pred)) {
+          Binding binding;
+          if (!BindRow(danchor, row, &binding)) continue;
+          full.Enumerate(rest, binding, [&](const Binding& b) {
+            ++out.bindings_tried;
+            for (const Atom& h : rule->head) {
+              Atom g = h;
+              for (TermId& t : g.args) {
+                if (IsVar(t)) t = b.at(t);
+              }
+              if (!out.structure.Contains(g)) additions.push_back(g);
+            }
+            return true;
+          });
+        }
+      }
+    }
+
+    Structure next_delta(instance.signature_ptr());
+    for (const Atom& g : additions) {
+      if (out.structure.AddFact(g)) {
+        next_delta.AddFact(g);
+        ++out.facts_derived;
+      }
+    }
+    if (out.structure.NumFacts() > options.max_facts) {
+      out.status = Status::ResourceExhausted("max_facts exhausted");
+      return out;
+    }
+    delta = std::move(next_delta);
+  }
+  return out;
+}
+
+}  // namespace bddfc

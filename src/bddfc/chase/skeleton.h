@@ -1,0 +1,56 @@
+// The skeleton S(D, T) (§3.2, Def. 12) and its Lemma 3 structure.
+//
+// S(D, T) is the substructure of Chase(D, T) consisting of all elements,
+// all atoms of D, and all atoms of the tuple generating predicates (TGPs).
+// Under the (♠5) normal form, S_non is a forest whose edges record which
+// element demanded which witness; the finite-model pipeline quotients S,
+// not the full chase.
+
+#ifndef BDDFC_CHASE_SKELETON_H_
+#define BDDFC_CHASE_SKELETON_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// The skeleton structure plus the TGP set that defines it.
+struct Skeleton {
+  Structure structure;
+  std::unordered_set<PredId> tgps;
+
+  explicit Skeleton(SignaturePtr sig) : structure(std::move(sig)) {}
+};
+
+/// Extracts S(D, T) from a chase result: atoms of `instance`, atoms of TGP
+/// predicates in the chase structure, and every chase element as a domain
+/// element (elements carrying only flesh atoms are kept, per Def. 12).
+Skeleton SkeletonOf(const Theory& theory, const Structure& instance,
+                    const ChaseResult& chase);
+
+/// The Lemma 3 invariants of a skeleton, computed over its non-constant
+/// elements (labeled nulls) and binary atoms between them.
+struct SkeletonAnalysis {
+  bool acyclic = false;              ///< Lemma 3(i): S_non is acyclic
+  bool indegree_at_most_one = false; ///< Lemma 3(ii) (in-degree <= 1; roots have 0)
+  bool is_forest = false;            ///< Lemma 3(iii)
+  int max_degree = 0;                ///< Lemma 3(iv): bounded by |Σ|+1
+  /// Non-constant elements with no non-constant predecessor.
+  std::vector<TermId> roots;
+  /// Unique non-constant parent of each non-root null.
+  std::unordered_map<TermId, TermId> parent;
+  /// Forest depth of each null (roots have depth 0); empty if not a forest.
+  std::unordered_map<TermId, int> depth;
+};
+
+/// Analyzes the null-to-null binary edges of `s`.
+SkeletonAnalysis AnalyzeSkeleton(const Structure& s);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_SKELETON_H_

@@ -1,0 +1,228 @@
+#include "bddfc/classes/recognizers.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace bddfc {
+
+bool IsBinaryTheory(const Theory& theory) {
+  return theory.sig().IsBinary();
+}
+
+bool IsLinear(const Theory& theory) {
+  return std::all_of(
+      theory.rules().begin(), theory.rules().end(),
+      [](const Rule& r) { return r.body.size() == 1; });
+}
+
+bool IsGuarded(const Theory& theory) {
+  for (const Rule& r : theory.rules()) {
+    std::vector<TermId> body_vars = r.BodyVariables();
+    bool has_guard = std::any_of(
+        r.body.begin(), r.body.end(), [&](const Atom& a) {
+          return std::all_of(body_vars.begin(), body_vars.end(),
+                             [&](TermId v) {
+                               return std::find(a.args.begin(), a.args.end(),
+                                                v) != a.args.end();
+                             });
+        });
+    if (!has_guard) return false;
+  }
+  return true;
+}
+
+bool HasSingleFrontierVariableHeads(const Theory& theory) {
+  for (const Rule& r : theory.rules()) {
+    if (!r.IsExistential()) continue;
+    std::vector<TermId> body_vars = r.BodyVariables();
+    std::set<TermId> frontier_in_head;
+    for (const Atom& h : r.head) {
+      for (TermId t : h.args) {
+        if (IsVar(t) &&
+            std::find(body_vars.begin(), body_vars.end(), t) !=
+                body_vars.end()) {
+          frontier_in_head.insert(t);
+        }
+      }
+    }
+    if (frontier_in_head.size() > 1) return false;
+  }
+  return true;
+}
+
+StickyReport CheckSticky(const Theory& theory) {
+  StickyReport report;
+
+  // Marked body occurrences: (rule, body atom index, position).
+  struct Occ {
+    size_t rule, atom;
+    int pos;
+    bool operator<(const Occ& o) const {
+      return std::tie(rule, atom, pos) < std::tie(o.rule, o.atom, o.pos);
+    }
+  };
+  std::set<Occ> marked;
+
+  auto var_at = [&](size_t ri, size_t ai, int pos) {
+    return theory.rules()[ri].body[ai].args[pos];
+  };
+
+  // Marks all body occurrences of variable v in rule ri; returns true when
+  // anything new was marked.
+  auto mark_var = [&](size_t ri, TermId v) {
+    bool any = false;
+    const Rule& r = theory.rules()[ri];
+    for (size_t ai = 0; ai < r.body.size(); ++ai) {
+      for (int pos = 0; pos < static_cast<int>(r.body[ai].args.size());
+           ++pos) {
+        if (r.body[ai].args[pos] == v) {
+          any |= marked.insert({ri, ai, pos}).second;
+        }
+      }
+    }
+    return any;
+  };
+
+  // Initial step: mark body occurrences of variables absent from the head.
+  for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
+    const Rule& r = theory.rules()[ri];
+    std::vector<TermId> head_vars = r.HeadVariables();
+    for (TermId v : r.BodyVariables()) {
+      if (!IsVar(v)) continue;
+      if (std::find(head_vars.begin(), head_vars.end(), v) ==
+          head_vars.end()) {
+        mark_var(ri, v);
+      }
+    }
+  }
+
+  // Propagation: if position (p, i) carries a marked body occurrence
+  // anywhere, mark body occurrences of every variable a rule head places at
+  // (p, i). Iterate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<std::pair<PredId, int>> marked_positions;
+    for (const Occ& o : marked) {
+      const Atom& a = theory.rules()[o.rule].body[o.atom];
+      (void)var_at;
+      marked_positions.emplace(a.pred, o.pos);
+    }
+    for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
+      const Rule& r = theory.rules()[ri];
+      for (const Atom& h : r.head) {
+        for (int pos = 0; pos < static_cast<int>(h.args.size()); ++pos) {
+          if (!IsVar(h.args[pos])) continue;
+          if (marked_positions.count({h.pred, pos})) {
+            changed |= mark_var(ri, h.args[pos]);
+          }
+        }
+      }
+    }
+  }
+
+  for (const Occ& o : marked) {
+    const Atom& a = theory.rules()[o.rule].body[o.atom];
+    report.marked_positions.emplace_back(a.pred, o.pos);
+  }
+  std::sort(report.marked_positions.begin(), report.marked_positions.end());
+  report.marked_positions.erase(
+      std::unique(report.marked_positions.begin(),
+                  report.marked_positions.end()),
+      report.marked_positions.end());
+
+  // Sticky iff no marked variable occurs more than once in its rule body.
+  for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
+    const Rule& r = theory.rules()[ri];
+    std::set<TermId> marked_vars;
+    for (const Occ& o : marked) {
+      if (o.rule == ri) marked_vars.insert(var_at(ri, o.atom, o.pos));
+    }
+    for (TermId v : marked_vars) {
+      int occurrences = 0;
+      for (const Atom& a : r.body) {
+        occurrences += static_cast<int>(
+            std::count(a.args.begin(), a.args.end(), v));
+      }
+      if (occurrences > 1) {
+        report.is_sticky = false;
+        report.violation = "marked variable occurs " +
+                           std::to_string(occurrences) +
+                           " times in body of rule '" + r.label + "'";
+        return report;
+      }
+    }
+  }
+  report.is_sticky = true;
+  return report;
+}
+
+bool IsWeaklyAcyclic(const Theory& theory) {
+  // Positions are (pred, index), flattened to ids.
+  const Signature& sig = theory.sig();
+  auto pos_id = [&](PredId p, int i) { return p * (sig.MaxArity() + 1) + i; };
+  int num_pos = sig.num_predicates() * (sig.MaxArity() + 1);
+
+  // adj[u] = {(v, special)}.
+  std::vector<std::vector<std::pair<int, bool>>> adj(num_pos);
+
+  for (const Rule& r : theory.rules()) {
+    std::vector<TermId> existentials = r.ExistentialVariables();
+    for (const Atom& b : r.body) {
+      for (int i = 0; i < static_cast<int>(b.args.size()); ++i) {
+        TermId x = b.args[i];
+        if (!IsVar(x)) continue;
+        int u = pos_id(b.pred, i);
+        for (const Atom& h : r.head) {
+          for (int j = 0; j < static_cast<int>(h.args.size()); ++j) {
+            TermId y = h.args[j];
+            if (!IsVar(y)) continue;
+            if (y == x) {
+              adj[u].emplace_back(pos_id(h.pred, j), false);
+            } else if (std::find(existentials.begin(), existentials.end(),
+                                 y) != existentials.end()) {
+              // x is a frontier variable feeding a head that invents y.
+              std::vector<TermId> head_vars = r.HeadVariables();
+              if (std::find(head_vars.begin(), head_vars.end(), x) !=
+                  head_vars.end()) {
+                adj[u].emplace_back(pos_id(h.pred, j), true);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Weakly acyclic iff no cycle goes through a special edge: for each
+  // special edge (u, v), check v cannot reach u.
+  auto reaches = [&](int from, int to) {
+    std::vector<char> seen(num_pos, 0);
+    std::vector<int> stack = {from};
+    seen[from] = 1;
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      if (u == to) return true;
+      for (auto [v, special] : adj[u]) {
+        (void)special;
+        if (!seen[v]) {
+          seen[v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+    return false;
+  };
+
+  for (int u = 0; u < num_pos; ++u) {
+    for (auto [v, special] : adj[u]) {
+      if (special && (v == u || reaches(v, u))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,54 @@
+// Syntactic class recognizers for Datalog∃ programs.
+//
+// The paper's introduction situates the conjecture relative to the classes
+// Linear, Guarded and Sticky Datalog∃ and to binary signatures; Theorem 3
+// (§5.1) extends the main result to theories whose existential TGDs have the
+// form Ψ(x̄, y) ⇒ ∃z̄ Φ(y, z̄). This module recognizes each class, plus weak
+// acyclicity (a standard sufficient condition for chase termination, used to
+// pick budgets in the pipeline).
+
+#ifndef BDDFC_CLASSES_RECOGNIZERS_H_
+#define BDDFC_CLASSES_RECOGNIZERS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// All predicates have arity <= 2 (binary signature, §2.7).
+bool IsBinaryTheory(const Theory& theory);
+
+/// Every rule body is a single atom (Linear Datalog∃, [8]).
+bool IsLinear(const Theory& theory);
+
+/// Every rule has a guard: one body atom containing all body variables
+/// (Guarded Datalog∃, [1]).
+bool IsGuarded(const Theory& theory);
+
+/// Theorem 3 head form: every existential TGD's head atoms mention at most
+/// one body variable (the same y across all head atoms).
+bool HasSingleFrontierVariableHeads(const Theory& theory);
+
+/// Outcome of the sticky marking procedure ([4], [5]).
+struct StickyReport {
+  bool is_sticky = false;
+  /// Positions (pred, index) that carry a marked body occurrence after the
+  /// propagation fixpoint.
+  std::vector<std::pair<PredId, int>> marked_positions;
+  /// Human-readable reason when not sticky.
+  std::string violation;
+};
+
+/// Runs the sticky marking procedure.
+StickyReport CheckSticky(const Theory& theory);
+
+/// Weak acyclicity of the position dependency graph: a sufficient condition
+/// for termination of the (restricted and oblivious) chase on all instances.
+bool IsWeaklyAcyclic(const Theory& theory);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CLASSES_RECOGNIZERS_H_

@@ -1,0 +1,124 @@
+#include "bddfc/classes/vtdag.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace bddfc {
+
+std::unordered_set<TermId> PSet(const Structure& c, TermId e) {
+  std::unordered_set<TermId> out = {e};
+  if (!c.sig().IsNull(e)) return out;  // constants: P(e) = {e}
+  for (PredId p = 0; p < c.sig().num_predicates(); ++p) {
+    if (c.sig().arity(p) != 2) continue;
+    const std::vector<uint32_t>* rows = c.Postings(p, 1, e);
+    if (rows == nullptr) continue;
+    for (uint32_t r : *rows) {
+      TermId x = c.Rows(p)[r][0];
+      if (c.sig().IsNull(x)) out.insert(x);
+    }
+  }
+  return out;
+}
+
+std::unordered_set<TermId> PkSet(const Structure& c, TermId e, int k) {
+  std::unordered_set<TermId> cur = PSet(c, e);
+  for (int i = 0; i < k; ++i) {
+    std::unordered_set<TermId> next;
+    for (TermId a : cur) {
+      for (TermId b : PSet(c, a)) next.insert(b);
+    }
+    if (next.size() == cur.size()) return cur;  // saturated early
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+VtdagReport CheckVtdag(const Structure& c) {
+  VtdagReport report;
+  const Signature& sig = c.sig();
+
+  // Condition (Def. 11, bullet 1): per binary R and non-constant e, at most
+  // one non-constant d with R(d, e).
+  report.unique_predecessor = true;
+  std::unordered_map<TermId, std::vector<TermId>> null_children;
+  for (PredId p = 0; p < sig.num_predicates(); ++p) {
+    if (sig.arity(p) != 2) continue;
+    std::unordered_map<TermId, int> null_preds;  // e -> count for this R
+    for (const auto& row : c.Rows(p)) {
+      if (sig.IsNull(row[0]) && sig.IsNull(row[1]) && row[0] != row[1]) {
+        null_children[row[0]].push_back(row[1]);
+        if (++null_preds[row[1]] > 1) {
+          report.unique_predecessor = false;
+          report.violation = "element " + sig.ConstantName(row[1]) +
+                             " has two non-constant " + sig.PredicateName(p) +
+                             "-predecessors";
+        }
+      } else if (sig.IsNull(row[0]) && row[0] == row[1]) {
+        // Self-loop on a null: C_non not a DAG.
+        null_children[row[0]].push_back(row[1]);
+      }
+    }
+  }
+
+  // C_non is a DAG (Kahn).
+  std::unordered_map<TermId, int> indeg;
+  std::vector<TermId> nulls;
+  for (TermId e : c.Domain()) {
+    if (sig.IsNull(e)) {
+      nulls.push_back(e);
+      indeg[e] = 0;
+    }
+  }
+  for (auto& [from, tos] : null_children) {
+    (void)from;
+    for (TermId to : tos) ++indeg[to];
+  }
+  std::deque<TermId> queue;
+  for (TermId e : nulls) {
+    if (indeg[e] == 0) queue.push_back(e);
+  }
+  size_t visited = 0;
+  while (!queue.empty()) {
+    TermId e = queue.front();
+    queue.pop_front();
+    ++visited;
+    auto it = null_children.find(e);
+    if (it != null_children.end()) {
+      for (TermId to : it->second) {
+        if (--indeg[to] == 0) queue.push_back(to);
+      }
+    }
+  }
+  report.nulls_acyclic = visited == nulls.size();
+  if (!report.nulls_acyclic && report.violation.empty()) {
+    report.violation = "C_non contains a directed cycle";
+  }
+
+  // Condition (Def. 11, bullet 2): P(e) is a directed clique under P.
+  report.predecessors_form_clique = true;
+  for (TermId e : nulls) {
+    std::unordered_set<TermId> pe = PSet(c, e);
+    for (TermId d : pe) {
+      std::unordered_set<TermId> pd = PSet(c, d);
+      for (TermId d2 : pe) {
+        if (d == d2) continue;
+        if (!pd.count(d2) && !PSet(c, d2).count(d)) {
+          report.predecessors_form_clique = false;
+          if (report.violation.empty()) {
+            report.violation = "P(" + sig.ConstantName(e) +
+                               ") is not a directed clique: " +
+                               sig.ConstantName(d) + " vs " +
+                               sig.ConstantName(d2);
+          }
+        }
+      }
+    }
+  }
+
+  report.is_vtdag = report.nulls_acyclic && report.unique_predecessor &&
+                    report.predecessors_form_clique;
+  return report;
+}
+
+}  // namespace bddfc

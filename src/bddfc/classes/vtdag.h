@@ -1,0 +1,34 @@
+// Very Treelike DAGs (§2.7, Def. 10–11) and predecessor sets P(e), P_k(e).
+
+#ifndef BDDFC_CLASSES_VTDAG_H_
+#define BDDFC_CLASSES_VTDAG_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "bddfc/core/structure.h"
+
+namespace bddfc {
+
+/// P(e) (Def. 10): {e} for constants; {e} ∪ {x ∈ C_non : R(x, e) for some
+/// binary R} for non-constants.
+std::unordered_set<TermId> PSet(const Structure& c, TermId e);
+
+/// P_k(e) (Def. 13): P_0(e) = P(e); P_k(e) = ∪_{a ∈ P_{k-1}(e)} P(a).
+std::unordered_set<TermId> PkSet(const Structure& c, TermId e, int k);
+
+/// Result of the VTDAG check (Def. 11).
+struct VtdagReport {
+  bool is_vtdag = false;
+  bool nulls_acyclic = false;          ///< C_non is a DAG
+  bool unique_predecessor = false;     ///< per relation, at most one non-constant pred
+  bool predecessors_form_clique = false; ///< P(e) is a directed clique
+  std::string violation;               ///< reason when not a VTDAG
+};
+
+/// Checks whether `c` is a Very Treelike DAG. Requires a binary signature.
+VtdagReport CheckVtdag(const Structure& c);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CLASSES_VTDAG_H_

@@ -1,0 +1,69 @@
+// Atoms: a predicate applied to a tuple of terms.
+
+#ifndef BDDFC_CORE_ATOM_H_
+#define BDDFC_CORE_ATOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bddfc/base/interner.h"
+#include "bddfc/core/signature.h"
+#include "bddfc/core/term.h"
+
+namespace bddfc {
+
+/// An atomic formula R(t_1, ..., t_k); terms may be variables or constants.
+struct Atom {
+  PredId pred = -1;
+  std::vector<TermId> args;
+
+  Atom() = default;
+  Atom(PredId p, std::vector<TermId> a) : pred(p), args(std::move(a)) {}
+
+  bool operator==(const Atom& other) const {
+    return pred == other.pred && args == other.args;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+
+  /// Lexicographic order; used for canonical forms of queries.
+  bool operator<(const Atom& other) const {
+    if (pred != other.pred) return pred < other.pred;
+    return args < other.args;
+  }
+
+  /// True iff no argument is a variable.
+  bool IsGround() const {
+    return std::all_of(args.begin(), args.end(), IsConst);
+  }
+
+  /// Appends the distinct variables of this atom to `out` (preserving first
+  /// occurrence order, skipping ones already present).
+  void CollectVariables(std::vector<TermId>* out) const {
+    for (TermId t : args) {
+      if (IsVar(t) && std::find(out->begin(), out->end(), t) == out->end()) {
+        out->push_back(t);
+      }
+    }
+  }
+
+  /// Renders the atom using the signature's names; variables print as ?k or
+  /// the supplied namer.
+  std::string ToString(const Signature& sig) const;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const {
+    size_t seed = std::hash<int32_t>()(a.pred);
+    return HashRange(a.args.begin(), a.args.end(), seed);
+  }
+};
+
+/// Renders a term: constant name from the signature, or ?k for variables.
+std::string TermToString(const Signature& sig, TermId t);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_ATOM_H_

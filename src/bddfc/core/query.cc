@@ -1,0 +1,116 @@
+#include "bddfc/core/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "bddfc/core/substitution.h"
+
+namespace bddfc {
+
+std::vector<TermId> ConjunctiveQuery::Variables() const {
+  std::vector<TermId> vars;
+  for (TermId v : answer_vars) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  for (const Atom& a : atoms) a.CollectVariables(&vars);
+  return vars;
+}
+
+std::vector<TermId> ConjunctiveQuery::Constants() const {
+  std::vector<TermId> consts;
+  for (const Atom& a : atoms) {
+    for (TermId t : a.args) {
+      if (IsConst(t) &&
+          std::find(consts.begin(), consts.end(), t) == consts.end()) {
+        consts.push_back(t);
+      }
+    }
+  }
+  return consts;
+}
+
+ConjunctiveQuery ConjunctiveQuery::RenamedApart(int32_t* next_var) const {
+  std::unordered_map<TermId, TermId> ren;
+  for (TermId v : Variables()) ren[v] = MakeVar((*next_var)++);
+  ConjunctiveQuery out;
+  out.atoms.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    Atom b = a;
+    for (TermId& t : b.args) {
+      if (IsVar(t)) t = ren[t];
+    }
+    out.atoms.push_back(std::move(b));
+  }
+  out.answer_vars.reserve(answer_vars.size());
+  for (TermId v : answer_vars) out.answer_vars.push_back(ren[v]);
+  return out;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Normalized() const {
+  ConjunctiveQuery cur = *this;
+  for (int iter = 0; iter < 4; ++iter) {
+    // Rename variables by first occurrence (answer vars first), then sort.
+    std::unordered_map<TermId, TermId> ren;
+    int32_t next = 0;
+    auto rename = [&](TermId t) -> TermId {
+      if (!IsVar(t)) return t;
+      auto it = ren.find(t);
+      if (it != ren.end()) return it->second;
+      TermId fresh = MakeVar(next++);
+      ren.emplace(t, fresh);
+      return fresh;
+    };
+    ConjunctiveQuery out;
+    for (TermId v : cur.answer_vars) out.answer_vars.push_back(rename(v));
+    out.atoms.reserve(cur.atoms.size());
+    for (const Atom& a : cur.atoms) {
+      Atom b;
+      b.pred = a.pred;
+      b.args.reserve(a.args.size());
+      for (TermId t : a.args) b.args.push_back(rename(t));
+      out.atoms.push_back(std::move(b));
+    }
+    std::sort(out.atoms.begin(), out.atoms.end());
+    out.atoms.erase(std::unique(out.atoms.begin(), out.atoms.end()),
+                    out.atoms.end());
+    if (out == cur) return out;
+    cur = std::move(out);
+  }
+  return cur;
+}
+
+std::string ConjunctiveQuery::NormalizedKey(const Signature& sig) const {
+  return Normalized().ToString(sig);
+}
+
+std::string ConjunctiveQuery::ToString(const Signature& sig) const {
+  std::string s;
+  if (!answer_vars.empty()) {
+    s += "(";
+    for (size_t i = 0; i < answer_vars.size(); ++i) {
+      if (i) s += ", ";
+      s += TermToString(sig, answer_vars[i]);
+    }
+    s += ") <- ";
+  }
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i) s += ", ";
+    s += atoms[i].ToString(sig);
+  }
+  if (atoms.empty()) s += "true";
+  return s;
+}
+
+std::string UcqToString(const UnionOfCQs& ucq, const Signature& sig) {
+  std::string s;
+  for (size_t i = 0; i < ucq.size(); ++i) {
+    if (i) s += "  OR  ";
+    s += ucq[i].ToString(sig);
+  }
+  if (ucq.empty()) s = "false";
+  return s;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,66 @@
+// Conjunctive queries (CQs) and unions of conjunctive queries (UCQs).
+//
+// All queries in the paper are positive Boolean CQs; we additionally keep an
+// optional tuple of answer variables so the same type serves rule bodies,
+// rewritings Φ′ and typed queries Ψ(x̄, y).
+
+#ifndef BDDFC_CORE_QUERY_H_
+#define BDDFC_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "bddfc/core/atom.h"
+#include "bddfc/core/signature.h"
+#include "bddfc/core/term.h"
+
+namespace bddfc {
+
+/// A conjunction of atoms, existentially closed except for `answer_vars`.
+struct ConjunctiveQuery {
+  std::vector<Atom> atoms;
+  /// Free (answer) variables; empty for Boolean queries.
+  std::vector<TermId> answer_vars;
+
+  ConjunctiveQuery() = default;
+  explicit ConjunctiveQuery(std::vector<Atom> a,
+                            std::vector<TermId> free = {})
+      : atoms(std::move(a)), answer_vars(std::move(free)) {}
+
+  bool operator==(const ConjunctiveQuery& o) const {
+    return atoms == o.atoms && answer_vars == o.answer_vars;
+  }
+
+  /// All distinct variables in first-occurrence order (answer vars first).
+  std::vector<TermId> Variables() const;
+
+  /// Number of distinct variables.
+  int NumVariables() const { return static_cast<int>(Variables().size()); }
+
+  /// All distinct constants appearing in the query.
+  std::vector<TermId> Constants() const;
+
+  /// A copy whose variables are renamed to fresh ids drawn from
+  /// *next_var, *next_var+1, ... (increments the counter).
+  ConjunctiveQuery RenamedApart(int32_t* next_var) const;
+
+  /// A normalized copy: atoms sorted and variables renumbered by first
+  /// occurrence, iterated to a fixpoint. Equal normalized copies imply
+  /// equivalent queries (the converse needs homomorphic equivalence).
+  ConjunctiveQuery Normalized() const;
+
+  /// Key usable for hashing/dedup of normalized queries.
+  std::string NormalizedKey(const Signature& sig) const;
+
+  std::string ToString(const Signature& sig) const;
+};
+
+/// A union of conjunctive queries (e.g. a positive FO rewriting Φ′).
+using UnionOfCQs = std::vector<ConjunctiveQuery>;
+
+/// Renders a UCQ as "CQ1  OR  CQ2  OR ...".
+std::string UcqToString(const UnionOfCQs& ucq, const Signature& sig);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_QUERY_H_

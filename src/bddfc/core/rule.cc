@@ -1,0 +1,116 @@
+#include "bddfc/core/rule.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bddfc {
+
+std::vector<TermId> Rule::BodyVariables() const {
+  std::vector<TermId> vars;
+  for (const Atom& a : body) a.CollectVariables(&vars);
+  return vars;
+}
+
+std::vector<TermId> Rule::HeadVariables() const {
+  std::vector<TermId> vars;
+  for (const Atom& a : head) a.CollectVariables(&vars);
+  return vars;
+}
+
+std::vector<TermId> Rule::ExistentialVariables() const {
+  std::vector<TermId> body_vars = BodyVariables();
+  std::vector<TermId> out;
+  for (TermId v : HeadVariables()) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> Rule::FrontierVariables() const {
+  std::vector<TermId> head_vars = HeadVariables();
+  std::vector<TermId> out;
+  for (TermId v : BodyVariables()) {
+    if (std::find(head_vars.begin(), head_vars.end(), v) != head_vars.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Status Rule::Validate(const Signature& sig) const {
+  if (head.empty()) {
+    return Status::InvalidArgument("rule '" + label + "' has empty head");
+  }
+  auto check_atom = [&](const Atom& a) -> Status {
+    if (a.pred < 0 || a.pred >= sig.num_predicates()) {
+      return Status::InvalidArgument("rule '" + label +
+                                     "' uses unknown predicate id");
+    }
+    if (static_cast<int>(a.args.size()) != sig.arity(a.pred)) {
+      return Status::InvalidArgument(
+          "rule '" + label + "': atom " + a.ToString(sig) +
+          " has wrong arity (expected " +
+          std::to_string(sig.arity(a.pred)) + ")");
+    }
+    return Status::OK();
+  };
+  for (const Atom& a : body) BDDFC_RETURN_NOT_OK(check_atom(a));
+  for (const Atom& a : head) BDDFC_RETURN_NOT_OK(check_atom(a));
+  return Status::OK();
+}
+
+Rule Rule::RenamedApart(int32_t* next_var) const {
+  std::unordered_map<TermId, TermId> ren;
+  auto rename_atom = [&](const Atom& a) {
+    Atom b;
+    b.pred = a.pred;
+    b.args.reserve(a.args.size());
+    for (TermId t : a.args) {
+      if (IsVar(t)) {
+        auto it = ren.find(t);
+        if (it == ren.end()) {
+          it = ren.emplace(t, MakeVar((*next_var)++)).first;
+        }
+        b.args.push_back(it->second);
+      } else {
+        b.args.push_back(t);
+      }
+    }
+    return b;
+  };
+  Rule out;
+  out.label = label;
+  out.body.reserve(body.size());
+  out.head.reserve(head.size());
+  for (const Atom& a : body) out.body.push_back(rename_atom(a));
+  for (const Atom& a : head) out.head.push_back(rename_atom(a));
+  return out;
+}
+
+std::string Rule::ToString(const Signature& sig) const {
+  std::string s;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) s += ", ";
+    s += body[i].ToString(sig);
+  }
+  if (body.empty()) s += "true";
+  s += " -> ";
+  std::vector<TermId> ex = ExistentialVariables();
+  if (!ex.empty()) {
+    s += "exists ";
+    for (size_t i = 0; i < ex.size(); ++i) {
+      if (i) s += ", ";
+      s += TermToString(sig, ex[i]);
+    }
+    s += ". ";
+  }
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i) s += ", ";
+    s += head[i].ToString(sig);
+  }
+  return s;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,65 @@
+// Rules: existential TGDs and plain datalog rules (Datalog∃ programs).
+//
+// A rule is body ⇒ head with head a conjunction of atoms (usually a single
+// atom; the paper's TGDs are single-head, multi-head is supported for the
+// §5.3 reduction). Head variables absent from the body are existentially
+// quantified.
+
+#ifndef BDDFC_CORE_RULE_H_
+#define BDDFC_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/atom.h"
+#include "bddfc/core/signature.h"
+#include "bddfc/core/term.h"
+
+namespace bddfc {
+
+/// One rule ∀x̄ (Φ(x̄) ⇒ ∃ȳ H(x̄', ȳ)) with x̄' ⊆ x̄.
+struct Rule {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+  /// Optional label for diagnostics ("r3", "hide-query", ...).
+  std::string label;
+
+  Rule() = default;
+  Rule(std::vector<Atom> b, std::vector<Atom> h, std::string l = "")
+      : body(std::move(b)), head(std::move(h)), label(std::move(l)) {}
+
+  /// Distinct body variables, first-occurrence order.
+  std::vector<TermId> BodyVariables() const;
+
+  /// Distinct head variables, first-occurrence order.
+  std::vector<TermId> HeadVariables() const;
+
+  /// Head variables not occurring in the body (the ∃-quantified witnesses).
+  std::vector<TermId> ExistentialVariables() const;
+
+  /// Body variables that also occur in the head (the frontier ȳ).
+  std::vector<TermId> FrontierVariables() const;
+
+  /// True iff the rule has no existential variables (a plain datalog rule).
+  bool IsDatalog() const { return ExistentialVariables().empty(); }
+
+  /// True iff the rule is an existential TGD (has at least one ∃-variable).
+  bool IsExistential() const { return !IsDatalog(); }
+
+  bool IsSingleHead() const { return head.size() == 1; }
+
+  /// Checks well-formedness: nonempty head, arities consistent with `sig`
+  /// (callers usually build atoms through the signature so this is a
+  /// debugging aid), and no variable that is both existential and in body.
+  Status Validate(const Signature& sig) const;
+
+  /// A copy with all variables renamed to fresh ids from *next_var.
+  Rule RenamedApart(int32_t* next_var) const;
+
+  std::string ToString(const Signature& sig) const;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_RULE_H_

@@ -1,0 +1,104 @@
+#include "bddfc/core/signature.h"
+
+#include <algorithm>
+
+namespace bddfc {
+
+Result<PredId> Signature::AddPredicate(std::string_view name, int arity) {
+  int32_t existing = pred_names_.Find(name);
+  if (existing >= 0) {
+    if (predicates_[existing].arity != arity) {
+      return Status::AlreadyExists(
+          "predicate '" + std::string(name) + "' redeclared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(predicates_[existing].arity) + ")");
+    }
+    return existing;
+  }
+  if (arity < 0) {
+    return Status::InvalidArgument("negative arity for predicate '" +
+                                   std::string(name) + "'");
+  }
+  PredId id = pred_names_.Intern(name);
+  PredicateInfo info;
+  info.name = std::string(name);
+  info.arity = arity;
+  predicates_.push_back(std::move(info));
+  return id;
+}
+
+PredId Signature::AddColorPredicate(int hue, int lightness) {
+  std::string name = FreshPredicateName(
+      "K_h" + std::to_string(hue) + "_l" + std::to_string(lightness));
+  PredId id = pred_names_.Intern(name);
+  PredicateInfo info;
+  info.name = std::move(name);
+  info.arity = 1;
+  info.is_color = true;
+  info.hue = hue;
+  info.lightness = lightness;
+  predicates_.push_back(std::move(info));
+  return id;
+}
+
+TermId Signature::AddConstant(std::string_view name) {
+  int32_t existing = const_names_.Find(name);
+  if (existing >= 0) return existing;
+  TermId id = const_names_.Intern(name);
+  ConstantInfo info;
+  info.name = std::string(name);
+  info.is_null = false;
+  constants_.push_back(std::move(info));
+  return id;
+}
+
+TermId Signature::AddNull(std::string_view hint) {
+  std::string name;
+  do {
+    name = "_" + std::string(hint) + std::to_string(null_counter_++);
+  } while (const_names_.Contains(name));
+  TermId id = const_names_.Intern(name);
+  ConstantInfo info;
+  info.name = std::move(name);
+  info.is_null = true;
+  constants_.push_back(std::move(info));
+  return id;
+}
+
+Result<PredId> Signature::FindPredicate(std::string_view name) const {
+  int32_t id = pred_names_.Find(name);
+  if (id < 0) {
+    return Status::NotFound("unknown predicate '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+Result<TermId> Signature::FindConstant(std::string_view name) const {
+  int32_t id = const_names_.Find(name);
+  if (id < 0) {
+    return Status::NotFound("unknown constant '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+std::string Signature::FreshPredicateName(std::string_view stem) const {
+  std::string name(stem);
+  int suffix = 0;
+  while (pred_names_.Contains(name)) {
+    name = std::string(stem) + "_" + std::to_string(suffix++);
+  }
+  return name;
+}
+
+int Signature::MaxArity() const {
+  int m = 0;
+  for (const auto& p : predicates_) m = std::max(m, p.arity);
+  return m;
+}
+
+bool Signature::IsBinary() const {
+  return std::all_of(predicates_.begin(), predicates_.end(),
+                     [](const PredicateInfo& p) { return p.arity <= 2; });
+}
+
+}  // namespace bddfc

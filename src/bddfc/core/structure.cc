@@ -1,0 +1,131 @@
+#include "bddfc/core/structure.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bddfc {
+
+namespace {
+const std::vector<std::vector<TermId>> kEmptyRows;
+}  // namespace
+
+Structure::Relation& Structure::GetRelation(PredId pred) {
+  if (static_cast<size_t>(pred) >= relations_.size()) {
+    relations_.resize(pred + 1);
+  }
+  Relation& rel = relations_[pred];
+  if (rel.by_pos.empty()) {
+    rel.arity = sig_->arity(pred);
+    rel.by_pos.resize(std::max(rel.arity, 1));
+  }
+  return rel;
+}
+
+const Structure::Relation* Structure::FindRelation(PredId pred) const {
+  if (pred < 0 || static_cast<size_t>(pred) >= relations_.size()) {
+    return nullptr;
+  }
+  return &relations_[pred];
+}
+
+bool Structure::AddFact(PredId pred, const std::vector<TermId>& args) {
+  assert(pred >= 0 && pred < sig_->num_predicates());
+  assert(static_cast<int>(args.size()) == sig_->arity(pred));
+  Relation& rel = GetRelation(pred);
+  auto [it, inserted] =
+      rel.lookup.emplace(args, static_cast<uint32_t>(rel.rows.size()));
+  if (!inserted) return false;
+  uint32_t row = it->second;
+  rel.rows.push_back(args);
+  for (int pos = 0; pos < rel.arity; ++pos) {
+    assert(IsConst(args[pos]));
+    rel.by_pos[pos][args[pos]].push_back(row);
+    AddDomainElement(args[pos]);
+  }
+  ++num_facts_;
+  return true;
+}
+
+void Structure::AddDomainElement(TermId c) {
+  assert(IsConst(c));
+  if (static_cast<size_t>(c) >= in_domain_.size()) {
+    in_domain_.resize(c + 1, 0);
+  }
+  if (!in_domain_[c]) {
+    in_domain_[c] = 1;
+    domain_.push_back(c);
+  }
+}
+
+bool Structure::Contains(PredId pred, const std::vector<TermId>& args) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr) return false;
+  return rel->lookup.find(args) != rel->lookup.end();
+}
+
+const std::vector<std::vector<TermId>>& Structure::Rows(PredId pred) const {
+  const Relation* rel = FindRelation(pred);
+  return rel == nullptr ? kEmptyRows : rel->rows;
+}
+
+const std::vector<uint32_t>* Structure::Postings(PredId pred, int pos,
+                                                 TermId value) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr || pos >= static_cast<int>(rel->by_pos.size())) {
+    return nullptr;
+  }
+  auto it = rel->by_pos[pos].find(value);
+  return it == rel->by_pos[pos].end() ? nullptr : &it->second;
+}
+
+void Structure::ForEachFact(
+    const std::function<void(PredId, const std::vector<TermId>&)>& fn) const {
+  for (PredId p = 0; p < static_cast<PredId>(relations_.size()); ++p) {
+    for (const auto& row : relations_[p].rows) fn(p, row);
+  }
+}
+
+Structure Structure::RestrictToPredicates(
+    const std::unordered_set<PredId>& preds) const {
+  Structure out(sig_);
+  ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    if (preds.count(p)) out.AddFact(p, row);
+  });
+  return out;
+}
+
+Structure Structure::RestrictToElements(
+    const std::unordered_set<TermId>& elements) const {
+  Structure out(sig_);
+  ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    bool inside = std::all_of(row.begin(), row.end(), [&](TermId t) {
+      return elements.count(t) > 0;
+    });
+    if (inside) out.AddFact(p, row);
+  });
+  return out;
+}
+
+bool Structure::ContainsAllFactsOf(const Structure& other) const {
+  bool all = true;
+  other.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    if (!Contains(p, row)) all = false;
+  });
+  return all;
+}
+
+std::string Structure::ToString() const {
+  std::vector<std::string> lines;
+  ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    lines.push_back(Atom(p, row).ToString(*sig_));
+  });
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bddfc

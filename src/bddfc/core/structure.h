@@ -1,0 +1,140 @@
+// Relational structures (database instances): ground facts with indexes.
+//
+// A Structure stores ground atoms per predicate, deduplicated, with
+// per-(predicate, position, value) posting lists used by the backtracking
+// join in eval/ and by the chase. Insertion is incremental and rows are
+// append-only, which matches the chase's access pattern (facts are never
+// deleted; new rounds only add).
+
+#ifndef BDDFC_CORE_STRUCTURE_H_
+#define BDDFC_CORE_STRUCTURE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bddfc/base/interner.h"
+#include "bddfc/core/atom.h"
+#include "bddfc/core/signature.h"
+#include "bddfc/core/term.h"
+
+namespace bddfc {
+
+/// Identifies one stored fact: predicate plus row index within it.
+struct FactHandle {
+  PredId pred = -1;
+  uint32_t row = 0;
+
+  bool operator==(const FactHandle& o) const {
+    return pred == o.pred && row == o.row;
+  }
+};
+
+struct FactHandleHash {
+  size_t operator()(const FactHandle& h) const {
+    size_t seed = std::hash<int32_t>()(h.pred);
+    HashCombine(seed, std::hash<uint32_t>()(h.row));
+    return seed;
+  }
+};
+
+/// A finite relational structure over a shared Signature.
+class Structure {
+ public:
+  explicit Structure(SignaturePtr sig) : sig_(std::move(sig)) {}
+
+  const SignaturePtr& signature_ptr() const { return sig_; }
+  const Signature& sig() const { return *sig_; }
+  Signature& mutable_sig() { return *sig_; }
+
+  /// Inserts a ground fact; returns true iff it was new.
+  /// Preconditions: all args are constants known to the signature and the
+  /// arity matches (checked by assert in debug builds).
+  bool AddFact(PredId pred, const std::vector<TermId>& args);
+  bool AddFact(const Atom& ground_atom) {
+    return AddFact(ground_atom.pred, ground_atom.args);
+  }
+
+  /// Registers a constant as a domain element even if it occurs in no fact.
+  void AddDomainElement(TermId c);
+
+  /// True iff the ground fact is present.
+  bool Contains(PredId pred, const std::vector<TermId>& args) const;
+  bool Contains(const Atom& ground_atom) const {
+    return Contains(ground_atom.pred, ground_atom.args);
+  }
+
+  /// All rows of `pred` (each row is one ground tuple), append-ordered.
+  const std::vector<std::vector<TermId>>& Rows(PredId pred) const;
+
+  /// Posting list of rows of `pred` whose argument `pos` equals `value`,
+  /// or nullptr when empty.
+  const std::vector<uint32_t>* Postings(PredId pred, int pos,
+                                        TermId value) const;
+
+  /// The tuple of a fact handle.
+  const std::vector<TermId>& Tuple(FactHandle h) const {
+    return Rows(h.pred)[h.row];
+  }
+
+  /// Number of stored facts (all predicates).
+  size_t NumFacts() const { return num_facts_; }
+  size_t NumFacts(PredId pred) const { return Rows(pred).size(); }
+
+  /// Domain: every constant occurring in some fact or explicitly added,
+  /// in first-appearance order.
+  const std::vector<TermId>& Domain() const { return domain_; }
+  bool InDomain(TermId c) const {
+    return c >= 0 && static_cast<size_t>(c) < in_domain_.size() &&
+           in_domain_[c];
+  }
+
+  /// Calls fn(pred, tuple) for every stored fact.
+  void ForEachFact(
+      const std::function<void(PredId, const std::vector<TermId>&)>& fn) const;
+
+  /// C ↾ P: the substructure over exactly the predicates in `preds`
+  /// (same signature object).
+  Structure RestrictToPredicates(const std::unordered_set<PredId>& preds) const;
+
+  /// C ↾ A: all facts whose arguments lie entirely inside `elements`.
+  Structure RestrictToElements(
+      const std::unordered_set<TermId>& elements) const;
+
+  /// True iff every fact of `other` is a fact of *this (C1 |= C2).
+  bool ContainsAllFactsOf(const Structure& other) const;
+
+  /// Multi-line sorted dump "R(a, b)" — for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  struct TupleHash {
+    size_t operator()(const std::vector<TermId>& v) const {
+      return HashRange(v.begin(), v.end());
+    }
+  };
+
+  struct Relation {
+    int arity = 0;
+    std::vector<std::vector<TermId>> rows;
+    std::unordered_map<std::vector<TermId>, uint32_t, TupleHash> lookup;
+    /// by_pos[pos][value] -> row indexes.
+    std::vector<std::unordered_map<TermId, std::vector<uint32_t>>> by_pos;
+  };
+
+  Relation& GetRelation(PredId pred);
+  const Relation* FindRelation(PredId pred) const;
+
+  SignaturePtr sig_;
+  mutable std::vector<Relation> relations_;  // indexed by PredId; grown lazily
+  std::vector<TermId> domain_;
+  std::vector<char> in_domain_;  // indexed by constant id
+  size_t num_facts_ = 0;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_STRUCTURE_H_

@@ -1,0 +1,22 @@
+#include "bddfc/core/substitution.h"
+
+namespace bddfc {
+
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* mgu) {
+  if (a.pred != b.pred || a.args.size() != b.args.size()) return false;
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    TermId x = mgu->Resolve(a.args[i]);
+    TermId y = mgu->Resolve(b.args[i]);
+    if (x == y) continue;
+    if (IsVar(x)) {
+      if (!mgu->Bind(x, y)) return false;
+    } else if (IsVar(y)) {
+      if (!mgu->Bind(y, x)) return false;
+    } else {
+      return false;  // distinct constants
+    }
+  }
+  return true;
+}
+
+}  // namespace bddfc

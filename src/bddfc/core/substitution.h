@@ -1,0 +1,76 @@
+// Substitutions: partial maps from variables to terms, with chain following.
+
+#ifndef BDDFC_CORE_SUBSTITUTION_H_
+#define BDDFC_CORE_SUBSTITUTION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "bddfc/core/atom.h"
+#include "bddfc/core/term.h"
+
+namespace bddfc {
+
+/// A substitution σ: variables → terms. Bindings may chain (x → y → c);
+/// Resolve() follows chains to the representative term.
+class Substitution {
+ public:
+  /// Binds `var` to `term`. Precondition: var is a variable and currently
+  /// unbound (after resolution). Returns false if binding would be circular.
+  bool Bind(TermId var, TermId term) {
+    TermId v = Resolve(var);
+    TermId t = Resolve(term);
+    if (v == t) return true;  // already identical
+    if (!IsVar(v)) {
+      // var resolved to a constant: binding succeeds only if terms agree.
+      return v == t;
+    }
+    map_[v] = t;
+    return true;
+  }
+
+  /// Follows binding chains from `t` to its representative.
+  TermId Resolve(TermId t) const {
+    while (IsVar(t)) {
+      auto it = map_.find(t);
+      if (it == map_.end()) break;
+      t = it->second;
+    }
+    return t;
+  }
+
+  /// True iff the (resolved) variable has a binding.
+  bool IsBound(TermId var) const { return Resolve(var) != var || !IsVar(var); }
+
+  /// Applies the substitution to an atom.
+  Atom Apply(const Atom& a) const {
+    Atom out;
+    out.pred = a.pred;
+    out.args.reserve(a.args.size());
+    for (TermId t : a.args) out.args.push_back(Resolve(t));
+    return out;
+  }
+
+  /// Applies the substitution to a vector of atoms.
+  std::vector<Atom> Apply(const std::vector<Atom>& atoms) const {
+    std::vector<Atom> out;
+    out.reserve(atoms.size());
+    for (const Atom& a : atoms) out.push_back(Apply(a));
+    return out;
+  }
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  const std::unordered_map<TermId, TermId>& raw() const { return map_; }
+
+ private:
+  std::unordered_map<TermId, TermId> map_;
+};
+
+/// Computes a most general unifier of two atoms into `mgu` (which may carry
+/// pre-existing bindings). Returns false if the atoms do not unify.
+bool UnifyAtoms(const Atom& a, const Atom& b, Substitution* mgu);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_SUBSTITUTION_H_

@@ -1,0 +1,34 @@
+// Terms: 32-bit tagged ids for constants and variables.
+//
+// Constants (named constants of the signature Σ and labeled nulls invented by
+// the chase) are non-negative ids into a Signature's constant table.
+// Variables are negative: variable k is encoded as -1 - k.
+
+#ifndef BDDFC_CORE_TERM_H_
+#define BDDFC_CORE_TERM_H_
+
+#include <cstdint>
+
+namespace bddfc {
+
+/// A term id. >= 0: constant id; < 0: variable (index DecodeVar(t)).
+using TermId = int32_t;
+
+/// A predicate id (index into a Signature's predicate table).
+using PredId = int32_t;
+
+/// Encodes variable index `k` (k >= 0) as a TermId.
+constexpr TermId MakeVar(int32_t k) { return -1 - k; }
+
+/// True iff `t` encodes a variable.
+constexpr bool IsVar(TermId t) { return t < 0; }
+
+/// True iff `t` encodes a constant (named constant or labeled null).
+constexpr bool IsConst(TermId t) { return t >= 0; }
+
+/// Decodes the variable index from a variable TermId.
+constexpr int32_t DecodeVar(TermId t) { return -1 - t; }
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_TERM_H_

@@ -1,0 +1,60 @@
+// Theories: finite sets of existential TGDs and plain datalog rules (§1.1).
+
+#ifndef BDDFC_CORE_THEORY_H_
+#define BDDFC_CORE_THEORY_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/rule.h"
+#include "bddfc/core/signature.h"
+
+namespace bddfc {
+
+/// A finite set of rules over a shared signature.
+class Theory {
+ public:
+  explicit Theory(SignaturePtr sig) : sig_(std::move(sig)) {}
+
+  const SignaturePtr& signature_ptr() const { return sig_; }
+  const Signature& sig() const { return *sig_; }
+  Signature& mutable_sig() { return *sig_; }
+
+  /// Appends a rule (validated against the signature).
+  Status AddRule(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// Predicates occurring in the head of at least one existential TGD.
+  /// Under normalization (♠5) these are exactly the tuple generating
+  /// predicates (TGPs).
+  std::unordered_set<PredId> TgpCandidates() const;
+
+  /// True iff the theory satisfies the (♠5) normal form: every existential
+  /// TGD head is a single binary atom R(y, z) with y in the body and z the
+  /// unique existential variable, and no TGP occurs in a datalog rule head.
+  bool IsSpade5Normal() const;
+
+  /// True iff every rule is single-head.
+  bool IsSingleHead() const;
+
+  /// Maximum number of distinct variables in any rule body.
+  int MaxBodyVariables() const;
+
+  /// The largest variable index used anywhere (for fresh renaming); 0 when
+  /// no variables occur.
+  int32_t MaxVariableIndex() const;
+
+  std::string ToString() const;
+
+ private:
+  SignaturePtr sig_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CORE_THEORY_H_

@@ -1,0 +1,68 @@
+#include "bddfc/eval/answers.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bddfc/eval/match.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Collects answer tuples of `query` over `s`, skipping tuples that bind a
+/// labeled null.
+void CollectAnswers(const Structure& s, const ConjunctiveQuery& query,
+                    std::vector<std::vector<TermId>>* out) {
+  Matcher matcher(s);
+  matcher.Enumerate(query.atoms, {}, [&](const Binding& b) {
+    std::vector<TermId> tuple;
+    tuple.reserve(query.answer_vars.size());
+    for (TermId v : query.answer_vars) {
+      TermId value = IsConst(v) ? v : b.at(v);
+      if (s.sig().IsNull(value)) return true;  // not a database value
+      tuple.push_back(value);
+    }
+    out->push_back(std::move(tuple));
+    return true;
+  });
+}
+
+void SortUnique(std::vector<std::vector<TermId>>* answers) {
+  std::sort(answers->begin(), answers->end());
+  answers->erase(std::unique(answers->begin(), answers->end()),
+                 answers->end());
+}
+
+}  // namespace
+
+CertainAnswersResult CertainAnswers(const Theory& theory,
+                                    const Structure& instance,
+                                    const ConjunctiveQuery& query,
+                                    const ChaseOptions& chase_options) {
+  assert(!query.answer_vars.empty() &&
+         "use Satisfies() for Boolean queries");
+  CertainAnswersResult out;
+  ChaseResult chase = RunChase(theory, instance, chase_options);
+  CollectAnswers(chase.structure, query, &out.answers);
+  SortUnique(&out.answers);
+  out.complete = chase.fixpoint_reached;
+  if (!chase.status.ok()) out.status = chase.status;
+  return out;
+}
+
+CertainAnswersResult CertainAnswersViaRewriting(
+    const Theory& theory, const Structure& instance,
+    const ConjunctiveQuery& query, const RewriteOptions& options) {
+  assert(!query.answer_vars.empty());
+  CertainAnswersResult out;
+  RewriteResult rw = RewriteQuery(theory, query, options);
+  for (const ConjunctiveQuery& disjunct : rw.rewriting) {
+    CollectAnswers(instance, disjunct, &out.answers);
+  }
+  SortUnique(&out.answers);
+  out.complete = rw.status.ok();
+  if (!rw.status.ok()) out.status = rw.status;
+  return out;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,46 @@
+// Certain answers to non-Boolean conjunctive queries.
+//
+// A tuple ā of named constants is a certain answer to Q(x̄) over (D, T)
+// iff Chase(D, T) ⊨ Q(ā) (§1.1) iff D ⊨ Φ′(ā) for a rewriting Φ′ (Def. 2).
+// Both routes are provided; answers binding labeled nulls are never
+// reported (nulls are not database values).
+
+#ifndef BDDFC_EVAL_ANSWERS_H_
+#define BDDFC_EVAL_ANSWERS_H_
+
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+#include "bddfc/rewrite/rewriter.h"
+
+namespace bddfc {
+
+/// Certain answers plus a completeness marker.
+struct CertainAnswersResult {
+  Status status = Status::OK();
+  /// Distinct answer tuples (one entry per answer variable), sorted.
+  std::vector<std::vector<TermId>> answers;
+  /// True when the result is provably complete: the chase reached a
+  /// fixpoint (chase route) or the rewriting saturated (rewriting route).
+  /// Otherwise `answers` is a sound subset.
+  bool complete = false;
+};
+
+/// Certain answers via the chase. `query.answer_vars` must be non-empty.
+CertainAnswersResult CertainAnswers(const Theory& theory,
+                                    const Structure& instance,
+                                    const ConjunctiveQuery& query,
+                                    const ChaseOptions& chase_options = {});
+
+/// Certain answers via a UCQ rewriting evaluated directly on the instance.
+CertainAnswersResult CertainAnswersViaRewriting(
+    const Theory& theory, const Structure& instance,
+    const ConjunctiveQuery& query, const RewriteOptions& options = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_EVAL_ANSWERS_H_

@@ -1,0 +1,204 @@
+#include "bddfc/eval/containment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+#include <vector>
+
+namespace bddfc {
+
+namespace {
+
+/// Backtracking search for query-to-query homomorphisms.
+struct QHomSearch {
+  const ConjunctiveQuery& from;
+  const ConjunctiveQuery& to;
+  const std::function<bool(const QueryHom&)>* on_hom;
+  QueryHom hom;
+  bool stopped = false;
+  /// Atoms of `to` grouped by predicate for candidate lookup.
+  std::unordered_map<PredId, std::vector<const Atom*>> to_by_pred;
+
+  QHomSearch(const ConjunctiveQuery& f, const ConjunctiveQuery& t,
+             const std::function<bool(const QueryHom&)>* cb)
+      : from(f), to(t), on_hom(cb) {
+    for (const Atom& a : to.atoms) to_by_pred[a.pred].push_back(&a);
+  }
+
+  TermId Map(TermId t) const {
+    if (IsConst(t)) return t;
+    auto it = hom.find(t);
+    return it == hom.end() ? t : it->second;
+  }
+
+  bool TryAtom(const Atom& src, const Atom& dst,
+               std::vector<TermId>* newly_bound) {
+    if (src.pred != dst.pred || src.args.size() != dst.args.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < src.args.size(); ++i) {
+      TermId t = Map(src.args[i]);
+      if (IsConst(t) || hom.count(src.args[i])) {
+        if (t != dst.args[i]) return false;
+      } else {
+        hom.emplace(src.args[i], dst.args[i]);
+        newly_bound->push_back(src.args[i]);
+      }
+    }
+    return true;
+  }
+
+  void Search(size_t depth) {
+    if (stopped) return;
+    if (depth == from.atoms.size()) {
+      if (!(*on_hom)(hom)) stopped = true;
+      return;
+    }
+    const Atom& src = from.atoms[depth];
+    auto it = to_by_pred.find(src.pred);
+    if (it == to_by_pred.end()) return;
+    std::vector<TermId> newly_bound;
+    for (const Atom* dst : it->second) {
+      newly_bound.clear();
+      if (TryAtom(src, *dst, &newly_bound)) Search(depth + 1);
+      for (TermId v : newly_bound) hom.erase(v);
+      if (stopped) return;
+    }
+  }
+};
+
+}  // namespace
+
+void EnumerateQueryHoms(const ConjunctiveQuery& from,
+                        const ConjunctiveQuery& to,
+                        const std::function<bool(const QueryHom&)>& on_hom) {
+  QHomSearch search(from, to, &on_hom);
+  // Pin answer variables pairwise when both queries expose them.
+  if (!from.answer_vars.empty() && !to.answer_vars.empty()) {
+    if (from.answer_vars.size() != to.answer_vars.size()) return;
+    for (size_t i = 0; i < from.answer_vars.size(); ++i) {
+      TermId src = from.answer_vars[i];
+      TermId dst = to.answer_vars[i];
+      if (IsVar(src)) {
+        auto [it, inserted] = search.hom.emplace(src, dst);
+        if (!inserted && it->second != dst) return;
+      } else if (src != dst) {
+        return;
+      }
+    }
+  }
+  search.Search(0);
+}
+
+bool HasQueryHom(const ConjunctiveQuery& from, const ConjunctiveQuery& to) {
+  bool found = false;
+  EnumerateQueryHoms(from, to, [&](const QueryHom&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return HasQueryHom(q2, q1);
+}
+
+bool AreHomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return HasQueryHom(a, b) && HasQueryHom(b, a);
+}
+
+ConjunctiveQuery CoreOf(const ConjunctiveQuery& q) {
+  ConjunctiveQuery cur = q;
+  // Drop duplicate atoms first.
+  std::sort(cur.atoms.begin(), cur.atoms.end());
+  cur.atoms.erase(std::unique(cur.atoms.begin(), cur.atoms.end()),
+                  cur.atoms.end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // A proper retraction is a hom from cur to cur whose image misses some
+    // variable; folding through it yields a smaller equivalent query.
+    std::vector<TermId> vars = cur.Variables();
+    std::unordered_set<TermId> answers(cur.answer_vars.begin(),
+                                       cur.answer_vars.end());
+    QueryHom retraction;
+    bool found = false;
+    EnumerateQueryHoms(cur, cur, [&](const QueryHom& h) {
+      std::unordered_set<TermId> image;
+      for (TermId v : vars) {
+        auto it = h.find(v);
+        TermId img = it == h.end() ? v : it->second;
+        if (IsVar(img)) image.insert(img);
+      }
+      if (image.size() < vars.size()) {
+        // Answer variables must be fixed by the retraction.
+        for (TermId v : cur.answer_vars) {
+          auto it = h.find(v);
+          if (it != h.end() && it->second != v) return true;  // keep looking
+        }
+        retraction = h;
+        found = true;
+        return false;
+      }
+      return true;
+    });
+    if (found) {
+      ConjunctiveQuery next;
+      next.answer_vars = cur.answer_vars;
+      for (const Atom& a : cur.atoms) {
+        Atom b = a;
+        for (TermId& t : b.args) {
+          if (IsVar(t)) {
+            auto it = retraction.find(t);
+            if (it != retraction.end()) t = it->second;
+          }
+        }
+        next.atoms.push_back(std::move(b));
+      }
+      std::sort(next.atoms.begin(), next.atoms.end());
+      next.atoms.erase(std::unique(next.atoms.begin(), next.atoms.end()),
+                       next.atoms.end());
+      cur = std::move(next);
+      changed = true;
+    }
+  }
+  return cur;
+}
+
+bool UcqContainedIn(const UnionOfCQs& a, const UnionOfCQs& b) {
+  return std::all_of(a.begin(), a.end(), [&](const ConjunctiveQuery& qa) {
+    return std::any_of(b.begin(), b.end(), [&](const ConjunctiveQuery& qb) {
+      return IsContainedIn(qa, qb);
+    });
+  });
+}
+
+UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq) {
+  // Core each disjunct first so equivalence classes collapse to canonical
+  // minimal representatives, then drop disjuncts contained in others.
+  UnionOfCQs cored;
+  cored.reserve(ucq.size());
+  for (const ConjunctiveQuery& q : ucq) cored.push_back(CoreOf(q));
+
+  std::vector<bool> dead(cored.size(), false);
+  for (size_t i = 0; i < cored.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < cored.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (IsContainedIn(cored[j], cored[i])) {
+        // q_j ⊆ q_i: q_j is redundant, unless they are equivalent and j < i
+        // (keep the earliest representative).
+        if (IsContainedIn(cored[i], cored[j]) && j < i) continue;
+        dead[j] = true;
+      }
+    }
+  }
+  UnionOfCQs out;
+  for (size_t i = 0; i < cored.size(); ++i) {
+    if (!dead[i]) out.push_back(cored[i]);
+  }
+  return out;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,47 @@
+// Query-to-query homomorphisms, CQ/UCQ containment and cores.
+
+#ifndef BDDFC_EVAL_CONTAINMENT_H_
+#define BDDFC_EVAL_CONTAINMENT_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "bddfc/core/query.h"
+
+namespace bddfc {
+
+/// A homomorphism between queries: variable of `from` → term of `to`.
+using QueryHom = std::unordered_map<TermId, TermId>;
+
+/// Enumerates homomorphisms h from `from` into `to`: h maps each atom of
+/// `from` onto some atom of `to`, fixes constants, and maps the i-th answer
+/// variable of `from` to the i-th answer variable of `to` (when both have
+/// answer variables). The callback returns false to stop.
+void EnumerateQueryHoms(const ConjunctiveQuery& from,
+                        const ConjunctiveQuery& to,
+                        const std::function<bool(const QueryHom&)>& on_hom);
+
+/// True iff some homomorphism from `from` to `to` exists.
+bool HasQueryHom(const ConjunctiveQuery& from, const ConjunctiveQuery& to);
+
+/// Chandra–Merlin: q1 ⊆ q2 (every database satisfying q1 satisfies q2)
+/// iff there is a homomorphism from q2 into q1.
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Homomorphic equivalence of CQs.
+bool AreHomEquivalent(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+
+/// The core of a CQ: a minimal homomorphically-equivalent subquery.
+/// Answer variables are preserved. Deterministic for a fixed input.
+ConjunctiveQuery CoreOf(const ConjunctiveQuery& q);
+
+/// UCQ ⊆ UCQ: every disjunct of `a` is contained in some disjunct of `b`.
+bool UcqContainedIn(const UnionOfCQs& a, const UnionOfCQs& b);
+
+/// Removes disjuncts subsumed by others (q_i dropped when q_i ⊆ q_j, i≠j),
+/// keeping the earliest representative of each equivalence class.
+UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_EVAL_CONTAINMENT_H_

@@ -1,0 +1,200 @@
+#include "bddfc/eval/match.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bddfc {
+
+namespace {
+
+/// Backtracking state shared across the recursion.
+struct SearchState {
+  const Structure& s;
+  std::vector<Atom> atoms;         // remaining atoms are atoms[depth..]
+  Binding binding;
+  const std::function<bool(const Binding&)>* on_match;
+  bool stopped = false;
+
+  SearchState(const Structure& s_, std::vector<Atom> a,
+              const std::function<bool(const Binding&)>* cb)
+      : s(s_), atoms(std::move(a)), on_match(cb) {}
+
+  TermId ResolveTerm(TermId t) const {
+    if (IsConst(t)) return t;
+    auto it = binding.find(t);
+    return it == binding.end() ? t : it->second;
+  }
+
+  /// Number of bound argument positions of atom i (selectivity heuristic).
+  int BoundPositions(size_t i) const {
+    int n = 0;
+    for (TermId t : atoms[i].args) {
+      if (IsConst(ResolveTerm(t))) ++n;
+    }
+    return n;
+  }
+
+  /// Picks the most constrained remaining atom and swaps it to `depth`.
+  void SelectAtom(size_t depth) {
+    size_t best = depth;
+    int best_bound = -1;
+    size_t best_rows = 0;
+    for (size_t i = depth; i < atoms.size(); ++i) {
+      int b = BoundPositions(i);
+      size_t rows = s.Rows(atoms[i].pred).size();
+      if (b > best_bound || (b == best_bound && rows < best_rows)) {
+        best_bound = b;
+        best_rows = rows;
+        best = i;
+      }
+    }
+    std::swap(atoms[depth], atoms[best]);
+  }
+
+  /// Tries to unify atom `a`'s pattern with a stored row; on success binds
+  /// newly bound variables and records them in `newly_bound`.
+  bool TryRow(const Atom& a, const std::vector<TermId>& row,
+              std::vector<TermId>* newly_bound) {
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      TermId t = ResolveTerm(a.args[i]);
+      if (IsConst(t)) {
+        if (t != row[i]) {
+          return false;
+        }
+      } else {
+        auto [it, inserted] = binding.emplace(t, row[i]);
+        if (inserted) {
+          newly_bound->push_back(t);
+        } else if (it->second != row[i]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void UndoBindings(const std::vector<TermId>& newly_bound) {
+    for (TermId v : newly_bound) binding.erase(v);
+  }
+
+  void Search(size_t depth) {
+    if (stopped) return;
+    if (depth == atoms.size()) {
+      if (!(*on_match)(binding)) stopped = true;
+      return;
+    }
+    SelectAtom(depth);
+    const Atom& a = atoms[depth];
+
+    // Choose candidate rows: the posting list of the most selective bound
+    // position, else the full relation.
+    const std::vector<uint32_t>* postings = nullptr;
+    for (size_t i = 0; i < a.args.size(); ++i) {
+      TermId t = ResolveTerm(a.args[i]);
+      if (IsConst(t)) {
+        const std::vector<uint32_t>* p =
+            s.Postings(a.pred, static_cast<int>(i), t);
+        if (p == nullptr) return;  // no row matches this constant
+        if (postings == nullptr || p->size() < postings->size()) postings = p;
+      }
+    }
+
+    const auto& rows = s.Rows(a.pred);
+    std::vector<TermId> newly_bound;
+    if (postings != nullptr) {
+      for (uint32_t r : *postings) {
+        newly_bound.clear();
+        if (TryRow(a, rows[r], &newly_bound)) Search(depth + 1);
+        UndoBindings(newly_bound);
+        if (stopped) return;
+      }
+    } else {
+      for (const auto& row : rows) {
+        newly_bound.clear();
+        if (TryRow(a, row, &newly_bound)) Search(depth + 1);
+        UndoBindings(newly_bound);
+        if (stopped) return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+bool Matcher::Exists(const std::vector<Atom>& atoms,
+                     const Binding& partial) const {
+  bool found = false;
+  std::function<bool(const Binding&)> cb = [&](const Binding&) {
+    found = true;
+    return false;  // stop at first match
+  };
+  SearchState st(s_, atoms, &cb);
+  st.binding = partial;
+  st.Search(0);
+  return found;
+}
+
+void Matcher::Enumerate(const std::vector<Atom>& atoms, const Binding& partial,
+                        const std::function<bool(const Binding&)>& on_match)
+    const {
+  SearchState st(s_, atoms, &on_match);
+  st.binding = partial;
+  st.Search(0);
+}
+
+size_t Matcher::CountMatches(const std::vector<Atom>& atoms,
+                             const Binding& partial) const {
+  size_t n = 0;
+  Enumerate(atoms, partial, [&](const Binding&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool Satisfies(const Structure& s, const ConjunctiveQuery& q) {
+  return Matcher(s).Exists(q.atoms);
+}
+
+bool SatisfiesUcq(const Structure& s, const UnionOfCQs& ucq) {
+  return std::any_of(ucq.begin(), ucq.end(), [&](const ConjunctiveQuery& q) {
+    return Satisfies(s, q);
+  });
+}
+
+bool SatisfiesAt(const Structure& s, const ConjunctiveQuery& q, TermId e) {
+  assert(!q.answer_vars.empty());
+  Binding partial;
+  partial.emplace(q.answer_vars[0], e);
+  return Matcher(s).Exists(q.atoms, partial);
+}
+
+ConjunctiveQuery StructureToQuery(const Structure& s) {
+  std::unordered_map<TermId, TermId> null_to_var;
+  int32_t next_var = 0;
+  ConjunctiveQuery q;
+  s.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    Atom a;
+    a.pred = p;
+    a.args.reserve(row.size());
+    for (TermId c : row) {
+      if (s.sig().IsNull(c)) {
+        auto it = null_to_var.find(c);
+        if (it == null_to_var.end()) {
+          it = null_to_var.emplace(c, MakeVar(next_var++)).first;
+        }
+        a.args.push_back(it->second);
+      } else {
+        a.args.push_back(c);
+      }
+    }
+    q.atoms.push_back(std::move(a));
+  });
+  return q;
+}
+
+bool HasHomomorphism(const Structure& a, const Structure& b) {
+  return Satisfies(b, StructureToQuery(a));
+}
+
+}  // namespace bddfc

@@ -1,0 +1,66 @@
+// CQ evaluation over structures: index-backed backtracking joins.
+
+#ifndef BDDFC_EVAL_MATCH_H_
+#define BDDFC_EVAL_MATCH_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+
+namespace bddfc {
+
+/// A variable binding produced by matching: variable id → constant id.
+using Binding = std::unordered_map<TermId, TermId>;
+
+/// Evaluates conjunctions of atoms against one structure.
+///
+/// The matcher holds only a reference to the structure; it is cheap to
+/// construct and safe to use while the structure grows (the chase constructs
+/// one per round).
+class Matcher {
+ public:
+  explicit Matcher(const Structure& s) : s_(s) {}
+
+  /// True iff some extension of `partial` maps every variable of `atoms` to
+  /// a domain constant such that all atoms hold in the structure.
+  bool Exists(const std::vector<Atom>& atoms,
+              const Binding& partial = {}) const;
+
+  /// Enumerates all total matches extending `partial`. The callback returns
+  /// false to stop enumeration early. Bindings passed to the callback cover
+  /// every variable of `atoms` (plus the entries of `partial`).
+  void Enumerate(const std::vector<Atom>& atoms, const Binding& partial,
+                 const std::function<bool(const Binding&)>& on_match) const;
+
+  /// Counts total matches (distinct bindings of all variables).
+  size_t CountMatches(const std::vector<Atom>& atoms,
+                      const Binding& partial = {}) const;
+
+ private:
+  const Structure& s_;
+};
+
+/// C ⊨ ∃x̄ Q(x̄) for a Boolean CQ (answer variables treated as existential).
+bool Satisfies(const Structure& s, const ConjunctiveQuery& q);
+
+/// C ⊨ Φ for a UCQ: some disjunct holds.
+bool SatisfiesUcq(const Structure& s, const UnionOfCQs& ucq);
+
+/// C ⊨ Q(e): satisfaction with the first answer variable bound to `e`.
+/// Used for positive types ptp_n(C, e, Σ) membership tests (Def. 3).
+bool SatisfiesAt(const Structure& s, const ConjunctiveQuery& q, TermId e);
+
+/// Converts a structure to a Boolean CQ: labeled nulls become variables,
+/// named constants stay. The canonical-query view of an instance.
+ConjunctiveQuery StructureToQuery(const Structure& s);
+
+/// True iff there is a homomorphism from `a` to `b` fixing named (non-null)
+/// constants. Labeled nulls of `a` may map anywhere.
+bool HasHomomorphism(const Structure& a, const Structure& b);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_EVAL_MATCH_H_

@@ -1,0 +1,196 @@
+#include "bddfc/eval/query_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+
+namespace bddfc {
+
+namespace {
+
+/// Variable-to-variable directed edges of the query graph.
+struct Edges {
+  std::vector<TermId> vars;
+  std::unordered_map<TermId, int> index;
+  std::vector<std::pair<int, int>> edges;  // (from, to) as var indexes
+
+  explicit Edges(const ConjunctiveQuery& q) {
+    vars = q.Variables();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      index[vars[i]] = static_cast<int>(i);
+    }
+    for (const Atom& a : q.atoms) {
+      assert(a.args.size() <= 2 && "query graph requires binary signature");
+      if (a.args.size() == 2 && IsVar(a.args[0]) && IsVar(a.args[1])) {
+        edges.emplace_back(index[a.args[0]], index[a.args[1]]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+QueryGraphAnalysis AnalyzeQueryGraph(const ConjunctiveQuery& q) {
+  Edges g(q);
+  QueryGraphAnalysis out;
+  out.num_variables = static_cast<int>(g.vars.size());
+  out.num_edges = static_cast<int>(g.edges.size());
+  int n = out.num_variables;
+  if (n == 0) {
+    out.connected = true;
+    out.is_undirected_tree = true;
+    return out;
+  }
+
+  // Undirected connectivity and cycle detection via union-find.
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  bool undirected_cycle = false;
+  for (auto [u, v] : g.edges) {
+    int ru = find(u), rv = find(v);
+    if (ru == rv) {
+      undirected_cycle = true;  // includes self-loops and multi-edges
+    } else {
+      parent[ru] = rv;
+    }
+  }
+  int components = 0;
+  for (int i = 0; i < n; ++i) {
+    if (find(i) == i) ++components;
+  }
+  out.connected = components == 1;
+  out.has_undirected_cycle = undirected_cycle;
+  out.is_undirected_tree = out.connected && !undirected_cycle;
+
+  // Directed cycle via DFS coloring.
+  std::vector<std::vector<int>> succ(n);
+  for (auto [u, v] : g.edges) succ[u].push_back(v);
+  std::vector<int> state(n, 0);  // 0 white, 1 gray, 2 black
+  std::function<bool(int)> dfs = [&](int u) {
+    state[u] = 1;
+    for (int v : succ[u]) {
+      if (state[v] == 1) return true;
+      if (state[v] == 0 && dfs(v)) return true;
+    }
+    state[u] = 2;
+    return false;
+  };
+  for (int i = 0; i < n && !out.has_directed_cycle; ++i) {
+    if (state[i] == 0 && dfs(i)) out.has_directed_cycle = true;
+  }
+  return out;
+}
+
+std::optional<CherryPattern> FindCherry(const ConjunctiveQuery& q) {
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    const Atom& a = q.atoms[i];
+    if (a.args.size() != 2 || !IsVar(a.args[0]) || !IsVar(a.args[1])) continue;
+    for (size_t j = 0; j < q.atoms.size(); ++j) {
+      if (i == j) continue;
+      const Atom& b = q.atoms[j];
+      if (b.args.size() != 2 || !IsVar(b.args[0]) || !IsVar(b.args[1])) {
+        continue;
+      }
+      if (a.args[1] == b.args[1] && a.args[0] != b.args[0]) {
+        CherryPattern c;
+        c.atom1 = i;
+        c.atom2 = j;
+        c.z = a.args[1];
+        c.z1 = a.args[0];
+        c.z2 = b.args[0];
+        return c;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+long MeasureOf(const ConjunctiveQuery& q) {
+  Edges g(q);
+  int n = static_cast<int>(g.vars.size());
+  // occ(x): occurrences of x among all atom arguments.
+  std::vector<long> occ(n, 0);
+  for (const Atom& a : q.atoms) {
+    for (TermId t : a.args) {
+      if (IsVar(t)) ++occ[g.index[t]];
+    }
+  }
+  // smaller(x): number of variables y != x with a directed path y ->* x.
+  std::vector<std::vector<int>> succ(n);
+  for (auto [u, v] : g.edges) succ[u].push_back(v);
+  std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+  for (int s = 0; s < n; ++s) {
+    std::vector<int> stack = {s};
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      for (int v : succ[u]) {
+        if (!reach[s][v]) {
+          reach[s][v] = 1;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  long measure = 0;
+  for (int x = 0; x < n; ++x) {
+    long smaller = 0;
+    for (int y = 0; y < n; ++y) {
+      if (y != x && reach[y][x]) ++smaller;
+    }
+    measure += occ[x] * smaller;
+  }
+  return measure;
+}
+
+std::vector<ConjunctiveQuery> NormalizationCandidates(
+    const ConjunctiveQuery& q, const CherryPattern& cherry,
+    const Signature& sig) {
+  std::vector<ConjunctiveQuery> out;
+
+  auto without = [&](size_t drop) {
+    ConjunctiveQuery rest;
+    rest.answer_vars = q.answer_vars;
+    for (size_t i = 0; i < q.atoms.size(); ++i) {
+      if (i != drop) rest.atoms.push_back(q.atoms[i]);
+    }
+    return rest;
+  };
+
+  // Candidate (1): drop R2(z'', z), unify z' = z'' (substitute z'' by z').
+  {
+    ConjunctiveQuery c = without(cherry.atom2);
+    for (Atom& a : c.atoms) {
+      for (TermId& t : a.args) {
+        if (t == cherry.z2) t = cherry.z1;
+      }
+    }
+    for (TermId& v : c.answer_vars) {
+      if (v == cherry.z2) v = cherry.z1;
+    }
+    out.push_back(std::move(c));
+  }
+
+  // Candidates (2) and (3) for every binary predicate P.
+  for (PredId p = 0; p < sig.num_predicates(); ++p) {
+    if (sig.arity(p) != 2) continue;
+    {
+      ConjunctiveQuery c = without(cherry.atom2);
+      c.atoms.push_back(Atom(p, {cherry.z2, cherry.z1}));
+      out.push_back(std::move(c));
+    }
+    {
+      ConjunctiveQuery c = without(cherry.atom1);
+      c.atoms.push_back(Atom(p, {cherry.z1, cherry.z2}));
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,69 @@
+// Queries viewed as graphs (§4 of the paper).
+//
+// Over a binary signature a CQ is a directed labeled graph: vertices are the
+// variables, binary atoms between two variables are edges. Unary atoms, and
+// binary atoms with a constant argument, are vertex labels (the paper's
+// convention after Lemma 7(iii): atoms R(a, x) with a constant act as unary
+// predicates on x; atoms on two constants are irrelevant).
+//
+// This module provides the structural analyses the proof of Lemma 6 runs on:
+// undirected-tree / directed-cycle / undirected-cycle detection (Lemmas
+// 8–10), the (♥)-pattern locator, the termination measure of Lemma 11, and
+// the three normalization candidates of Lemma 11.
+
+#ifndef BDDFC_EVAL_QUERY_GRAPH_H_
+#define BDDFC_EVAL_QUERY_GRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "bddfc/core/query.h"
+#include "bddfc/core/signature.h"
+
+namespace bddfc {
+
+/// Structural facts about the graph of a (binary-signature) query.
+struct QueryGraphAnalysis {
+  int num_variables = 0;
+  /// Number of variable-to-variable binary edges (multi-edges counted).
+  int num_edges = 0;
+  bool connected = false;          ///< as an undirected graph, over variables
+  bool is_undirected_tree = false; ///< connected and acyclic (ignoring direction)
+  bool has_directed_cycle = false;
+  bool has_undirected_cycle = false;
+};
+
+/// Analyzes the query graph. Requires every atom to have arity <= 2.
+QueryGraphAnalysis AnalyzeQueryGraph(const ConjunctiveQuery& q);
+
+/// The (♥) pattern of §4.1: two edge atoms R1(z', z), R2(z'', z) with a
+/// shared head variable z and distinct tails z' != z''. Returned as indices
+/// into q.atoms (first, second).
+struct CherryPattern {
+  size_t atom1 = 0;  ///< index of R1(z', z)
+  size_t atom2 = 0;  ///< index of R2(z'', z)
+  TermId z = 0, z1 = 0, z2 = 0;  ///< z, z', z''
+};
+
+/// Finds a (♥) pattern, or nullopt if none (then the query is an undirected
+/// forest or all cycles are directed).
+std::optional<CherryPattern> FindCherry(const ConjunctiveQuery& q);
+
+/// Lemma 11's termination measure:
+///   Measure(Φ) = Σ_{x ∈ Var(Φ)} occ(x) · smaller(x)
+/// where occ(x) counts occurrences of x and smaller(x) counts variables from
+/// which x is reachable by a directed path in the query graph.
+long MeasureOf(const ConjunctiveQuery& q);
+
+/// The three normalization candidates of Lemma 11 for a given cherry:
+///  (1) drop R2(z'', z) and unify z' = z'';
+///  (2) drop R2(z'', z) and add P(z'', z');
+///  (3) drop R1(z', z) and add P(z', z'').
+/// Candidates (2) and (3) are emitted for each binary predicate P of `sig`.
+std::vector<ConjunctiveQuery> NormalizationCandidates(
+    const ConjunctiveQuery& q, const CherryPattern& cherry,
+    const Signature& sig);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_EVAL_QUERY_GRAPH_H_

@@ -1,0 +1,48 @@
+// Brute-force finite model search over tiny domains.
+//
+// Enumerates all structures over D's constants plus up to k fresh elements
+// and reports one that models T, contains D, and (optionally) avoids a
+// query. Exponential — intended for validating the pipeline on micro
+// inputs, exploring the paper's examples (e.g. Example 1's 3-cycle M′),
+// and demonstrating non-FC witnesses: for the §5.5 theory, every finite
+// model satisfies Φ although the chase does not (the search proves it
+// exhaustively per domain size).
+
+#ifndef BDDFC_FINITEMODEL_MODEL_SEARCH_H_
+#define BDDFC_FINITEMODEL_MODEL_SEARCH_H_
+
+#include <optional>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+struct ModelSearchOptions {
+  /// Fresh elements added on top of D's constants, tried 0..max in order.
+  int max_extra_elements = 2;
+  /// Cap on enumerated candidate structures.
+  size_t max_structures = size_t{1} << 22;
+};
+
+struct ModelSearchResult {
+  /// OK even when nothing found; ResourceExhausted when the enumeration
+  /// space exceeded max_structures.
+  Status status = Status::OK();
+  bool found = false;
+  std::optional<Structure> model;
+  size_t structures_checked = 0;
+};
+
+/// Searches for M ⊇ D with M ⊨ theory and (if `avoid` != nullptr)
+/// M ⊭ *avoid.
+ModelSearchResult FindFiniteModel(const Theory& theory,
+                                  const Structure& instance,
+                                  const ConjunctiveQuery* avoid,
+                                  const ModelSearchOptions& options = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_FINITEMODEL_MODEL_SEARCH_H_

@@ -1,0 +1,219 @@
+#include "bddfc/finitemodel/pipeline.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/chase/skeleton.h"
+#include "bddfc/classes/recognizers.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/reductions/reductions.h"
+#include "bddfc/types/coloring.h"
+#include "bddfc/types/conservativity.h"
+#include "bddfc/types/ptype.h"
+#include "bddfc/types/quotient.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Projects a structure onto the predicates with id < `num_original`
+/// (drops colors, hidden-query and normalization auxiliaries).
+Structure ProjectToOriginal(const Structure& s, int num_original) {
+  Structure out(s.signature_ptr());
+  s.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    if (p < num_original) out.AddFact(p, row);
+  });
+  for (TermId e : s.Domain()) out.AddDomainElement(e);
+  return out;
+}
+
+}  // namespace
+
+FiniteModelResult ConstructFiniteCounterModel(
+    const Theory& theory, const Structure& instance,
+    const ConjunctiveQuery& query, const PipelineOptions& options) {
+  SignaturePtr sig = theory.signature_ptr();
+  FiniteModelResult result(sig);
+  const int num_original_preds = sig->num_predicates();
+
+  // Scope: binary theories (Theorem 1) directly; theories whose TGD heads
+  // have at most one frontier variable (Theorem 3) via the §5.1 head
+  // binarization — the proof only uses binarity of the TGD heads.
+  bool needs_binarization = !IsBinaryTheory(theory);
+  for (const Rule& r : theory.rules()) {
+    if (r.IsExistential() &&
+        (!r.IsSingleHead() || r.head[0].args.size() > 2 ||
+         r.ExistentialVariables().size() > 1)) {
+      needs_binarization = true;
+    }
+  }
+  std::optional<Theory> binarized;
+  const Theory* base = &theory;
+  if (needs_binarization) {
+    Result<Theory> b = BinarizeHeads(theory);
+    if (!b.ok()) {
+      result.status = Status::InvalidArgument(
+          "theory is outside the Theorem 1/3 scope (" +
+          b.status().message() + "); apply the §5.2/§5.3 reductions first");
+      return result;
+    }
+    binarized = std::move(b).value();
+    base = &*binarized;
+  }
+
+  // Step 1 (♠4): hide the query.
+  Result<HiddenQuery> hidden = HideQuery(*base, query);
+  if (!hidden.ok()) {
+    result.status = hidden.status();
+    return result;
+  }
+  // Step 2 (♠5): normal form. Split multi-head datalog rules first.
+  Result<Theory> single = SingleHeadify(hidden.value().theory);
+  if (!single.ok()) {
+    result.status = single.status();
+    return result;
+  }
+  Result<Theory> normalized = NormalizeSpade5(single.value());
+  if (!normalized.ok()) {
+    result.status = normalized.status();
+    return result;
+  }
+  const Theory& t = normalized.value();
+  const PredId f_pred = hidden.value().f;
+
+  // The coloring window m: κ of §3.3, computed from the rewriter (budgeted;
+  // the certification step covers any shortfall), capped at max_m.
+  int m = options.m_override;
+  if (m < 0) {
+    KappaResult kappa = ComputeKappa(t, options.rewrite_options);
+    m = std::max(kappa.kappa, t.MaxBodyVariables());
+    m = std::max(m, 1);
+  }
+  m = std::min(m, options.max_m);
+  result.kappa = m;
+
+  size_t depth = options.initial_chase_depth;
+  bool stop = false;
+  while (!stop) {
+    if (depth >= options.max_chase_depth) {
+      depth = options.max_chase_depth;
+      stop = true;
+    }
+    // Step 3: chase prefix.
+    ChaseOptions copts;
+    copts.max_rounds = depth;
+    copts.max_facts = options.max_chase_facts;
+    ChaseResult chase = RunChase(t, instance, copts);
+
+    // F present => Chase(D, T₀) ⊨ Q: no counter-model exists (§3.1).
+    if (!chase.structure.Rows(f_pred).empty()) {
+      result.query_certainly_true = true;
+      result.status = Status::FailedPrecondition(
+          "the query is certainly true: Chase(D, T) derives it");
+      return result;
+    }
+
+    if (chase.fixpoint_reached) {
+      // The chase itself is a finite model avoiding F; certify directly.
+      Structure candidate =
+          ProjectToOriginal(chase.structure, num_original_preds);
+      PipelineAttempt attempt;
+      attempt.chase_depth = chase.rounds_run;
+      attempt.n = 0;
+      if (candidate.ContainsAllFactsOf(instance) &&
+          CheckModel(candidate, theory) == std::nullopt &&
+          !Satisfies(candidate, query)) {
+        attempt.certified = true;
+        result.attempts.push_back(attempt);
+        result.model = std::move(candidate);
+        result.chase_depth_used = chase.rounds_run;
+        return result;
+      }
+      attempt.failure = "finite chase failed certification";
+      result.attempts.push_back(attempt);
+      break;  // deeper chase cannot change a reached fixpoint
+    }
+
+    // Step 4: skeleton.
+    Skeleton skeleton = SkeletonOf(t, instance, chase);
+    SkeletonAnalysis forest = AnalyzeSkeleton(skeleton.structure);
+    if (!forest.is_forest) {
+      result.status = Status::Internal(
+          "skeleton is not a forest — (♠5) normalization violated Lemma 3");
+      return result;
+    }
+
+    // Step 5: color, quotient; step 6: saturate; step 7: certify.
+    Result<Coloring> coloring = NaturalColoring(skeleton.structure, m);
+    if (!coloring.ok()) {
+      result.status = coloring.status();
+      return result;
+    }
+    const Coloring& col = coloring.value();
+
+    for (int n = options.initial_n; n <= options.max_n; ++n) {
+      PipelineAttempt attempt;
+      attempt.chase_depth = depth;
+      attempt.n = n;
+      attempt.skeleton_facts = skeleton.structure.NumFacts();
+
+      // Quotient by the ancestor-path partition: it computes the types the
+      // elements have in the *infinite* chase, so the prefix frontier merges
+      // with interior elements instead of leaving witness-less tails (see
+      // ptype.h). Prefix-exact partitions (ExactPtpPartition) would keep
+      // the frontier distinct and the candidate would fail certification.
+      TypePartition partition = AncestorPathPartition(col.colored, n);
+      Quotient quotient = BuildQuotient(col.colored, partition);
+      attempt.quotient_size =
+          static_cast<int>(quotient.structure.Domain().size());
+
+      if (options.check_conservativity) {
+        ConservativityReport rep = CheckConservativeUpTo(
+            col.colored, quotient, m, col.base_predicates,
+            options.max_patterns);
+        attempt.conservative = rep.conservative;
+      }
+
+      // Step 6: datalog saturation (Lemma 5: the TGDs stay satisfied).
+      ChaseOptions sat;
+      sat.datalog_only = true;
+      sat.max_rounds = options.max_saturation_rounds;
+      sat.max_facts = options.max_chase_facts;
+      ChaseResult saturated = RunChase(t, quotient.structure, sat);
+      if (!saturated.status.ok()) {
+        attempt.failure = "saturation: " + saturated.status.ToString();
+        result.attempts.push_back(attempt);
+        continue;
+      }
+
+      // Step 7: certification against the ORIGINAL theory and query.
+      Structure candidate =
+          ProjectToOriginal(saturated.structure, num_original_preds);
+      if (!candidate.ContainsAllFactsOf(instance)) {
+        attempt.failure = "candidate lost facts of D";
+      } else if (auto violation = CheckModel(candidate, theory)) {
+        attempt.failure =
+            "not a model: " + violation->ToString(*sig);
+      } else if (Satisfies(candidate, query)) {
+        attempt.failure = "candidate satisfies the query";
+      } else {
+        attempt.certified = true;
+        result.attempts.push_back(attempt);
+        result.model = std::move(candidate);
+        result.n_used = n;
+        result.chase_depth_used = depth;
+        return result;
+      }
+      result.attempts.push_back(attempt);
+    }
+    depth *= 2;
+  }
+
+  result.status = Status::Unknown(
+      "no certified finite model within budgets (" +
+      std::to_string(result.attempts.size()) + " attempts)");
+  return result;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,53 @@
+// §5.6: Guarded Datalog∃ programs are "binary in disguise".
+//
+// The transformation realizes the paper's steps (ii)–(vii):
+//  * parent links F_i(x, y) — "x is the i-th parent of y" (binary);
+//  * per-TGD witness edges E_r(y, z) — "the TGD r fired on a tuple led by
+//    y and created z" — plus monadic markers R^m(z) replacing the wide TGP
+//    atom R(x̄, z);
+//  * the (♦) rules F_j(x, y) ∧ E_r(y, z) ⇒ F_i(x, z) teaching each new
+//    element who its parents are;
+//  * monadic encodings Q_{i1...il}(y) of every non-TGP atom — y remembers
+//    which of its parents are involved — with transfer rules propagating
+//    the knowledge between elements sharing parents. Index 0 denotes y
+//    itself.
+//
+// Preconditions (the paper's steps (i) and (iv), assumed established by the
+// caller): the theory is guarded, single-head, each TGP occurs in the head
+// of exactly one TGD, TGDs have exactly one existential variable in the
+// last head position, and TGPs do not occur in datalog heads.
+
+#ifndef BDDFC_GUARDED_BINARIZE_H_
+#define BDDFC_GUARDED_BINARIZE_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// Output of the guarded→binary transformation.
+struct GuardedBinarization {
+  Theory theory;  ///< the binary program T′
+  /// Parent-link predicates F_1..F_K (index 1-based; [0] unused).
+  std::vector<PredId> parent_links;
+  /// Per original TGD rule index: the witness-edge predicate E_r.
+  std::unordered_map<int, PredId> witness_edge;
+  /// Per TGP: the monadic marker R^m.
+  std::unordered_map<PredId, PredId> tgp_marker;
+  /// Monadic encodings: (non-TGP predicate, parent-index tuple) → Q_ī.
+  std::map<std::pair<PredId, std::vector<int>>, PredId> monadic;
+
+  explicit GuardedBinarization(SignaturePtr sig) : theory(std::move(sig)) {}
+};
+
+/// Runs the transformation. Every predicate of the output theory is unary
+/// or binary.
+Result<GuardedBinarization> GuardedToBinary(const Theory& theory);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_GUARDED_BINARIZE_H_

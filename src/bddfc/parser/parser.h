@@ -1,0 +1,55 @@
+// Text format for Datalog∃ programs, instances and queries.
+//
+// Syntax (one statement per '.', '%' or '#' start line comments):
+//
+//   edge(a, b).                                 % fact (lowercase constants)
+//   edge(X, Y) -> exists Z: edge(Y, Z).         % existential TGD
+//   edge(X, Y), edge(Y, Z) -> edge(X, Z).       % datalog rule
+//   ?- edge(X, Y), u(Y).                        % Boolean CQ
+//
+// Variables start with an uppercase letter; constants with a lowercase
+// letter or digit. The 'exists' clause is optional — any head variable not
+// occurring in the body is existential. Multi-head rules write the head as a
+// comma-separated conjunction. 0-ary atoms are written without parentheses
+// as `goal`.
+
+#ifndef BDDFC_PARSER_PARSER_H_
+#define BDDFC_PARSER_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// Result of parsing a program text: rules, ground facts and queries, all
+/// over one shared signature.
+struct Program {
+  Theory theory;
+  Structure instance;
+  std::vector<ConjunctiveQuery> queries;
+
+  explicit Program(SignaturePtr sig)
+      : theory(sig), instance(std::move(sig)) {}
+};
+
+/// Parses a full program. If `sig` is null a fresh signature is created.
+Result<Program> ParseProgram(std::string_view text, SignaturePtr sig = nullptr);
+
+/// Parses a single conjunctive query body, e.g. "edge(X, Y), u(Y)".
+/// Predicates/constants are interned into `sig`. Variable ids are assigned
+/// from *next_var by name (and *next_var is advanced).
+Result<ConjunctiveQuery> ParseQuery(std::string_view text, Signature* sig,
+                                    int32_t* next_var);
+
+/// Convenience: parse a query against a fresh variable space starting at 0.
+Result<ConjunctiveQuery> ParseQuery(std::string_view text, Signature* sig);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_PARSER_PARSER_H_

@@ -1,0 +1,88 @@
+#include "bddfc/parser/printer.h"
+
+#include <unordered_map>
+
+namespace bddfc {
+
+namespace {
+
+/// Variable renderer: stable V<k> names per statement.
+class VarNamer {
+ public:
+  std::string Name(TermId v) {
+    auto [it, inserted] = names_.emplace(v, "V" + std::to_string(next_));
+    if (inserted) ++next_;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<TermId, std::string> names_;
+  int next_ = 0;
+};
+
+std::string AtomText(const Atom& a, const Signature& sig, VarNamer* namer) {
+  std::string s = sig.PredicateName(a.pred);
+  if (a.args.empty()) return s;
+  s += "(";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i) s += ", ";
+    s += IsVar(a.args[i]) ? namer->Name(a.args[i])
+                          : sig.ConstantName(a.args[i]);
+  }
+  return s + ")";
+}
+
+std::string AtomListText(const std::vector<Atom>& atoms, const Signature& sig,
+                         VarNamer* namer) {
+  std::string s;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i) s += ", ";
+    s += AtomText(atoms[i], sig, namer);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string RuleToProgramText(const Rule& rule, const Signature& sig) {
+  VarNamer namer;
+  std::string s = AtomListText(rule.body, sig, &namer);
+  s += " -> ";
+  std::vector<TermId> ex = rule.ExistentialVariables();
+  if (!ex.empty()) {
+    s += "exists ";
+    for (size_t i = 0; i < ex.size(); ++i) {
+      if (i) s += ", ";
+      s += namer.Name(ex[i]);
+    }
+    s += ": ";
+  }
+  s += AtomListText(rule.head, sig, &namer);
+  return s + ".";
+}
+
+std::string ToProgramText(const Theory& theory, const Structure* instance,
+                          const std::vector<ConjunctiveQuery>* queries) {
+  const Signature& sig = theory.sig();
+  std::string out;
+  for (const Rule& r : theory.rules()) {
+    out += RuleToProgramText(r, sig);
+    out += "\n";
+  }
+  if (instance != nullptr) {
+    instance->ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+      VarNamer namer;
+      out += AtomText(Atom(p, row), sig, &namer);
+      out += ".\n";
+    });
+  }
+  if (queries != nullptr) {
+    for (const ConjunctiveQuery& q : *queries) {
+      VarNamer namer;
+      out += "?- " + AtomListText(q.atoms, sig, &namer) + ".\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace bddfc

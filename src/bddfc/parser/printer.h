@@ -1,0 +1,28 @@
+// Program printing: renders theories/instances/queries back into the text
+// format accepted by ParseProgram (round-trip capable — variables become
+// V0, V1, ...; Rule::ToString's ?N form is for diagnostics only).
+
+#ifndef BDDFC_PARSER_PRINTER_H_
+#define BDDFC_PARSER_PRINTER_H_
+
+#include <string>
+
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// Renders one rule as a parseable statement (without trailing newline).
+std::string RuleToProgramText(const Rule& rule, const Signature& sig);
+
+/// Renders a full program: rules, then facts, then queries. The output
+/// reparses to an equivalent program (labeled nulls in the instance are
+/// printed by their generated names and become ordinary constants on
+/// reparse).
+std::string ToProgramText(const Theory& theory, const Structure* instance,
+                          const std::vector<ConjunctiveQuery>* queries);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_PARSER_PRINTER_H_

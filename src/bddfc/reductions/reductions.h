@@ -1,0 +1,76 @@
+// Theory transformations: query hiding (♠4), the (♠5) normal form, and the
+// reductions of §5.1 (binary heads), §5.2 (ternary encoding) and §5.3
+// (multi-head elimination). Each transformation preserves the theory's BDD
+// and FC status, per the paper.
+
+#ifndef BDDFC_REDUCTIONS_REDUCTIONS_H_
+#define BDDFC_REDUCTIONS_REDUCTIONS_H_
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// (♠4): extends T with Q(x̄, y) ⇒ ∃z F(y, z) for a fresh predicate F. A
+/// finite model of T₀, D avoiding Q exists iff a finite model of T, D
+/// avoiding F does (§3.1).
+struct HiddenQuery {
+  Theory theory;
+  PredId f = -1;
+
+  explicit HiddenQuery(SignaturePtr sig) : theory(std::move(sig)) {}
+};
+Result<HiddenQuery> HideQuery(const Theory& theory,
+                              const ConjunctiveQuery& query);
+
+/// (♠5) normal form: every existential TGD's head is a single binary atom
+/// ∃z R(y, z) with the witness second and y a body variable, and no TGP
+/// occurs in a datalog rule head. Implements the paper's hint (auxiliary
+/// predicates R', R'' plus projection datalog rules), extended to heads
+/// with no frontier variable or several existential variables (chained
+/// auxiliary TGPs). Requires single-head rules with binary-or-smaller heads
+/// on existential TGDs (apply BinarizeHeads/SingleHeadify first otherwise).
+Result<Theory> NormalizeSpade5(const Theory& theory);
+
+/// §5.3: replaces each multi-head TGD by a single-head TGD over a join
+/// predicate plus datalog projection rules. Needs unrestricted arity (the
+/// join predicate's arity is the number of distinct head variables).
+Result<Theory> SingleHeadify(const Theory& theory);
+
+/// §5.1: rewrites every existential TGD with head Φ(y, z̄) — at most one
+/// frontier variable — into TGDs with binary heads R^i_Φ(y, z_i) plus a
+/// datalog rule R^1_Φ(y, z_1) ∧ ... ∧ R^n_Φ(y, z_n) → Φ(y, z̄).
+/// Fails if some TGD head has two or more frontier variables.
+Result<Theory> BinarizeHeads(const Theory& theory);
+
+/// §5.2 (Theorem 4): encodes an arbitrary theory into a ternary one by
+/// naming argument-list prefixes "in the good old Prolog way". Predicates
+/// of arity <= 3 are kept; wider atoms become chains of ternary
+/// list-builder predicates.
+struct ChainEncoding {
+  /// Ternary list-builder cells P_1(t1, t2, w1), P_i(w_{i-1}, t_{i+1}, w_i).
+  std::vector<PredId> cells;
+  /// Final binary predicate P'(w_{k-2}, t_k).
+  PredId final_pred = -1;
+};
+
+struct TernaryReduction {
+  Theory theory;
+  /// For each original predicate of arity > 3: its chain encoding.
+  std::unordered_map<PredId, ChainEncoding> chains;
+
+  explicit TernaryReduction(SignaturePtr sig) : theory(std::move(sig)) {}
+};
+Result<TernaryReduction> TernarizeTheory(const Theory& theory);
+
+/// Encodes an instance into the ternary signature: every wide fact
+/// materializes its chain cells over fresh labeled nulls; narrow facts are
+/// copied.
+Structure TernarizeInstance(const TernaryReduction& reduction,
+                            const Structure& instance);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_REDUCTIONS_REDUCTIONS_H_

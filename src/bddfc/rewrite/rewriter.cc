@@ -1,0 +1,295 @@
+#include "bddfc/rewrite/rewriter.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/core/substitution.h"
+#include "bddfc/eval/containment.h"
+#include "bddfc/eval/match.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Splits multi-head datalog rules into single-head ones (semantically
+/// equivalent) so the rewriting only sees single-head rules. Multi-head
+/// existential TGDs are reported unsupported.
+Result<std::vector<Rule>> PrepareRules(const Theory& theory) {
+  std::vector<Rule> out;
+  for (const Rule& r : theory.rules()) {
+    if (r.head.size() == 1) {
+      out.push_back(r);
+      continue;
+    }
+    if (r.IsExistential()) {
+      return Status::FailedPrecondition(
+          "rewriting requires single-head existential TGDs; rule '" +
+          r.label + "' is a multi-head TGD (apply the §5.3 reduction first)");
+    }
+    for (const Atom& h : r.head) {
+      Rule single;
+      single.body = r.body;
+      single.head.push_back(h);
+      single.label = r.label;
+      out.push_back(std::move(single));
+    }
+  }
+  return out;
+}
+
+/// Applies a substitution to a whole query.
+ConjunctiveQuery ApplySubst(const Substitution& s, const ConjunctiveQuery& q) {
+  ConjunctiveQuery out;
+  out.atoms = s.Apply(q.atoms);
+  out.answer_vars.reserve(q.answer_vars.size());
+  for (TermId v : q.answer_vars) out.answer_vars.push_back(s.Resolve(v));
+  return out;
+}
+
+/// One backward-resolution step: resolve q.atoms[i] against `rule`
+/// (renamed apart). Returns the rewritten query, or nullopt when the
+/// applicability conditions fail.
+std::optional<ConjunctiveQuery> ResolveStep(const ConjunctiveQuery& q,
+                                            size_t i, const Rule& rule) {
+  Substitution mgu;
+  if (!UnifyAtoms(q.atoms[i], rule.head[0], &mgu)) return std::nullopt;
+
+  // Applicability of existential variables (Cali–Gottlob–Pieris): each
+  // existential variable z must resolve to a variable that (a) is not an
+  // answer variable, (b) occurs in no other atom of q, and (c) is not
+  // identified with any frontier variable or other existential variable.
+  std::vector<TermId> existentials = rule.ExistentialVariables();
+  std::vector<TermId> frontier = rule.FrontierVariables();
+  for (size_t zi = 0; zi < existentials.size(); ++zi) {
+    TermId t = mgu.Resolve(existentials[zi]);
+    if (!IsVar(t)) return std::nullopt;  // unified with a constant
+    for (TermId av : q.answer_vars) {
+      if (mgu.Resolve(av) == t) return std::nullopt;
+    }
+    for (size_t j = 0; j < q.atoms.size(); ++j) {
+      if (j == i) continue;
+      for (TermId arg : q.atoms[j].args) {
+        if (IsVar(arg) && mgu.Resolve(arg) == t) return std::nullopt;
+      }
+    }
+    for (TermId f : frontier) {
+      if (mgu.Resolve(f) == t) return std::nullopt;
+    }
+    for (size_t zj = zi + 1; zj < existentials.size(); ++zj) {
+      if (mgu.Resolve(existentials[zj]) == t) return std::nullopt;
+    }
+  }
+
+  ConjunctiveQuery rest;
+  rest.answer_vars = q.answer_vars;
+  for (size_t j = 0; j < q.atoms.size(); ++j) {
+    if (j != i) rest.atoms.push_back(q.atoms[j]);
+  }
+  for (const Atom& b : rule.body) rest.atoms.push_back(b);
+  return ApplySubst(mgu, rest);
+}
+
+/// Factorization step: unify two same-predicate atoms that share a
+/// variable. The result is contained in q (sound to add) and can unblock
+/// resolution steps whose shared-variable condition failed.
+void Factorizations(const ConjunctiveQuery& q,
+                    std::vector<ConjunctiveQuery>* out) {
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    for (size_t j = i + 1; j < q.atoms.size(); ++j) {
+      if (q.atoms[i].pred != q.atoms[j].pred) continue;
+      bool share = false;
+      for (TermId a : q.atoms[i].args) {
+        if (IsVar(a) &&
+            std::find(q.atoms[j].args.begin(), q.atoms[j].args.end(), a) !=
+                q.atoms[j].args.end()) {
+          share = true;
+          break;
+        }
+      }
+      if (!share) continue;
+      Substitution mgu;
+      if (!UnifyAtoms(q.atoms[i], q.atoms[j], &mgu)) continue;
+      if (mgu.empty()) continue;  // identical atoms: nothing to do
+      out->push_back(ApplySubst(mgu, q));
+    }
+  }
+}
+
+}  // namespace
+
+RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
+                           const RewriteOptions& options) {
+  RewriteResult result;
+  Result<std::vector<Rule>> prepared = PrepareRules(theory);
+  if (!prepared.ok()) {
+    result.status = prepared.status();
+    return result;
+  }
+  const std::vector<Rule>& rules = prepared.value();
+  const Signature& sig = theory.sig();
+
+  ConjunctiveQuery start = query.Normalized();
+  std::unordered_set<std::string> seen = {start.NormalizedKey(sig)};
+  std::vector<ConjunctiveQuery> all = {start};
+  std::vector<ConjunctiveQuery> frontier = {start};
+  result.queries_generated = 1;
+  bool budget_hit = false;
+  std::string budget_reason;
+
+  for (size_t depth = 1; depth <= options.max_depth && !frontier.empty();
+       ++depth) {
+    std::vector<ConjunctiveQuery> next;
+    for (const ConjunctiveQuery& q : frontier) {
+      // Rename rule variables apart from q's.
+      int32_t next_var = 0;
+      for (TermId v : q.Variables()) {
+        next_var = std::max(next_var, DecodeVar(v) + 1);
+      }
+
+      std::vector<ConjunctiveQuery> candidates;
+      for (const Rule& rule : rules) {
+        Rule renamed = rule.RenamedApart(&next_var);
+        for (size_t i = 0; i < q.atoms.size(); ++i) {
+          std::optional<ConjunctiveQuery> step = ResolveStep(q, i, renamed);
+          if (step.has_value()) candidates.push_back(std::move(*step));
+        }
+      }
+      Factorizations(q, &candidates);
+
+      for (ConjunctiveQuery& c : candidates) {
+        ConjunctiveQuery n = c.Normalized();
+        if (options.max_atoms_per_query != 0 &&
+            n.atoms.size() > options.max_atoms_per_query) {
+          budget_hit = true;
+          budget_reason = "max_atoms_per_query";
+          continue;
+        }
+        std::string key = n.NormalizedKey(sig);
+        if (!seen.insert(key).second) continue;
+        ++result.queries_generated;
+        all.push_back(n);
+        next.push_back(std::move(n));
+        if (result.queries_generated >= options.max_queries) {
+          budget_hit = true;
+          budget_reason = "max_queries";
+          break;
+        }
+      }
+      if (budget_hit && budget_reason == "max_queries") break;
+    }
+    if (budget_hit && budget_reason == "max_queries") {
+      result.depth_reached = depth;
+      break;
+    }
+    if (next.empty()) {
+      result.depth_reached = depth - 1;
+      frontier.clear();
+      break;
+    }
+    result.depth_reached = depth;
+    frontier = std::move(next);
+  }
+
+  if (!frontier.empty() || budget_hit) {
+    result.status = Status::Unknown(
+        "rewriting did not saturate (budget: " +
+        (budget_reason.empty() ? std::string("max_depth") : budget_reason) +
+        ")");
+  }
+
+  // Pairwise subsumption is quadratic; only minimize complete, reasonably
+  // sized rewritings (an incomplete rewriting is diagnostic output anyway).
+  const bool minimize =
+      options.minimize && result.status.ok() && all.size() <= 1000;
+  result.rewriting = minimize ? MinimizeUcq(all) : all;
+  for (const ConjunctiveQuery& q : result.rewriting) {
+    result.max_variables = std::max(result.max_variables, q.NumVariables());
+  }
+  return result;
+}
+
+KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
+  KappaResult out;
+  for (const Rule& r : theory.rules()) {
+    ConjunctiveQuery body;
+    body.atoms = r.body;
+    // Free variables: the frontier for TGDs (the paper's Ψ(x̄, y)), the head
+    // variables for datalog rules — they must survive the rewriting.
+    body.answer_vars =
+        r.IsExistential() ? r.FrontierVariables() : r.HeadVariables();
+    RewriteResult rr = RewriteQuery(theory, body, options);
+    if (!rr.status.ok()) {
+      out.status = rr.status;
+    }
+    out.kappa = std::max(out.kappa, rr.max_variables);
+  }
+  return out;
+}
+
+BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
+  BddProbeResult out;
+  auto account = [&](const RewriteResult& rr) {
+    if (!rr.status.ok()) out.status = rr.status;
+    out.max_depth_seen = std::max(out.max_depth_seen, rr.depth_reached);
+    out.total_disjuncts += rr.rewriting.size();
+    out.kappa = std::max(out.kappa, rr.max_variables);
+  };
+
+  // Probe 1: every rule body.
+  for (const Rule& r : theory.rules()) {
+    ConjunctiveQuery body;
+    body.atoms = r.body;
+    body.answer_vars =
+        r.IsExistential() ? r.FrontierVariables() : r.HeadVariables();
+    account(RewriteQuery(theory, body, options));
+    if (!out.status.ok()) break;
+  }
+  // Probe 2: one fresh atom per predicate.
+  if (out.status.ok()) {
+    for (PredId p = 0; p < theory.sig().num_predicates(); ++p) {
+      if (theory.sig().IsColor(p)) continue;
+      std::vector<TermId> args;
+      for (int i = 0; i < theory.sig().arity(p); ++i) {
+        args.push_back(MakeVar(i));
+      }
+      ConjunctiveQuery q;
+      q.atoms.push_back(Atom(p, args));
+      account(RewriteQuery(theory, q, options));
+      if (!out.status.ok()) break;
+    }
+  }
+  out.certified = out.status.ok();
+  return out;
+}
+
+int DerivationDepth(const Theory& theory, const Structure& instance,
+                    const ConjunctiveQuery& q, size_t max_rounds) {
+  ChaseOptions copts;
+  copts.max_rounds = max_rounds;
+  ChaseResult chase = RunChase(theory, instance, copts);
+
+  // Group facts by birth round, replay them into a prefix structure and
+  // test the query after each round.
+  std::map<int, std::vector<std::pair<PredId, std::vector<TermId>>>> by_round;
+  chase.structure.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+    auto it = chase.fact_round.find(FactHandle{
+        p, static_cast<uint32_t>(&row - chase.structure.Rows(p).data())});
+    int round = it == chase.fact_round.end() ? 0 : it->second;
+    by_round[round].emplace_back(p, row);
+  });
+
+  Structure prefix(chase.structure.signature_ptr());
+  int last_round = -1;
+  for (auto& [round, facts] : by_round) {
+    for (auto& [p, row] : facts) prefix.AddFact(p, row);
+    last_round = round;
+    if (Satisfies(prefix, q)) return round;
+  }
+  (void)last_round;
+  return -1;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,92 @@
+// Positive first-order (UCQ) rewriting and the BDD property (Def. 2).
+//
+// A theory T is BDD iff every CQ Φ has a UCQ rewriting Φ′ with
+// Chase(D, T) ⊨ Φ  ⇔  D ⊨ Φ′ for all instances D. We compute Φ′ by
+// backward-chaining over the rules (the standard procedure for single-head
+// TGDs, in the style of Cali–Gottlob–Pieris' XRewrite): a rewriting step
+// resolves a query atom against a rule head under an applicability
+// condition on existential variables; a factorization step unifies two
+// query atoms to unblock further rewritings.
+//
+// BDD is undecidable, so the API is a budgeted semi-decision: when the
+// exploration saturates, the finite UCQ is a *certificate* that the input
+// query is rewritable (and, probed over all rule bodies, evidence of BDD);
+// when a budget trips, the result is Unknown.
+
+#ifndef BDDFC_REWRITE_REWRITER_H_
+#define BDDFC_REWRITE_REWRITER_H_
+
+#include <cstddef>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// Budgets for the rewriting exploration.
+struct RewriteOptions {
+  /// Maximum BFS depth (number of rewriting levels).
+  size_t max_depth = 24;
+  /// Maximum number of distinct CQs to generate.
+  size_t max_queries = 20000;
+  /// Drop generated CQs with more atoms than this (0 = unlimited). A CQ
+  /// that would exceed the cap makes the result Unknown rather than
+  /// silently incomplete.
+  size_t max_atoms_per_query = 0;
+  /// Minimize the final UCQ by pairwise subsumption.
+  bool minimize = true;
+};
+
+/// Outcome of a rewriting run.
+struct RewriteResult {
+  /// OK: exploration saturated; `rewriting` is the complete UCQ Φ′.
+  /// Unknown: a budget tripped; `rewriting` is sound but maybe incomplete.
+  Status status = Status::OK();
+  UnionOfCQs rewriting;
+  /// Number of BFS levels until saturation — a derivation-depth bound
+  /// certificate k_Φ (each level undoes one chase step).
+  size_t depth_reached = 0;
+  /// Distinct CQs generated during exploration (before minimization).
+  size_t queries_generated = 0;
+  /// Maximum number of variables over the disjuncts of `rewriting`
+  /// (the §3.3 κ contribution of this query).
+  int max_variables = 0;
+};
+
+/// Computes the UCQ rewriting of `query` under `theory`.
+RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
+                           const RewriteOptions& options = {});
+
+/// §3.3's κ for a theory: rewrite the body of every rule (as a Boolean CQ
+/// over its body variables) and take the maximum variable count across all
+/// disjuncts of all rewritings.
+struct KappaResult {
+  Status status = Status::OK();  ///< Unknown when any body rewriting tripped
+  int kappa = 0;
+};
+KappaResult ComputeKappa(const Theory& theory,
+                         const RewriteOptions& options = {});
+
+/// Budgeted BDD probe: rewrites every rule body and a set of probe queries
+/// (single atoms per predicate). All saturated => "BDD-certified at this
+/// budget"; any Unknown => Unknown.
+struct BddProbeResult {
+  Status status = Status::OK();
+  bool certified = false;
+  int kappa = 0;
+  size_t max_depth_seen = 0;
+  size_t total_disjuncts = 0;
+};
+BddProbeResult ProbeBdd(const Theory& theory,
+                        const RewriteOptions& options = {});
+
+/// Empirical derivation depth: the smallest i with Chase^i(D, T) ⊨ q, or
+/// -1 if not derived within `max_rounds`.
+int DerivationDepth(const Theory& theory, const Structure& instance,
+                    const ConjunctiveQuery& q, size_t max_rounds = 64);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_REWRITE_REWRITER_H_

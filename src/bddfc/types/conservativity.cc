@@ -1,0 +1,67 @@
+#include "bddfc/types/conservativity.h"
+
+namespace bddfc {
+
+ConservativityReport CheckConservativeUpTo(const Structure& c,
+                                           const Quotient& q, int m,
+                                           const std::vector<PredId>& sigma,
+                                           size_t max_positions) {
+  ConservativityReport out;
+  TypeOracleOptions opts;
+  opts.num_variables = m;
+  opts.predicates = sigma;
+  opts.max_patterns = max_positions;
+  TypeOracle oracle(q.structure, c, opts);
+  for (TermId e : c.Domain()) {
+    TermId image = q.Project(e);
+    if (image < 0 || !oracle.TypeContained(image, e)) {
+      if (oracle.budget_exhausted()) {
+        out.status = Status::ResourceExhausted(
+            "conservativity check exceeded max_patterns");
+        return out;
+      }
+      out.failing_element = e;
+      out.patterns_checked = oracle.patterns_checked();
+      return out;
+    }
+  }
+  out.patterns_checked = oracle.patterns_checked();
+  out.conservative = true;
+  return out;
+}
+
+ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
+                                        size_t max_positions) {
+  ConservativityProbe out;
+  Result<Coloring> coloring = NaturalColoring(c, m);
+  if (!coloring.ok()) {
+    out.status = coloring.status();
+    return out;
+  }
+  const Coloring& col = coloring.value();
+
+  // Partition the colored structure by ≡_n over the full (colored)
+  // signature: exact when the game fits the budget, ball refinement as the
+  // fallback.
+  TypePartition partition;
+  Result<TypePartition> exact =
+      ExactPtpPartition(col.colored, n, {}, max_positions);
+  if (exact.ok()) {
+    partition = std::move(exact).value();
+    out.used_exact_partition = true;
+  } else {
+    partition = BallPartition(col.colored, n);
+  }
+
+  Quotient q = BuildQuotient(col.colored, partition);
+  out.num_classes = partition.num_classes;
+  out.quotient_size = static_cast<int>(q.structure.Domain().size());
+
+  ConservativityReport rep = CheckConservativeUpTo(
+      col.colored, q, m, col.base_predicates, max_positions);
+  out.status = rep.status;
+  out.conservative = rep.conservative;
+  return out;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,56 @@
+// Conservativity of colorings (§2.5, Def. 8–9).
+//
+// A coloring C̄ is n-conservative up to size m when the projection q_n onto
+// M_n(C̄) preserves every element's positive m-type over the base signature
+// Σ (condition ♠2). One inclusion is free (q_n is a homomorphism); the
+// checker decides the other — ptp_m(M, q(e), Σ) ⊆ ptp_m(C, e, Σ) — with the
+// existential-positive pebble game for every element.
+
+#ifndef BDDFC_TYPES_CONSERVATIVITY_H_
+#define BDDFC_TYPES_CONSERVATIVITY_H_
+
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/types/coloring.h"
+#include "bddfc/types/ptype.h"
+#include "bddfc/types/quotient.h"
+
+namespace bddfc {
+
+/// Result of a conservativity check.
+struct ConservativityReport {
+  /// OK, or ResourceExhausted when the pebble game tripped its cap.
+  Status status = Status::OK();
+  bool conservative = false;
+  /// When not conservative: an element whose positive m-type grew under
+  /// the projection (the e of Remark 2).
+  TermId failing_element = -1;
+  size_t patterns_checked = 0;
+};
+
+/// Checks (♠2) for the quotient `q` of `c`: every element's positive m-type
+/// over `sigma` is preserved. `sigma` is the base signature (colors
+/// excluded); pass Coloring::base_predicates.
+ConservativityReport CheckConservativeUpTo(const Structure& c,
+                                           const Quotient& q, int m,
+                                           const std::vector<PredId>& sigma,
+                                           size_t max_positions = 2000000);
+
+/// End-to-end Def. 9 probe for one (m, n) pair: color `c` naturally with
+/// window m, quotient by ≡_n over the colored signature (exact pebble
+/// partition when feasible, ball partition otherwise), and check (♠2).
+struct ConservativityProbe {
+  Status status = Status::OK();
+  bool conservative = false;
+  int quotient_size = 0;     ///< |M_n(C̄)| domain size
+  int num_classes = 0;
+  bool used_exact_partition = false;
+};
+ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
+                                        size_t max_positions = 2000000);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TYPES_CONSERVATIVITY_H_

@@ -1,0 +1,119 @@
+// Positive n-types (§2.2, Def. 3–4) and their containment/equality.
+//
+// ptp_n(C, e, Θ) is the set of *conjunctive queries* Ψ(x̄, y) with |x̄| < n
+// (at most n variables in total) that hold at e. Note the logic is CQs, not
+// n-variable existential-positive FO: a CQ is a single conjunction, so its
+// variables cannot be re-quantified — an unbounded pebble game would decide
+// the (strictly stronger) ∃⁺FOⁿ equivalence and is NOT what Def. 3 asks
+// for. (Example: on a finite E-chain, ptp_2 cannot see the distance to the
+// chain's end, but ∃⁺FO² can by re-using two variables to walk the chain.)
+//
+// Every CQ with ≤ n variables that holds at (A, a) factors through the
+// canonical query of one "valuation pattern": a set S of at most n labeled
+// nulls of A (variables mapped to named constants fold into the constant
+// context, since the strongest pattern adds the x = c atoms Def. 3 allows).
+// Hence
+//
+//   ptp_n(A, a, Θ) ⊆ ptp_n(B, b, Θ)
+//     ⇔  for every S ⊆ Nulls(A) with a ∈ S, |S| ≤ n:
+//          the canonical query of A ↾ (S ∪ C_con) over Θ has a
+//          homomorphism into B mapping a ↦ b and fixing named constants,
+//
+// plus the global conditions: constant-only atoms of A hold in B, and a
+// named constant a forces b = a (the equality atom y = c of Remark 1).
+//
+// The oracle below enumerates patterns lazily per source element and
+// evaluates the canonical queries with the index-backed matcher.
+
+#ifndef BDDFC_TYPES_PTYPE_H_
+#define BDDFC_TYPES_PTYPE_H_
+
+#include <memory>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/structure.h"
+
+namespace bddfc {
+
+/// Options for positive-type computations.
+struct TypeOracleOptions {
+  /// The variable budget n of Def. 3 (y included).
+  int num_variables = 2;
+  /// Predicates defining the type signature Θ (empty = all). Pass the base
+  /// predicates (without colors) for the Σ-types of Def. 8.
+  std::vector<PredId> predicates;
+  /// Safety cap on (pattern, target) query evaluations per containment.
+  size_t max_patterns = 5000000;
+};
+
+/// Decides positive-type containment between elements of A and B.
+/// A and B must share the same Signature object (B may equal A).
+class TypeOracle {
+ public:
+  TypeOracle(const Structure& a, const Structure& b,
+             const TypeOracleOptions& options);
+  ~TypeOracle();
+
+  TypeOracle(TypeOracle&&) noexcept;
+  TypeOracle& operator=(TypeOracle&&) noexcept;
+
+  /// True iff ptp_n(A, ea, Θ) ⊆ ptp_n(B, eb, Θ).
+  bool TypeContained(TermId ea, TermId eb) const;
+
+  /// Number of canonical-query evaluations performed so far.
+  size_t patterns_checked() const;
+
+  /// True when some containment check tripped max_patterns (its `false`
+  /// answer is then inconclusive).
+  bool budget_exhausted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A partition of a structure's domain by positive-n-type equality
+/// (the relation ≡_n of Def. 4).
+struct TypePartition {
+  int n = 0;
+  /// class_id[i] = class of elements[i] (aligned with Structure::Domain()).
+  std::vector<int> class_id;
+  std::vector<TermId> elements;
+  int num_classes = 0;
+
+  /// Class of a given element (linear scan helper for tests).
+  int ClassOf(TermId e) const;
+};
+
+/// Computes ≡_n exactly via pairwise mutual type containment against class
+/// representatives. Named constants always form singleton classes
+/// (Remark 1).
+Result<TypePartition> ExactPtpPartition(
+    const Structure& c, int n, const std::vector<PredId>& predicates = {},
+    size_t max_patterns = 5000000);
+
+/// Cheap refinement of ≡_n: partition by the canonical form of each
+/// element's undirected radius-(n-1) neighborhood among labeled nulls
+/// (named constants act as labels). Exact tree canonization is used when
+/// the neighborhood is a tree — always the case on forests, hence on
+/// Lemma 3 skeletons; cyclic neighborhoods fall back to a Weisfeiler–Leman
+/// hash and may over-merge (downstream certification catches this).
+TypePartition BallPartition(const Structure& c, int n,
+                            const std::vector<PredId>& predicates = {});
+
+/// Partition for *chase-prefix forests*: two elements are merged when their
+/// colored ancestor paths of length n-1 (element labels + edge predicates,
+/// truncated at roots) coincide. In the infinite chase of a (♠5)-normalized
+/// theory the subtree below an element is generated deterministically from
+/// the element's creation context, so equal ancestor paths imply equal
+/// positive types *in the infinite chase* — this is the partition the
+/// finite-model pipeline quotients by, because it correctly merges the
+/// prefix frontier with interior elements (the Example 3 self-loop) instead
+/// of leaving a dangling tail. Requires the nulls of `c` to form a forest.
+TypePartition AncestorPathPartition(const Structure& c, int n,
+                                    const std::vector<PredId>& predicates = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TYPES_PTYPE_H_

@@ -1,0 +1,47 @@
+// Quotient structures M_n(C) (§2.3, Def. 5).
+//
+// Given a partition of C's domain (by ≡_n or a refinement), the quotient has
+// the classes as elements and the minimal relations making the projection
+// q_n a homomorphism (the joint-witness reading of Def. 5 — see DESIGN.md
+// §2.5 for why the per-position reading is not used). Named constants are
+// always singleton classes and keep their identity; each class of labeled
+// nulls becomes a fresh labeled null.
+
+#ifndef BDDFC_TYPES_QUOTIENT_H_
+#define BDDFC_TYPES_QUOTIENT_H_
+
+#include <unordered_map>
+
+#include "bddfc/core/structure.h"
+#include "bddfc/types/ptype.h"
+
+namespace bddfc {
+
+/// The quotient structure together with the projection map q_n.
+struct Quotient {
+  Structure structure;
+  /// q_n: element of C → element of M_n(C).
+  std::unordered_map<TermId, TermId> projection;
+  /// One representative of C per class element of M_n(C).
+  std::unordered_map<TermId, TermId> representative;
+
+  explicit Quotient(SignaturePtr sig) : structure(std::move(sig)) {}
+
+  TermId Project(TermId e) const {
+    auto it = projection.find(e);
+    return it == projection.end() ? -1 : it->second;
+  }
+};
+
+/// Builds M(C) for the given partition. The quotient shares C's signature
+/// (class elements are fresh nulls in it).
+Quotient BuildQuotient(const Structure& c, const TypePartition& partition);
+
+/// Lemma 1 helper: checks that `finer` refines `coarser` (every class of
+/// `finer` is contained in one class of `coarser`). Both partitions must be
+/// over the same element list.
+bool IsRefinementOf(const TypePartition& finer, const TypePartition& coarser);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TYPES_QUOTIENT_H_

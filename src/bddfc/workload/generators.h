@@ -1,0 +1,65 @@
+// Deterministic synthetic workload generators for tests and benchmarks.
+
+#ifndef BDDFC_WORKLOAD_GENERATORS_H_
+#define BDDFC_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// SplitMix64: tiny deterministic PRNG (seeded, reproducible across runs).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A random directed graph over `nodes` null elements with `edges` edges
+/// spread across `num_relations` binary predicates e0, e1, ...
+Structure RandomGraph(SignaturePtr sig, int nodes, int edges, uint64_t seed,
+                      int num_relations = 1);
+
+/// Path query e(x_0, x_1), ..., e(x_{k-1}, x_k) over predicate `pred`.
+ConjunctiveQuery PathQuery(PredId pred, int k);
+
+/// Star query e(x_0, x_1), ..., e(x_0, x_k).
+ConjunctiveQuery StarQuery(PredId pred, int k);
+
+/// Directed cycle query e(x_0, x_1), ..., e(x_{k-1}, x_0).
+ConjunctiveQuery CycleQuery(PredId pred, int k);
+
+/// A random linear Datalog∃ theory: `rules` rules A(x, y) -> ∃z B(y, z) or
+/// A(x, y) -> B(y, x) over `preds` binary predicates. Always BDD (linear).
+Theory RandomLinearTheory(SignaturePtr sig, int preds, int rules,
+                          uint64_t seed);
+
+/// A random guarded theory with predicates of arity up to `max_arity`.
+/// Each rule has a full-width guard plus up to one side atom.
+Theory RandomGuardedTheory(SignaturePtr sig, int max_arity, int rules,
+                           uint64_t seed);
+
+/// A random binary theory in (♠5)-friendly shape: existential TGDs
+/// B(x, y) -> ∃z R(y, z) plus datalog rules with small bodies. Generated so
+/// the TGD graph is acyclic => BDD (and weakly acyclic).
+Theory RandomAcyclicBinaryTheory(SignaturePtr sig, int preds, int tgds,
+                                 int datalog_rules, uint64_t seed);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_WORKLOAD_GENERATORS_H_

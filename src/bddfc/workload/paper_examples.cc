@@ -1,0 +1,135 @@
+#include "bddfc/workload/paper_examples.h"
+
+#include <cassert>
+
+namespace bddfc {
+
+namespace {
+
+Program MustParse(const char* text) {
+  Result<Program> r = ParseProgram(text);
+  assert(r.ok() && "paper example must parse");
+  return std::move(r).value();
+}
+
+}  // namespace
+
+Program Example1() {
+  return MustParse(R"(
+    % Example 1
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(X, Y), e(Y, Z), e(Z, X) -> exists T: u(X, T).
+    u(X, Y) -> exists Z: u(Y, Z).
+    e(a, b).
+  )");
+}
+
+Program RemarkThreeTheory() {
+  return MustParse(R"(
+    % Remark 3
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(a, a).
+    e(b, c).
+  )");
+}
+
+Program Example7() {
+  return MustParse(R"(
+    % Example 7
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(X, Y), e(X1, Y) -> r(X, X1).
+    e(a, b).
+  )");
+}
+
+Program Example9() {
+  return MustParse(R"(
+    % Example 9
+    f(X, Y) -> exists Z: f(Y, Z).
+    f(X, Y) -> exists Z: g(Y, Z).
+    g(X, Y) -> exists Z: f(Y, Z).
+    g(X, Y) -> exists Z: g(Y, Z).
+    f(a, b).
+  )");
+}
+
+Program Section54() {
+  return MustParse(R"(
+    % Section 5.4
+    r(X, X1, Y, Z) -> e(Y, Z).
+    e(X, Y), e(T, Y) -> exists Z: r(X, T, Y, Z).
+    e(a, b).
+  )");
+}
+
+Program Section55() {
+  return MustParse(R"(
+    % Section 5.5: not FC, defines no ordering.
+    e(X, Y) -> exists Z: e(Y, Z).
+    r(X, Y), e(X, X1), e(Y, Z), e(Z, Y1) -> r(X1, Y1).
+    e(a0, a1).
+    r(a0, a0).
+    ?- e(X, Y), r(Y, Y).
+  )");
+}
+
+Program GuardedSample() {
+  return MustParse(R"(
+    % A guarded non-binary program: the ternary guard carries all body vars.
+    p(X, Y, Z) -> exists W: q(X, Z, W).
+    q(X, Z, W), s(Z) -> t(X, W).
+    q(X, Z, W) -> s(Z).
+    p(a, b, c).
+  )");
+}
+
+namespace {
+
+/// Builds `length` E-edges over length+1 fresh nulls.
+Structure MakePath(SignaturePtr sig, int length, bool close_cycle,
+                   std::vector<TermId>* elements) {
+  PredId e = std::move(sig->AddPredicate("e", 2)).ValueOrDie();
+  Structure s(sig);
+  std::vector<TermId> elems;
+  int n = close_cycle ? length : length + 1;
+  elems.reserve(n);
+  for (int i = 0; i < n; ++i) elems.push_back(sig->AddNull("c"));
+  for (int i = 0; i < length; ++i) {
+    s.AddFact(e, {elems[i], elems[close_cycle ? (i + 1) % n : i + 1]});
+  }
+  if (elements != nullptr) *elements = std::move(elems);
+  return s;
+}
+
+}  // namespace
+
+Structure MakeChain(SignaturePtr sig, int length,
+                    std::vector<TermId>* elements) {
+  return MakePath(std::move(sig), length, /*close_cycle=*/false, elements);
+}
+
+Structure MakeCycle(SignaturePtr sig, int length,
+                    std::vector<TermId>* elements) {
+  return MakePath(std::move(sig), length, /*close_cycle=*/true, elements);
+}
+
+Structure MakeBinaryTree(SignaturePtr sig, int depth,
+                         std::vector<TermId>* elements) {
+  PredId e = std::move(sig->AddPredicate("e", 2)).ValueOrDie();
+  Structure s(sig);
+  std::vector<TermId> elems;
+  // Heap layout: node i has children 2i+1, 2i+2.
+  int n = (1 << (depth + 1)) - 1;
+  elems.reserve(n);
+  for (int i = 0; i < n; ++i) elems.push_back(sig->AddNull("t"));
+  for (int i = 0; 2 * i + 2 < n; ++i) {
+    s.AddFact(e, {elems[i], elems[2 * i + 1]});
+    s.AddFact(e, {elems[i], elems[2 * i + 2]});
+  }
+  if (n == 1) s.AddDomainElement(elems[0]);
+  if (elements != nullptr) *elements = std::move(elems);
+  return s;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,121 @@
+// Tests for the base utilities: Status, Result, Interner, hashing.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/base/interner.h"
+#include "bddfc/base/status.h"
+
+namespace bddfc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  } cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ResourceExhausted("d"), StatusCode::kResourceExhausted,
+       "ResourceExhausted"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented,
+       "Unimplemented"},
+      {Status::Internal("g"), StatusCode::kInternal, "Internal"},
+      {Status::Unknown("h"), StatusCode::kUnknown, "Unknown"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeName(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValueTransfers) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+Status FailThrough() { return Status::Internal("inner"); }
+
+Status UsesReturnNotOk() {
+  BDDFC_RETURN_NOT_OK(FailThrough());
+  return Status::OK();
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  BDDFC_ASSIGN_OR_RETURN(int h, Half(x));
+  return h + 1;
+}
+
+TEST(ResultTest, MacrosPropagateErrors) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kInternal);
+  Result<int> ok = UsesAssignOrReturn(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 3);
+  EXPECT_EQ(UsesAssignOrReturn(3).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(InternerTest, InternIsIdempotentAndDense) {
+  Interner in;
+  int32_t a = in.Intern("alpha");
+  int32_t b = in.Intern("beta");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.size(), 2);
+  EXPECT_EQ(in.NameOf(a), "alpha");
+  EXPECT_EQ(in.Find("beta"), b);
+  EXPECT_EQ(in.Find("gamma"), -1);
+  EXPECT_TRUE(in.Contains("alpha"));
+  EXPECT_FALSE(in.Contains("gamma"));
+}
+
+TEST(InternerTest, SurvivesManyInsertions) {
+  Interner in;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.Intern("s" + std::to_string(i)), i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.Find("s" + std::to_string(i)), i);
+  }
+}
+
+TEST(HashTest, HashRangeIsOrderSensitive) {
+  std::vector<int> a = {1, 2, 3};
+  std::vector<int> b = {3, 2, 1};
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+  EXPECT_EQ(HashRange(a.begin(), a.end()), HashRange(a.begin(), a.end()));
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -1,0 +1,257 @@
+// Tests for the chase engine, model checking and skeleton extraction.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/chase/skeleton.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace bddfc {
+namespace {
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ChaseTest, TerminatingChaseReachesFixpoint) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: r(Y, Z).
+    e(a, b).
+  )");
+  ChaseResult res = RunChase(p.theory, p.instance);
+  ASSERT_TRUE(res.status.ok()) << res.status.ToString();
+  EXPECT_TRUE(res.fixpoint_reached);
+  EXPECT_EQ(res.nulls_created, 1u);
+  EXPECT_EQ(res.structure.NumFacts(), 2u);
+  EXPECT_EQ(CheckModel(res.structure, p.theory), std::nullopt);
+}
+
+TEST(ChaseTest, NonObliviousChaseReusesWitnesses) {
+  // r(a, b) already provides the witness: the TGD must not fire.
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: r(Y, Z).
+    e(a, b).
+    r(b, c).
+  )");
+  ChaseResult res = RunChase(p.theory, p.instance);
+  EXPECT_TRUE(res.fixpoint_reached);
+  EXPECT_EQ(res.nulls_created, 0u);
+}
+
+TEST(ChaseTest, ObliviousChaseAlwaysInvents) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: r(Y, Z).
+    e(a, b).
+    r(b, c).
+  )");
+  ChaseOptions opts;
+  opts.oblivious = true;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  EXPECT_EQ(res.nulls_created, 1u);
+}
+
+TEST(ChaseTest, InfiniteChaseHitsRoundBudget) {
+  Program p = Example1();  // infinite E-chain
+  ChaseOptions opts;
+  opts.max_rounds = 10;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  EXPECT_FALSE(res.fixpoint_reached);
+  EXPECT_EQ(res.status.code(), StatusCode::kResourceExhausted);
+  // One new chain element per round.
+  EXPECT_EQ(res.nulls_created, 10u);
+  EXPECT_EQ(res.rounds_run, 10u);
+}
+
+TEST(ChaseTest, FactBudgetStopsRun) {
+  Program p = Example9();  // binary tree: 2^i growth
+  ChaseOptions opts;
+  opts.max_rounds = 64;
+  opts.max_facts = 100;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  EXPECT_EQ(res.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(res.structure.NumFacts(), 100u);
+  EXPECT_LT(res.structure.NumFacts(), 400u);  // stops shortly after
+}
+
+TEST(ChaseTest, DatalogSaturationTerminates) {
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(a, b).
+    e(b, c).
+    e(c, d).
+  )");
+  ChaseResult res = RunChase(p.theory, p.instance);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(res.fixpoint_reached);
+  // Transitive closure of a 3-edge path: 3+2+1 = 6 facts.
+  EXPECT_EQ(res.structure.NumFacts(), 6u);
+}
+
+TEST(ChaseTest, ChaseLevelsAreRecorded) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b).
+  )");
+  ChaseOptions opts;
+  opts.max_rounds = 5;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  // facts_per_round: 1, 2, 3, 4, 5, 6.
+  ASSERT_EQ(res.facts_per_round.size(), 6u);
+  for (size_t i = 0; i < res.facts_per_round.size(); ++i) {
+    EXPECT_EQ(res.facts_per_round[i], i + 1);
+  }
+  // Null provenance carries creating rounds 1..5.
+  std::vector<int> rounds;
+  for (auto& [null_id, prov] : res.null_provenance) {
+    (void)null_id;
+    rounds.push_back(prov.birth_round);
+  }
+  std::sort(rounds.begin(), rounds.end());
+  EXPECT_EQ(rounds, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ChaseTest, WithinRoundTriggersAreDeduplicated) {
+  // Two body matches demanding the same head pattern must create one
+  // witness (the non-oblivious chase invariant behind Lemma 3(iv)).
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: r(Y, Z).
+    e(a, b).
+    e(c, b).
+  )");
+  ChaseResult res = RunChase(p.theory, p.instance);
+  EXPECT_TRUE(res.fixpoint_reached);
+  EXPECT_EQ(res.nulls_created, 1u);
+}
+
+TEST(ChaseTest, Example7DerivesReflexiveRAtoms) {
+  Program p = Example7();
+  ChaseOptions opts;
+  opts.max_rounds = 6;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  // Every element with an e-successor gets r(e, e)... more precisely every
+  // x with e(x, y) pairs only with itself, so only r(x, x) atoms exist.
+  const Signature& sig = res.structure.sig();
+  PredId r = std::move(sig.FindPredicate("r")).ValueOrDie();
+  for (const auto& row : res.structure.Rows(r)) {
+    EXPECT_EQ(row[0], row[1]);
+  }
+  EXPECT_GT(res.structure.Rows(r).size(), 0u);
+}
+
+TEST(ChaseTest, CertainAnswerViaChase) {
+  // Transitivity theory: certain answer e(a, d) holds.
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(a, b). e(b, c). e(c, d).
+    ?- e(a, d).
+  )");
+  ChaseResult res = RunChase(p.theory, p.instance);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_TRUE(Satisfies(res.structure, p.queries[0]));
+}
+
+TEST(CheckModelTest, DetectsDatalogViolation) {
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(a, b). e(b, c).
+  )");
+  auto violation = CheckModel(p.instance, p.theory);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->rule_index, 0);
+  EXPECT_EQ(violation->grounded_body.size(), 2u);
+}
+
+TEST(CheckModelTest, DetectsMissingWitness) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b).
+  )");
+  EXPECT_TRUE(CheckModel(p.instance, p.theory).has_value());
+  // A loop at b provides all witnesses.
+  Program q = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b). e(b, b).
+  )");
+  EXPECT_EQ(CheckModel(q.instance, q.theory), std::nullopt);
+}
+
+TEST(CheckModelTest, Example1QuotientIsNotAModel) {
+  // The 3-cycle M' of Example 1 triggers the triangle rule.
+  Program p = Example1();
+  auto sig = p.theory.signature_ptr();
+  PredId e = std::move(sig->FindPredicate("e")).ValueOrDie();
+  TermId a = sig->AddConstant("a");
+  TermId b = sig->AddConstant("b");
+  TermId c = sig->AddConstant("c");
+  Structure m_prime(sig);
+  m_prime.AddFact(e, {a, b});
+  m_prime.AddFact(e, {b, c});
+  m_prime.AddFact(e, {c, a});
+  auto violation = CheckModel(m_prime, p.theory);
+  ASSERT_TRUE(violation.has_value());
+  // The violated rule is the triangle rule (index 1).
+  EXPECT_EQ(violation->rule_index, 1);
+  // And chasing M' diverges (paper: Chase(M', T) is infinite): the u-chain.
+  ChaseOptions opts;
+  opts.max_rounds = 8;
+  ChaseResult res = RunChase(p.theory, m_prime, opts);
+  EXPECT_FALSE(res.fixpoint_reached);
+}
+
+TEST(SkeletonTest, SkeletonKeepsTgpAtomsAndDAtoms) {
+  Program p = Example7();
+  ChaseOptions opts;
+  opts.max_rounds = 6;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  Skeleton s = SkeletonOf(p.theory, p.instance, res);
+  const Signature& sig = s.structure.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  PredId r = std::move(sig.FindPredicate("r")).ValueOrDie();
+  EXPECT_TRUE(s.tgps.count(e));
+  EXPECT_FALSE(s.tgps.count(r));
+  // No r (flesh) atoms in the skeleton.
+  EXPECT_EQ(s.structure.Rows(r).size(), 0u);
+  // All chase elements present.
+  EXPECT_EQ(s.structure.Domain().size(), res.structure.Domain().size());
+  // e-atoms: the D atom plus one per new null.
+  EXPECT_EQ(s.structure.Rows(e).size(), 1u + res.nulls_created);
+}
+
+TEST(SkeletonTest, Lemma3ForestProperties) {
+  Program p = Example9();
+  ChaseOptions opts;
+  opts.max_rounds = 5;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  Skeleton s = SkeletonOf(p.theory, p.instance, res);
+  SkeletonAnalysis a = AnalyzeSkeleton(s.structure);
+  EXPECT_TRUE(a.acyclic);
+  EXPECT_TRUE(a.indegree_at_most_one);
+  EXPECT_TRUE(a.is_forest);
+  // Lemma 3(iv): degree bounded by |Σ| + 1.
+  EXPECT_LE(a.max_degree, s.structure.sig().num_predicates() + 1);
+  // Depths are assigned to every null.
+  size_t nulls = 0;
+  for (TermId t : s.structure.Domain()) {
+    if (s.structure.sig().IsNull(t)) ++nulls;
+  }
+  EXPECT_EQ(a.depth.size(), nulls);
+}
+
+TEST(SkeletonTest, RootsAreRoundOneNulls) {
+  Program p = Example1();
+  ChaseOptions opts;
+  opts.max_rounds = 6;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  Skeleton s = SkeletonOf(p.theory, p.instance, res);
+  SkeletonAnalysis a = AnalyzeSkeleton(s.structure);
+  ASSERT_EQ(a.roots.size(), 1u);  // the single chain grows from b
+  EXPECT_EQ(res.ElementBirthRound(a.roots[0]), 1);
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -1,0 +1,198 @@
+// Tests for syntactic class recognizers and the VTDAG checker.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/classes/recognizers.h"
+#include "bddfc/classes/vtdag.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace bddfc {
+namespace {
+
+Theory MustParseTheory(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(std::move(r).value().theory);
+}
+
+TEST(RecognizerTest, BinaryTheory) {
+  EXPECT_TRUE(IsBinaryTheory(Example1().theory));
+  EXPECT_TRUE(IsBinaryTheory(Example9().theory));
+  EXPECT_FALSE(IsBinaryTheory(Section54().theory));
+}
+
+TEST(RecognizerTest, Linear) {
+  Theory linear = MustParseTheory(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(X, Y) -> r(Y, X).
+  )");
+  EXPECT_TRUE(IsLinear(linear));
+  EXPECT_FALSE(IsLinear(Example1().theory));  // triangle body has 3 atoms
+}
+
+TEST(RecognizerTest, Guarded) {
+  EXPECT_TRUE(IsGuarded(GuardedSample().theory));
+  // Example 7's co-child rule e(x,y), e(x',y) -> r(x,x') has no guard.
+  EXPECT_FALSE(IsGuarded(Example7().theory));
+  // Linear theories are trivially guarded.
+  EXPECT_TRUE(IsGuarded(MustParseTheory("e(X, Y) -> exists Z: e(Y, Z).")));
+}
+
+TEST(RecognizerTest, SingleFrontierVariableHeads) {
+  // Theorem 3 form: heads Φ(y, z̄).
+  EXPECT_TRUE(HasSingleFrontierVariableHeads(Example1().theory));
+  Theory two_frontier = MustParseTheory(R"(
+    e(X, Y) -> exists Z: t(X, Y, Z).
+  )");
+  EXPECT_FALSE(HasSingleFrontierVariableHeads(two_frontier));
+}
+
+TEST(RecognizerTest, StickyAcceptsJoinlessPropagation) {
+  // The classic sticky example: joins whose variable reaches the head.
+  Theory t = MustParseTheory(R"(
+    e(X, Y), e(Y, Z) -> exists W: p(Y, W).
+  )");
+  StickyReport rep = CheckSticky(t);
+  EXPECT_TRUE(rep.is_sticky) << rep.violation;
+}
+
+TEST(RecognizerTest, StickyRejectsLostJoinVariable) {
+  // Join variable Y does not reach the head: both its occurrences are
+  // marked, violating stickiness.
+  Theory t = MustParseTheory(R"(
+    e(X, Y), e(Y, Z) -> exists W: p(X, W).
+  )");
+  StickyReport rep = CheckSticky(t);
+  EXPECT_FALSE(rep.is_sticky);
+  EXPECT_FALSE(rep.violation.empty());
+}
+
+TEST(RecognizerTest, StickyMarkingPropagatesThroughHeads) {
+  // r1 projects Y away when deriving p; r2 joins on a p-position whose
+  // variable gets marked transitively.
+  Theory t = MustParseTheory(R"(
+    e(X, Y) -> p(X, X).
+    p(X, Y), p(Y, Z) -> exists W: q(X, W).
+  )");
+  StickyReport rep = CheckSticky(t);
+  // In r2, Y is a join variable not reaching the head: marked twice.
+  EXPECT_FALSE(rep.is_sticky);
+}
+
+TEST(RecognizerTest, WeaklyAcyclicExamples) {
+  // Plain successor rule feeds its own predicate through an existential:
+  // special self-loop => not weakly acyclic.
+  EXPECT_FALSE(IsWeaklyAcyclic(MustParseTheory(
+      "e(X, Y) -> exists Z: e(Y, Z).")));
+  // A stratified pipeline is weakly acyclic.
+  EXPECT_TRUE(IsWeaklyAcyclic(MustParseTheory(R"(
+    a(X, Y) -> exists Z: b(Y, Z).
+    b(X, Y) -> exists Z: c(Y, Z).
+    c(X, Y), b(Y, X) -> d(X, Y).
+  )")));
+  // Pure datalog is always weakly acyclic.
+  EXPECT_TRUE(IsWeaklyAcyclic(MustParseTheory(
+      "e(X, Y), e(Y, Z) -> e(X, Z).")));
+}
+
+class VtdagTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sig_ = std::make_shared<Signature>();
+    e_ = std::move(sig_->AddPredicate("e", 2)).ValueOrDie();
+    f_ = std::move(sig_->AddPredicate("f", 2)).ValueOrDie();
+  }
+
+  TermId Null() { return sig_->AddNull(); }
+
+  SignaturePtr sig_;
+  PredId e_ = -1, f_ = -1;
+};
+
+TEST_F(VtdagTest, ChainIsVtdag) {
+  Structure s = MakeChain(sig_, 8);
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_TRUE(rep.is_vtdag) << rep.violation;
+}
+
+TEST_F(VtdagTest, TreeIsVtdag) {
+  Structure s = MakeBinaryTree(sig_, 3);
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_TRUE(rep.is_vtdag) << rep.violation;
+}
+
+TEST_F(VtdagTest, CycleIsNotVtdag) {
+  Structure s = MakeCycle(sig_, 4);
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_FALSE(rep.is_vtdag);
+  EXPECT_FALSE(rep.nulls_acyclic);
+}
+
+TEST_F(VtdagTest, TwoPredecessorsSameRelationViolates) {
+  Structure s(sig_);
+  TermId a = Null(), b = Null(), c = Null();
+  s.AddFact(e_, {a, c});
+  s.AddFact(e_, {b, c});
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_FALSE(rep.is_vtdag);
+  EXPECT_FALSE(rep.unique_predecessor);
+}
+
+TEST_F(VtdagTest, TwoPredecessorsDifferentRelationsNeedClique) {
+  // e(a, c), f(b, c) with no edge between a and b: P(c) = {a, b, c} is not
+  // a directed clique.
+  Structure s(sig_);
+  TermId a = Null(), b = Null(), c = Null();
+  s.AddFact(e_, {a, c});
+  s.AddFact(f_, {b, c});
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_TRUE(rep.unique_predecessor);
+  EXPECT_FALSE(rep.predecessors_form_clique);
+  EXPECT_FALSE(rep.is_vtdag);
+
+  // Adding e(a, b) makes {a, b} comparable: now a VTDAG.
+  s.AddFact(e_, {a, b});
+  VtdagReport rep2 = CheckVtdag(s);
+  EXPECT_TRUE(rep2.is_vtdag) << rep2.violation;
+}
+
+TEST_F(VtdagTest, ConstantsAreExemptFromConditions) {
+  // Named constants may have many predecessors: conditions only apply to
+  // non-constants.
+  TermId a = sig_->AddConstant("a");
+  TermId b = sig_->AddConstant("b");
+  TermId c = sig_->AddConstant("c");
+  Structure s(sig_);
+  s.AddFact(e_, {a, c});
+  s.AddFact(e_, {b, c});
+  s.AddFact(e_, {c, a});  // even a cycle through constants is fine
+  VtdagReport rep = CheckVtdag(s);
+  EXPECT_TRUE(rep.is_vtdag) << rep.violation;
+}
+
+TEST_F(VtdagTest, PSetOfConstantIsSingleton) {
+  TermId a = sig_->AddConstant("a");
+  Structure s(sig_);
+  TermId n = Null();
+  s.AddFact(e_, {n, a});
+  auto p = PSet(s, a);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.count(a));
+}
+
+TEST_F(VtdagTest, PkSetsGrowAlongChain) {
+  std::vector<TermId> elems;
+  Structure s = MakeChain(sig_, 6, &elems);
+  // P(e) of element i (i>0) = {elems[i-1], elems[i]}.
+  auto p0 = PkSet(s, elems[4], 0);
+  EXPECT_EQ(p0.size(), 2u);
+  auto p2 = PkSet(s, elems[4], 2);
+  EXPECT_EQ(p2.size(), 4u);  // elems[1..4]
+  EXPECT_TRUE(p2.count(elems[1]));
+  auto deep = PkSet(s, elems[4], 10);  // saturates at the root
+  EXPECT_EQ(deep.size(), 5u);
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -1,0 +1,379 @@
+// Unit tests for the core data model: terms, signatures, atoms, structures,
+// substitutions, queries, rules and theories.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/core/query.h"
+#include "bddfc/core/rule.h"
+#include "bddfc/core/signature.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/substitution.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+namespace {
+
+TEST(TermTest, VariableEncodingRoundTrips) {
+  for (int k = 0; k < 100; ++k) {
+    TermId v = MakeVar(k);
+    EXPECT_TRUE(IsVar(v));
+    EXPECT_FALSE(IsConst(v));
+    EXPECT_EQ(DecodeVar(v), k);
+  }
+}
+
+TEST(TermTest, ConstantsAreNonNegative) {
+  EXPECT_TRUE(IsConst(0));
+  EXPECT_TRUE(IsConst(42));
+  EXPECT_FALSE(IsVar(0));
+}
+
+TEST(SignatureTest, AddAndFindPredicate) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  EXPECT_EQ(sig.arity(e), 2);
+  EXPECT_EQ(sig.PredicateName(e), "e");
+  EXPECT_EQ(std::move(sig.FindPredicate("e")).ValueOrDie(), e);
+  EXPECT_FALSE(sig.FindPredicate("missing").ok());
+}
+
+TEST(SignatureTest, RedeclareSameArityIsIdempotent) {
+  Signature sig;
+  PredId e1 = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  PredId e2 = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(sig.num_predicates(), 1);
+}
+
+TEST(SignatureTest, RedeclareDifferentArityFails) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("e", 2).ok());
+  Result<PredId> bad = sig.AddPredicate("e", 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SignatureTest, ConstantsAndNullsAreDistinguished) {
+  Signature sig;
+  TermId a = sig.AddConstant("a");
+  TermId n = sig.AddNull();
+  EXPECT_FALSE(sig.IsNull(a));
+  EXPECT_TRUE(sig.IsNull(n));
+  EXPECT_NE(a, n);
+  // Re-adding a constant is idempotent.
+  EXPECT_EQ(sig.AddConstant("a"), a);
+  // Nulls are always fresh.
+  EXPECT_NE(sig.AddNull(), n);
+}
+
+TEST(SignatureTest, ColorPredicatesCarryHueAndLightness) {
+  Signature sig;
+  PredId k = sig.AddColorPredicate(3, 7);
+  EXPECT_TRUE(sig.IsColor(k));
+  EXPECT_EQ(sig.predicate(k).hue, 3);
+  EXPECT_EQ(sig.predicate(k).lightness, 7);
+  EXPECT_EQ(sig.arity(k), 1);
+}
+
+TEST(SignatureTest, IsBinaryRespectsMaxArity) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("u", 1).ok());
+  ASSERT_TRUE(sig.AddPredicate("e", 2).ok());
+  EXPECT_TRUE(sig.IsBinary());
+  ASSERT_TRUE(sig.AddPredicate("t", 3).ok());
+  EXPECT_FALSE(sig.IsBinary());
+  EXPECT_EQ(sig.MaxArity(), 3);
+}
+
+TEST(SignatureTest, FreshPredicateNameAvoidsCollision) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("f", 2).ok());
+  std::string fresh = sig.FreshPredicateName("f");
+  EXPECT_NE(fresh, "f");
+  EXPECT_FALSE(sig.FindPredicate(fresh).ok());
+}
+
+class StructureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sig_ = std::make_shared<Signature>();
+    e_ = std::move(sig_->AddPredicate("e", 2)).ValueOrDie();
+    u_ = std::move(sig_->AddPredicate("u", 1)).ValueOrDie();
+    a_ = sig_->AddConstant("a");
+    b_ = sig_->AddConstant("b");
+    c_ = sig_->AddConstant("c");
+  }
+
+  SignaturePtr sig_;
+  PredId e_ = -1, u_ = -1;
+  TermId a_ = -1, b_ = -1, c_ = -1;
+};
+
+TEST_F(StructureTest, AddFactDeduplicates) {
+  Structure s(sig_);
+  EXPECT_TRUE(s.AddFact(e_, {a_, b_}));
+  EXPECT_FALSE(s.AddFact(e_, {a_, b_}));
+  EXPECT_EQ(s.NumFacts(), 1u);
+  EXPECT_TRUE(s.Contains(e_, {a_, b_}));
+  EXPECT_FALSE(s.Contains(e_, {b_, a_}));
+}
+
+TEST_F(StructureTest, DomainTracksFirstAppearance) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(u_, {c_});
+  ASSERT_EQ(s.Domain().size(), 3u);
+  EXPECT_EQ(s.Domain()[0], a_);
+  EXPECT_EQ(s.Domain()[1], b_);
+  EXPECT_EQ(s.Domain()[2], c_);
+  EXPECT_TRUE(s.InDomain(a_));
+}
+
+TEST_F(StructureTest, ExplicitDomainElementWithoutFacts) {
+  Structure s(sig_);
+  s.AddDomainElement(c_);
+  EXPECT_TRUE(s.InDomain(c_));
+  EXPECT_EQ(s.NumFacts(), 0u);
+}
+
+TEST_F(StructureTest, PostingsIndexFindsRows) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(e_, {a_, c_});
+  s.AddFact(e_, {b_, c_});
+  const std::vector<uint32_t>* from_a = s.Postings(e_, 0, a_);
+  ASSERT_NE(from_a, nullptr);
+  EXPECT_EQ(from_a->size(), 2u);
+  const std::vector<uint32_t>* to_c = s.Postings(e_, 1, c_);
+  ASSERT_NE(to_c, nullptr);
+  EXPECT_EQ(to_c->size(), 2u);
+  EXPECT_EQ(s.Postings(e_, 0, c_), nullptr);
+}
+
+TEST_F(StructureTest, RestrictToPredicates) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(u_, {a_});
+  Structure only_e = s.RestrictToPredicates({e_});
+  EXPECT_EQ(only_e.NumFacts(), 1u);
+  EXPECT_TRUE(only_e.Contains(e_, {a_, b_}));
+  EXPECT_FALSE(only_e.Contains(u_, {a_}));
+}
+
+TEST_F(StructureTest, RestrictToElements) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(e_, {b_, c_});
+  Structure sub = s.RestrictToElements({a_, b_});
+  EXPECT_EQ(sub.NumFacts(), 1u);
+  EXPECT_TRUE(sub.Contains(e_, {a_, b_}));
+}
+
+TEST_F(StructureTest, ContainsAllFactsOf) {
+  Structure big(sig_), small(sig_);
+  big.AddFact(e_, {a_, b_});
+  big.AddFact(u_, {a_});
+  small.AddFact(e_, {a_, b_});
+  EXPECT_TRUE(big.ContainsAllFactsOf(small));
+  EXPECT_FALSE(small.ContainsAllFactsOf(big));
+}
+
+TEST(SubstitutionTest, BindAndResolveChains) {
+  Substitution s;
+  TermId x = MakeVar(0), y = MakeVar(1);
+  EXPECT_TRUE(s.Bind(x, y));
+  EXPECT_TRUE(s.Bind(y, 7));
+  EXPECT_EQ(s.Resolve(x), 7);
+  EXPECT_EQ(s.Resolve(y), 7);
+}
+
+TEST(SubstitutionTest, ConflictingConstantBindFails) {
+  Substitution s;
+  TermId x = MakeVar(0);
+  EXPECT_TRUE(s.Bind(x, 3));
+  EXPECT_FALSE(s.Bind(x, 4));
+  EXPECT_TRUE(s.Bind(x, 3));  // same constant is fine
+}
+
+TEST(SubstitutionTest, ApplyToAtom) {
+  Substitution s;
+  s.Bind(MakeVar(0), 5);
+  Atom a(0, {MakeVar(0), MakeVar(1)});
+  Atom out = s.Apply(a);
+  EXPECT_EQ(out.args[0], 5);
+  EXPECT_EQ(out.args[1], MakeVar(1));
+}
+
+TEST(UnifyTest, UnifiesVariablesAndConstants) {
+  // e(x, b) with e(a, y) should unify with x=a, y=b.
+  Substitution mgu;
+  Atom lhs(0, {MakeVar(0), 1});
+  Atom rhs(0, {0, MakeVar(1)});
+  ASSERT_TRUE(UnifyAtoms(lhs, rhs, &mgu));
+  EXPECT_EQ(mgu.Resolve(MakeVar(0)), 0);
+  EXPECT_EQ(mgu.Resolve(MakeVar(1)), 1);
+}
+
+TEST(UnifyTest, FailsOnDistinctConstants) {
+  Substitution mgu;
+  Atom lhs(0, {3, MakeVar(0)});
+  Atom rhs(0, {4, MakeVar(1)});
+  EXPECT_FALSE(UnifyAtoms(lhs, rhs, &mgu));
+}
+
+TEST(UnifyTest, FailsOnDifferentPredicates) {
+  Substitution mgu;
+  EXPECT_FALSE(UnifyAtoms(Atom(0, {MakeVar(0)}), Atom(1, {MakeVar(0)}), &mgu));
+}
+
+TEST(QueryTest, VariablesInFirstOccurrenceOrder) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(0, {MakeVar(2), MakeVar(0)}));
+  q.atoms.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  std::vector<TermId> vars = q.Variables();
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], MakeVar(2));
+  EXPECT_EQ(vars[1], MakeVar(0));
+  EXPECT_EQ(vars[2], MakeVar(1));
+}
+
+TEST(QueryTest, NormalizedIsRenamingInvariant) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("e", 2).ok());
+  ConjunctiveQuery q1, q2;
+  q1.atoms.push_back(Atom(0, {MakeVar(5), MakeVar(9)}));
+  q1.atoms.push_back(Atom(0, {MakeVar(9), MakeVar(5)}));
+  q2.atoms.push_back(Atom(0, {MakeVar(1), MakeVar(0)}));
+  q2.atoms.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  EXPECT_EQ(q1.NormalizedKey(sig), q2.NormalizedKey(sig));
+}
+
+TEST(QueryTest, NormalizedDropsDuplicateAtoms) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  q.atoms.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  EXPECT_EQ(q.Normalized().atoms.size(), 1u);
+}
+
+TEST(QueryTest, RenamedApartUsesFreshVariables) {
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  int32_t next = 10;
+  ConjunctiveQuery r = q.RenamedApart(&next);
+  EXPECT_EQ(r.atoms[0].args[0], MakeVar(10));
+  EXPECT_EQ(r.atoms[0].args[1], MakeVar(11));
+  EXPECT_EQ(next, 12);
+}
+
+TEST(RuleTest, ExistentialAndFrontierVariables) {
+  // e(x, y) -> ∃z e(y, z)
+  Rule r;
+  r.body.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  r.head.push_back(Atom(0, {MakeVar(1), MakeVar(2)}));
+  EXPECT_TRUE(r.IsExistential());
+  EXPECT_FALSE(r.IsDatalog());
+  ASSERT_EQ(r.ExistentialVariables().size(), 1u);
+  EXPECT_EQ(r.ExistentialVariables()[0], MakeVar(2));
+  ASSERT_EQ(r.FrontierVariables().size(), 1u);
+  EXPECT_EQ(r.FrontierVariables()[0], MakeVar(1));
+}
+
+TEST(RuleTest, DatalogRuleHasNoExistentials) {
+  Rule r;
+  r.body.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  r.body.push_back(Atom(0, {MakeVar(1), MakeVar(2)}));
+  r.head.push_back(Atom(0, {MakeVar(0), MakeVar(2)}));
+  EXPECT_TRUE(r.IsDatalog());
+}
+
+TEST(RuleTest, ValidateRejectsWrongArity) {
+  Signature sig;
+  ASSERT_TRUE(sig.AddPredicate("e", 2).ok());
+  Rule r;
+  r.body.push_back(Atom(0, {MakeVar(0)}));  // e with arity 1: invalid
+  r.head.push_back(Atom(0, {MakeVar(0), MakeVar(1)}));
+  EXPECT_FALSE(r.Validate(sig).ok());
+}
+
+TEST(RuleTest, ValidateRejectsEmptyHead) {
+  Signature sig;
+  Rule r;
+  r.body.push_back(Atom(0, {MakeVar(0)}));
+  EXPECT_FALSE(r.Validate(sig).ok());
+}
+
+TEST(TheoryTest, TgpCandidatesAreTgdHeadPredicates) {
+  auto sig = std::make_shared<Signature>();
+  PredId e = std::move(sig->AddPredicate("e", 2)).ValueOrDie();
+  PredId r = std::move(sig->AddPredicate("r", 2)).ValueOrDie();
+  Theory t(sig);
+  {
+    Rule rule;
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(e, {MakeVar(1), MakeVar(2)}));
+    ASSERT_TRUE(t.AddRule(rule).ok());
+  }
+  {
+    Rule rule;  // datalog
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(r, {MakeVar(0), MakeVar(1)}));
+    ASSERT_TRUE(t.AddRule(rule).ok());
+  }
+  auto tgps = t.TgpCandidates();
+  EXPECT_EQ(tgps.size(), 1u);
+  EXPECT_TRUE(tgps.count(e));
+  EXPECT_FALSE(tgps.count(r));
+}
+
+TEST(TheoryTest, Spade5NormalFormDetection) {
+  auto sig = std::make_shared<Signature>();
+  PredId e = std::move(sig->AddPredicate("e", 2)).ValueOrDie();
+  PredId r = std::move(sig->AddPredicate("r", 2)).ValueOrDie();
+  Theory good(sig);
+  {
+    Rule rule;  // e(x,y) -> ∃z r(y,z): head witness second => fine
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(r, {MakeVar(1), MakeVar(2)}));
+    ASSERT_TRUE(good.AddRule(rule).ok());
+  }
+  EXPECT_TRUE(good.IsSpade5Normal());
+
+  Theory bad(sig);
+  {
+    Rule rule;  // witness in first position => violates (♠5)
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(r, {MakeVar(2), MakeVar(1)}));
+    ASSERT_TRUE(bad.AddRule(rule).ok());
+  }
+  EXPECT_FALSE(bad.IsSpade5Normal());
+
+  Theory mixed(sig);
+  {
+    Rule rule;  // TGP r also in a datalog head => violates (♠5)
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(r, {MakeVar(1), MakeVar(2)}));
+    ASSERT_TRUE(mixed.AddRule(rule).ok());
+  }
+  {
+    Rule rule;
+    rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+    rule.head.push_back(Atom(r, {MakeVar(0), MakeVar(1)}));
+    ASSERT_TRUE(mixed.AddRule(rule).ok());
+  }
+  EXPECT_FALSE(mixed.IsSpade5Normal());
+}
+
+TEST(TheoryTest, MaxBodyVariablesCountsDistinctVars) {
+  auto sig = std::make_shared<Signature>();
+  PredId e = std::move(sig->AddPredicate("e", 2)).ValueOrDie();
+  Theory t(sig);
+  Rule rule;
+  rule.body.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  rule.body.push_back(Atom(e, {MakeVar(1), MakeVar(2)}));
+  rule.head.push_back(Atom(e, {MakeVar(0), MakeVar(2)}));
+  ASSERT_TRUE(t.AddRule(rule).ok());
+  EXPECT_EQ(t.MaxBodyVariables(), 3);
+}
+
+}  // namespace
+}  // namespace bddfc

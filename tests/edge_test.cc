@@ -1,0 +1,158 @@
+// Edge cases and failure injection across modules: repeated variables in
+// atoms, 0-ary predicates, empty structures, budget statuses.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/eval/answers.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/rewrite/rewriter.h"
+#include "bddfc/types/ptype.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace bddfc {
+namespace {
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(EdgeTest, RepeatedVariableInAtomRequiresDiagonal) {
+  Program p = MustParse("e(a, b). e(c, c).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery diag;
+  diag.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(0)}));
+  EXPECT_TRUE(Satisfies(p.instance, diag));
+  // Remove the loop: diagonal query fails even though e is nonempty.
+  Program q = MustParse("e(a, b).");
+  PredId e2 = std::move(q.theory.sig().FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery diag2;
+  diag2.atoms.push_back(Atom(e2, {MakeVar(0), MakeVar(0)}));
+  EXPECT_FALSE(Satisfies(q.instance, diag2));
+}
+
+TEST(EdgeTest, RepeatedVariableAcrossAtoms) {
+  // e(x, y), e(y, x), u(x): needs a 2-cycle through a u-element.
+  Program p = MustParse("e(a, b). e(b, a). u(b).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  PredId u = std::move(sig.FindPredicate("u")).ValueOrDie();
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  q.atoms.push_back(Atom(e, {MakeVar(1), MakeVar(0)}));
+  q.atoms.push_back(Atom(u, {MakeVar(0)}));
+  EXPECT_TRUE(Satisfies(p.instance, q));
+  Matcher m(p.instance);
+  // Exactly one match binds x to the u-element: x=b, y=a.
+  EXPECT_EQ(m.CountMatches(q.atoms), 1u);
+}
+
+TEST(EdgeTest, ZeroAryPredicatesChaseAndMatch) {
+  Program p = MustParse(R"(
+    e(X, Y) -> goal.
+    goal, e(X, Y) -> u(X).
+    e(a, b).
+  )");
+  ChaseResult r = RunChase(p.theory, p.instance);
+  ASSERT_TRUE(r.status.ok());
+  const Signature& sig = p.theory.sig();
+  PredId goal = std::move(sig.FindPredicate("goal")).ValueOrDie();
+  PredId u = std::move(sig.FindPredicate("u")).ValueOrDie();
+  EXPECT_EQ(r.structure.Rows(goal).size(), 1u);
+  EXPECT_EQ(r.structure.Rows(u).size(), 1u);
+}
+
+TEST(EdgeTest, EmptyInstanceChaseIsEmpty) {
+  Program p = MustParse("e(X, Y) -> exists Z: e(Y, Z).");
+  ChaseResult r = RunChase(p.theory, p.instance);
+  EXPECT_TRUE(r.fixpoint_reached);
+  EXPECT_EQ(r.structure.NumFacts(), 0u);
+}
+
+TEST(EdgeTest, ConstantsInRuleBodies) {
+  // Rules may mention constants: only b's successors get marked.
+  Program p = MustParse(R"(
+    e(b, X) -> marked(X).
+    e(a, c). e(b, d).
+  )");
+  ChaseResult r = RunChase(p.theory, p.instance);
+  const Signature& sig = p.theory.sig();
+  PredId marked = std::move(sig.FindPredicate("marked")).ValueOrDie();
+  TermId d = std::move(sig.FindConstant("d")).ValueOrDie();
+  ASSERT_EQ(r.structure.Rows(marked).size(), 1u);
+  EXPECT_EQ(r.structure.Rows(marked)[0][0], d);
+}
+
+TEST(EdgeTest, TypeOracleBudgetReportsExhaustion) {
+  auto sig = std::make_shared<Signature>();
+  Structure chain = MakeChain(sig, 30);
+  auto part = ExactPtpPartition(chain, 3, {}, /*max_patterns=*/50);
+  EXPECT_FALSE(part.ok());
+  EXPECT_EQ(part.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EdgeTest, RewriteBudgetsReportUnknown) {
+  Program p = MustParse("e(X, Y), e(Y, Z) -> e(X, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  RewriteOptions opts;
+  opts.max_queries = 5;
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  RewriteResult r = RewriteQuery(p.theory, q, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::kUnknown);
+  // The atoms cap also trips cleanly.
+  RewriteOptions opts2;
+  opts2.max_atoms_per_query = 2;
+  opts2.max_depth = 6;
+  RewriteResult r2 = RewriteQuery(p.theory, q, opts2);
+  EXPECT_EQ(r2.status.code(), StatusCode::kUnknown);
+}
+
+TEST(EdgeTest, CertainAnswersIncompleteOnInfiniteChase) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b).
+  )");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q;
+  q.answer_vars = {MakeVar(0), MakeVar(1)};
+  q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  ChaseOptions copts;
+  copts.max_rounds = 4;
+  CertainAnswersResult r = CertainAnswers(p.theory, p.instance, q, copts);
+  EXPECT_FALSE(r.complete);  // chase did not reach a fixpoint
+  // Only the database edge binds constants; invented nulls are filtered.
+  ASSERT_EQ(r.answers.size(), 1u);
+}
+
+TEST(EdgeTest, SelfLoopChaseTerminatesViaReuse) {
+  // A loop supplies every witness: the non-oblivious chase stops at once.
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, a).
+  )");
+  ChaseResult r = RunChase(p.theory, p.instance);
+  EXPECT_TRUE(r.fixpoint_reached);
+  EXPECT_EQ(r.nulls_created, 0u);
+  EXPECT_EQ(r.structure.NumFacts(), 1u);
+}
+
+TEST(EdgeTest, IsolatedDomainElementsSurviveQuotients) {
+  auto sig = std::make_shared<Signature>();
+  ASSERT_TRUE(sig->AddPredicate("e", 2).ok());
+  Structure s(sig);
+  TermId lone = sig->AddNull();
+  s.AddDomainElement(lone);
+  auto part = ExactPtpPartition(s, 2);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(part.value().num_classes, 1);
+}
+
+}  // namespace
+}  // namespace bddfc

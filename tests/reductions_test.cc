@@ -1,0 +1,203 @@
+// Tests for the ♠4/♠5 transformations and the §5.1–5.3 reductions.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/classes/recognizers.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/reductions/reductions.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace bddfc {
+namespace {
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(HideQueryTest, AddsExactlyOneRuleAndFreshPredicate) {
+  Program p = Example7();
+  const Signature& sig = p.theory.sig();
+  auto q = std::move(ParseQuery("e(X, X)", p.theory.signature_ptr().get()))
+               .ValueOrDie();
+  auto hidden = HideQuery(p.theory, q);
+  ASSERT_TRUE(hidden.ok()) << hidden.status().ToString();
+  EXPECT_EQ(hidden.value().theory.size(), p.theory.size() + 1);
+  EXPECT_EQ(sig.arity(hidden.value().f), 2);
+  const Rule& hide = hidden.value().theory.rules().back();
+  EXPECT_TRUE(hide.IsExistential());
+  EXPECT_EQ(hide.head[0].pred, hidden.value().f);
+}
+
+TEST(HideQueryTest, FDerivedIffQueryCertain) {
+  // With D making the query certain, F appears in the chase; otherwise not.
+  Program p = MustParse("e(a, a).");
+  auto q = std::move(ParseQuery("e(X, X)", p.theory.signature_ptr().get()))
+               .ValueOrDie();
+  auto hidden = HideQuery(p.theory, q);
+  ASSERT_TRUE(hidden.ok());
+  ChaseResult res = RunChase(hidden.value().theory, p.instance);
+  EXPECT_FALSE(res.structure.Rows(hidden.value().f).empty());
+
+  Program p2 = MustParse("e(a, b).");
+  auto q2 = std::move(ParseQuery("e(X, X)", p2.theory.signature_ptr().get()))
+                .ValueOrDie();
+  auto hidden2 = HideQuery(p2.theory, q2);
+  ASSERT_TRUE(hidden2.ok());
+  ChaseResult res2 = RunChase(hidden2.value().theory, p2.instance);
+  EXPECT_TRUE(res2.structure.Rows(hidden2.value().f).empty());
+}
+
+TEST(Spade5Test, NormalizesAllHeadShapes) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).      % forward head
+    e(X, Y) -> exists Z: e(Z, X).      % reversed head
+    e(X, Y) -> exists Z: u(Z).         % unary head, no frontier
+    e(X, Y) -> exists Z: r(Z, Z).      % doubled existential
+    e(X, Y) -> exists Z1, Z2: r(Z1, Z2). % two existentials
+    e(X, Y), e(Y, Z) -> e(X, Z).       % datalog untouched
+  )");
+  auto norm = NormalizeSpade5(p.theory);
+  ASSERT_TRUE(norm.ok()) << norm.status().ToString();
+  EXPECT_TRUE(norm.value().IsSpade5Normal());
+  // The transformed theory still only has binary-or-smaller predicates.
+  EXPECT_TRUE(norm.value().sig().IsBinary());
+}
+
+TEST(Spade5Test, PreservesCertainAnswers) {
+  // Certain answers over the original signature must be unchanged.
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(X, Y), e(Y, Z) -> t(X, Z).
+    e(a, b).
+  )");
+  auto norm = NormalizeSpade5(p.theory);
+  ASSERT_TRUE(norm.ok());
+  const Signature& sig = p.theory.sig();
+  PredId t = std::move(sig.FindPredicate("t")).ValueOrDie();
+  ConjunctiveQuery q;  // ∃x t(a-successor chain of 2)
+  q.atoms.push_back(Atom(t, {MakeVar(0), MakeVar(1)}));
+
+  ChaseOptions opts;
+  opts.max_rounds = 8;
+  ChaseResult orig = RunChase(p.theory, p.instance, opts);
+  opts.max_rounds = 16;  // normalization doubles derivation depth
+  ChaseResult trans = RunChase(norm.value(), p.instance, opts);
+  EXPECT_EQ(Satisfies(orig.structure, q), Satisfies(trans.structure, q));
+  // And e-atoms of the original chase are reproduced.
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  EXPECT_GE(trans.structure.Rows(e).size(), orig.structure.Rows(e).size());
+}
+
+TEST(SingleHeadifyTest, SplitsDatalogAndJoinsTgds) {
+  Program p = MustParse(R"(
+    p(X) -> q(X), s(X).
+    p(X) -> r(X, Z), u(Z).
+  )");
+  auto single = SingleHeadify(p.theory);
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+  EXPECT_TRUE(single.value().IsSingleHead());
+  // Rule 1 (datalog, 2 heads) -> 2 rules; rule 2 (TGD, 2 heads) -> 1 join
+  // TGD + 2 projections.
+  EXPECT_EQ(single.value().size(), 5u);
+  // Certain answers preserved: u(z) and s(a) derivable from p(a).
+  auto d = ParseProgram("p(a).", p.theory.signature_ptr());
+  ASSERT_TRUE(d.ok());
+  ChaseResult chase = RunChase(single.value(), d.value().instance);
+  const Signature& sig = single.value().sig();
+  PredId u = std::move(sig.FindPredicate("u")).ValueOrDie();
+  PredId s = std::move(sig.FindPredicate("s")).ValueOrDie();
+  EXPECT_EQ(chase.structure.Rows(u).size(), 1u);
+  EXPECT_EQ(chase.structure.Rows(s).size(), 1u);
+}
+
+TEST(BinarizeHeadsTest, TheoremThreeFormBecomesBinaryHeaded) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z1, Z2: t(Y, Z1, Z2).
+  )");
+  auto bin = BinarizeHeads(p.theory);
+  ASSERT_TRUE(bin.ok()) << bin.status().ToString();
+  for (const Rule& r : bin.value().rules()) {
+    if (r.IsExistential()) {
+      EXPECT_LE(r.head[0].args.size(), 2u);
+      EXPECT_EQ(r.ExistentialVariables().size(), 1u);
+    }
+  }
+  // Chasing reassembles the ternary atom.
+  auto d = ParseProgram("e(a, b).", p.theory.signature_ptr());
+  ASSERT_TRUE(d.ok());
+  ChaseResult chase = RunChase(bin.value(), d.value().instance);
+  ASSERT_TRUE(chase.status.ok()) << chase.status.ToString();
+  const Signature& sig = bin.value().sig();
+  PredId t = std::move(sig.FindPredicate("t")).ValueOrDie();
+  EXPECT_EQ(chase.structure.Rows(t).size(), 1u);
+}
+
+TEST(BinarizeHeadsTest, RejectsTwoFrontierVariables) {
+  Program p = MustParse("e(X, Y) -> exists Z: t(X, Y, Z).");
+  auto bin = BinarizeHeads(p.theory);
+  EXPECT_EQ(bin.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TernarizeTest, WideAtomsBecomeChains) {
+  Program p = Section54();  // has the arity-4 predicate r
+  auto tern = TernarizeTheory(p.theory);
+  ASSERT_TRUE(tern.ok()) << tern.status().ToString();
+  // Every rule of the ternary theory uses only arity <= 3 atoms.
+  for (const Rule& r : tern.value().theory.rules()) {
+    for (const Atom& a : r.body) {
+      EXPECT_LE(tern.value().theory.sig().arity(a.pred), 3);
+    }
+    for (const Atom& a : r.head) {
+      EXPECT_LE(tern.value().theory.sig().arity(a.pred), 3);
+    }
+  }
+  ASSERT_EQ(tern.value().chains.size(), 1u);
+}
+
+TEST(TernarizeTest, InstanceEncodingAndChaseAgree) {
+  Program p = Section54();
+  auto tern = TernarizeTheory(p.theory);
+  ASSERT_TRUE(tern.ok());
+  Structure d3 = TernarizeInstance(tern.value(), p.instance);
+  // D has only the binary atom e(a, b): unchanged by the encoding.
+  EXPECT_EQ(d3.NumFacts(), p.instance.NumFacts());
+
+  // The original theory derives e(b, z) (via r); the ternary one must too.
+  ChaseOptions opts;
+  opts.max_rounds = 6;
+  ChaseResult orig = RunChase(p.theory, p.instance, opts);
+  opts.max_rounds = 18;
+  ChaseResult trans = RunChase(tern.value().theory, d3, opts);
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  TermId b = std::move(sig.FindConstant("b")).ValueOrDie();
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(e, {b, MakeVar(0)}));
+  EXPECT_TRUE(Satisfies(orig.structure, q));
+  EXPECT_TRUE(Satisfies(trans.structure, q));
+}
+
+TEST(TernarizeTest, WideFactEncodesAsCells) {
+  Program p = MustParse(R"(
+    w(X1, X2, X3, X4, X5) -> goal.
+    w(a, b, c, d, e).
+  )");
+  auto tern = TernarizeTheory(p.theory);
+  ASSERT_TRUE(tern.ok()) << tern.status().ToString();
+  Structure d3 = TernarizeInstance(tern.value(), p.instance);
+  // Arity 5: 3 ternary cells + 1 final binary atom.
+  EXPECT_EQ(d3.NumFacts(), 4u);
+  // The chase over the encoding still derives the goal.
+  ChaseResult chase = RunChase(tern.value().theory, d3);
+  ASSERT_TRUE(chase.status.ok());
+  const Signature& sig = tern.value().theory.sig();
+  PredId goal = std::move(sig.FindPredicate("goal")).ValueOrDie();
+  EXPECT_EQ(chase.structure.Rows(goal).size(), 1u);
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -1,0 +1,241 @@
+// Tests for the UCQ rewriting engine, κ computation, BDD probing and
+// derivation depth — including the end-to-end soundness/completeness
+// property Chase(D, T) ⊨ Φ ⇔ D ⊨ Φ′ on generated instances.
+
+#include <gtest/gtest.h>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/rewrite/rewriter.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace bddfc {
+namespace {
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(RewriteTest, SuccessorTheoryCollapsesPathQueries) {
+  // T: e(x, y) -> ∃z e(y, z). Rewriting of the k-path query must include
+  // the single-edge query (any edge grows a path in the chase).
+  Program p = MustParse("e(X, Y) -> exists Z: e(Y, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+
+  RewriteResult rr = RewriteQuery(p.theory, PathQuery(e, 3));
+  ASSERT_TRUE(rr.status.ok()) << rr.status.ToString();
+  // Minimized rewriting: exactly the single-edge CQ.
+  ASSERT_EQ(rr.rewriting.size(), 1u);
+  EXPECT_EQ(rr.rewriting[0].atoms.size(), 1u);
+}
+
+TEST(RewriteTest, RewritingIsSoundAndCompleteOnInstances) {
+  Program p = MustParse("e(X, Y) -> exists Z: e(Y, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q = PathQuery(e, 4);
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  ASSERT_TRUE(rr.status.ok());
+
+  // On random instances: D ⊨ Φ′ iff Chase(D, T) ⊨ Φ. The chase is infinite
+  // here, but 4-path derivability needs at most 4 rounds beyond |D|.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    auto inst_sig = std::make_shared<Signature>(*p.theory.signature_ptr());
+    Structure d = RandomGraph(inst_sig, 5, 6, seed);
+    // RandomGraph adds predicate e0; rebuild over e directly instead.
+    Structure d2(p.theory.signature_ptr());
+    d.ForEachFact([&](PredId, const std::vector<TermId>& row) {
+      std::vector<TermId> named;
+      for (TermId t : row) {
+        named.push_back(p.theory.signature_ptr()->AddConstant(
+            "c" + std::to_string(t)));
+      }
+      d2.AddFact(e, named);
+    });
+    ChaseOptions copts;
+    copts.max_rounds = 12;
+    ChaseResult chase = RunChase(p.theory, d2, copts);
+    bool certain = Satisfies(chase.structure, q);
+    bool rewritten = SatisfiesUcq(d2, rr.rewriting);
+    EXPECT_EQ(certain, rewritten) << "seed " << seed;
+  }
+}
+
+TEST(RewriteTest, DatalogRulesRewriteThroughHeads) {
+  // Transitivity: the rewriting of e(x, y) under transitive closure is
+  // infinite (all path queries) => Unknown at small budget.
+  Program p = MustParse("e(X, Y), e(Y, Z) -> e(X, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  RewriteOptions opts;
+  opts.max_depth = 4;
+  opts.max_queries = 200;
+  // Keep raw disjuncts: minimization would (correctly) fold every k-path
+  // into the 1-edge disjunct.
+  opts.minimize = false;
+  RewriteResult rr = RewriteQuery(p.theory, PathQuery(e, 1), opts);
+  EXPECT_FALSE(rr.status.ok());
+  EXPECT_EQ(rr.status.code(), StatusCode::kUnknown);
+  // But the produced disjuncts are sound: they include 2-paths.
+  bool has_two_path = false;
+  for (const auto& d : rr.rewriting) {
+    if (d.atoms.size() == 2) has_two_path = true;
+  }
+  EXPECT_TRUE(has_two_path);
+}
+
+TEST(RewriteTest, ConstantsBlockUnification) {
+  Program p = MustParse(R"(
+    u(X) -> exists Z: e(X, Z).
+    u(a).
+  )");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  TermId b = p.theory.mutable_sig().AddConstant("b");
+  // Query e(x, b): the witness position holds a constant => the TGD is not
+  // applicable; rewriting stays the query itself.
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(e, {MakeVar(0), b}));
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  ASSERT_TRUE(rr.status.ok());
+  ASSERT_EQ(rr.rewriting.size(), 1u);
+  EXPECT_EQ(rr.rewriting[0].atoms.size(), 1u);
+  EXPECT_EQ(rr.rewriting[0].atoms[0].pred, e);
+}
+
+TEST(RewriteTest, SharedVariableBlocksExistentialUnification) {
+  Program p = MustParse("u(X) -> exists Z: e(X, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  // Query e(x, y), e(y2, y): y occurs in two atoms — without factorization
+  // the TGD could not resolve either atom; with factorization the atoms
+  // unify first. The rewriting then contains u(x).
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  q.atoms.push_back(Atom(e, {MakeVar(2), MakeVar(1)}));
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  ASSERT_TRUE(rr.status.ok());
+  PredId u = std::move(sig.FindPredicate("u")).ValueOrDie();
+  bool has_u = false;
+  for (const auto& d : rr.rewriting) {
+    if (d.atoms.size() == 1 && d.atoms[0].pred == u) has_u = true;
+  }
+  EXPECT_TRUE(has_u);
+}
+
+TEST(RewriteTest, AnswerVariablesSurviveRewriting) {
+  Program p = MustParse("u(X) -> exists Z: e(X, Z).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  // Φ(y) = e(x, y): y is an answer variable, so the TGD (whose existential
+  // lands on y) must NOT apply.
+  ConjunctiveQuery q;
+  q.answer_vars.push_back(MakeVar(1));
+  q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  ASSERT_TRUE(rr.status.ok());
+  EXPECT_EQ(rr.rewriting.size(), 1u);
+  // Whereas Φ(x) = e(x, y) does rewrite to u(x).
+  ConjunctiveQuery q2;
+  q2.answer_vars.push_back(MakeVar(0));
+  q2.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  RewriteResult rr2 = RewriteQuery(p.theory, q2);
+  ASSERT_TRUE(rr2.status.ok());
+  EXPECT_EQ(rr2.rewriting.size(), 2u);
+}
+
+TEST(RewriteTest, MultiHeadExistentialIsRejected) {
+  Program p = MustParse("u(X) -> e(X, Z), u(Z).");
+  const Signature& sig = p.theory.sig();
+  PredId u = std::move(sig.FindPredicate("u")).ValueOrDie();
+  ConjunctiveQuery q;
+  q.atoms.push_back(Atom(u, {MakeVar(0)}));
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  EXPECT_EQ(rr.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RewriteTest, LinearTheoriesSaturate) {
+  // Random linear theories are BDD; the rewriting must saturate for
+  // single-atom queries at a generous budget.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto sig = std::make_shared<Signature>();
+    Theory t = RandomLinearTheory(sig, 3, 4, seed);
+    RewriteOptions opts;
+    opts.max_depth = 32;
+    opts.max_queries = 5000;
+    BddProbeResult probe = ProbeBdd(t, opts);
+    EXPECT_TRUE(probe.certified)
+        << "seed " << seed << ": " << probe.status.ToString();
+  }
+}
+
+TEST(RewriteTest, KappaOfSuccessorTheory) {
+  Program p = MustParse("e(X, Y) -> exists Z: e(Y, Z).");
+  KappaResult k = ComputeKappa(p.theory);
+  ASSERT_TRUE(k.status.ok()) << k.status.ToString();
+  EXPECT_EQ(k.kappa, 2);  // the body e(x, y) rewrites only to itself
+}
+
+TEST(RewriteTest, ProbeBddFlagsNonBddTheory) {
+  // Transitive closure is not BDD (nor first-order rewritable).
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+  )");
+  RewriteOptions opts;
+  opts.max_depth = 5;
+  opts.max_queries = 500;
+  BddProbeResult probe = ProbeBdd(p.theory, opts);
+  EXPECT_FALSE(probe.certified);
+}
+
+TEST(RewriteTest, ProbeBddCertifiesExample7) {
+  // Example 7's theory is stated BDD in the paper.
+  Program p = Example7();
+  RewriteOptions opts;
+  opts.max_depth = 16;
+  opts.max_queries = 4000;
+  BddProbeResult probe = ProbeBdd(p.theory, opts);
+  EXPECT_TRUE(probe.certified) << probe.status.ToString();
+  EXPECT_GE(probe.kappa, 2);
+}
+
+TEST(RewriteTest, DerivationDepthMatchesChaseLevels) {
+  Program p = MustParse(R"(
+    e(X, Y) -> exists Z: e(Y, Z).
+    e(a, b).
+  )");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  // A (k+1)-path from a exists first at chase level k.
+  for (int k = 0; k <= 4; ++k) {
+    EXPECT_EQ(DerivationDepth(p.theory, p.instance, PathQuery(e, k + 1), 16),
+              k);
+  }
+  // A directed cycle never appears.
+  EXPECT_EQ(DerivationDepth(p.theory, p.instance, CycleQuery(e, 3), 8), -1);
+}
+
+TEST(RewriteTest, RewritingDepthBoundsDerivationDepth) {
+  // The saturation depth of the rewriting is a k_Φ-style bound: on the
+  // instances where Φ is certain, it is derived within that many rounds.
+  Program p = MustParse("u(X) -> exists Z: e(X, Z). e(X, Y) -> u(Y).");
+  const Signature& sig = p.theory.sig();
+  PredId e = std::move(sig.FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q = PathQuery(e, 2);
+  RewriteResult rr = RewriteQuery(p.theory, q);
+  ASSERT_TRUE(rr.status.ok());
+  Program d = MustParse("u(a).");
+  // Rewriting saturated at some depth; the query's derivation depth on this
+  // instance is within a small factor (each level undoes one rule).
+  int depth = DerivationDepth(p.theory, d.instance, q, 16);
+  ASSERT_GE(depth, 0);
+  EXPECT_LE(static_cast<size_t>(depth), rr.depth_reached + 1);
+}
+
+}  // namespace
+}  // namespace bddfc

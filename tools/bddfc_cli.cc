@@ -1,0 +1,165 @@
+// bddfc command-line tool.
+//
+// Usage:
+//   bddfc chase    <program.dlg> [max_rounds]
+//   bddfc rewrite  <program.dlg>            (rewrites each ?- query)
+//   bddfc classify <program.dlg>            (class membership + BDD probe)
+//   bddfc model    <program.dlg>            (Theorem 2 counter-model per query)
+//   bddfc search   <program.dlg> [extra]    (brute-force counter-model)
+//
+// The program file uses the Datalog± syntax of parser/parser.h: facts,
+// rules (with optional 'exists V:' clauses) and '?-' queries.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/classes/recognizers.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/finitemodel/model_search.h"
+#include "bddfc/finitemodel/pipeline.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/rewrite/rewriter.h"
+
+namespace {
+
+using namespace bddfc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bddfc <chase|rewrite|classify|model|search> "
+               "<program.dlg> [arg]\n");
+  return 2;
+}
+
+Result<Program> Load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + std::string(path) + "'");
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return ParseProgram(buf.str());
+}
+
+int CmdChase(Program& p, size_t max_rounds) {
+  ChaseOptions opts;
+  opts.max_rounds = max_rounds;
+  ChaseResult r = RunChase(p.theory, p.instance, opts);
+  std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
+              r.rounds_run, r.structure.NumFacts(), r.nulls_created,
+              r.fixpoint_reached ? "yes" : "no", r.status.ToString().c_str());
+  std::printf("%s", r.structure.ToString().c_str());
+  for (size_t i = 0; i < p.queries.size(); ++i) {
+    std::printf("query %zu: %s\n", i,
+                Satisfies(r.structure, p.queries[i]) ? "certain (at this "
+                                                       "depth)"
+                                                     : "not derived");
+  }
+  return 0;
+}
+
+int CmdRewrite(Program& p) {
+  if (p.queries.empty()) {
+    std::printf("no ?- queries in the program\n");
+    return 1;
+  }
+  for (size_t i = 0; i < p.queries.size(); ++i) {
+    RewriteResult r = RewriteQuery(p.theory, p.queries[i]);
+    std::printf("query %zu: %s\n  disjuncts=%zu depth=%zu generated=%zu\n",
+                i, r.status.ToString().c_str(), r.rewriting.size(),
+                r.depth_reached, r.queries_generated);
+    std::printf("  %s\n", UcqToString(r.rewriting, p.theory.sig()).c_str());
+    std::printf("  D |= rewriting: %s\n",
+                SatisfiesUcq(p.instance, r.rewriting) ? "true" : "false");
+  }
+  return 0;
+}
+
+int CmdClassify(Program& p) {
+  std::printf("rules=%zu predicates=%d max_arity=%d\n", p.theory.size(),
+              p.theory.sig().num_predicates(), p.theory.sig().MaxArity());
+  std::printf("binary:          %s\n", IsBinaryTheory(p.theory) ? "yes" : "no");
+  std::printf("linear:          %s\n", IsLinear(p.theory) ? "yes" : "no");
+  std::printf("guarded:         %s\n", IsGuarded(p.theory) ? "yes" : "no");
+  StickyReport sticky = CheckSticky(p.theory);
+  std::printf("sticky:          %s%s%s\n", sticky.is_sticky ? "yes" : "no",
+              sticky.violation.empty() ? "" : "  -- ",
+              sticky.violation.c_str());
+  std::printf("weakly acyclic:  %s\n",
+              IsWeaklyAcyclic(p.theory) ? "yes" : "no");
+  std::printf("theorem-3 heads: %s\n",
+              HasSingleFrontierVariableHeads(p.theory) ? "yes" : "no");
+  BddProbeResult probe = ProbeBdd(p.theory);
+  std::printf("BDD probe:       %s (kappa=%d, max rewrite depth=%zu)\n",
+              probe.certified ? "certified" : "unknown at budget",
+              probe.kappa, probe.max_depth_seen);
+  return 0;
+}
+
+int CmdModel(Program& p) {
+  if (p.queries.empty()) {
+    std::printf("no ?- queries in the program\n");
+    return 1;
+  }
+  int rc = 0;
+  for (size_t i = 0; i < p.queries.size(); ++i) {
+    FiniteModelResult r =
+        ConstructFiniteCounterModel(p.theory, p.instance, p.queries[i]);
+    if (r.status.ok()) {
+      std::printf("query %zu: counter-model with %zu elements "
+                  "(kappa=%d n=%d depth=%zu):\n%s",
+                  i, r.model.Domain().size(), r.kappa, r.n_used,
+                  r.chase_depth_used, r.model.ToString().c_str());
+    } else if (r.query_certainly_true) {
+      std::printf("query %zu: certainly true (no counter-model exists)\n", i);
+    } else {
+      std::printf("query %zu: %s\n", i, r.status.ToString().c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int CmdSearch(Program& p, int extra) {
+  const ConjunctiveQuery* avoid =
+      p.queries.empty() ? nullptr : &p.queries[0];
+  ModelSearchOptions opts;
+  opts.max_extra_elements = extra;
+  ModelSearchResult r = FindFiniteModel(p.theory, p.instance, avoid, opts);
+  std::printf("checked %zu structures; %s\n", r.structures_checked,
+              r.status.ToString().c_str());
+  if (r.found) {
+    std::printf("model:\n%s", r.model->ToString().c_str());
+    return 0;
+  }
+  std::printf("no finite model%s within the domain budget\n",
+              avoid != nullptr ? " avoiding the first query" : "");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  Result<Program> loaded = Load(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  Program& p = loaded.value();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "chase") == 0) {
+    return CmdChase(p, argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32);
+  }
+  if (std::strcmp(cmd, "rewrite") == 0) return CmdRewrite(p);
+  if (std::strcmp(cmd, "classify") == 0) return CmdClassify(p);
+  if (std::strcmp(cmd, "model") == 0) return CmdModel(p);
+  if (std::strcmp(cmd, "search") == 0) {
+    return CmdSearch(p, argc > 3 ? std::atoi(argv[3]) : 1);
+  }
+  return Usage();
+}
