@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conservativity.dir/bench_conservativity.cc.o"
+  "CMakeFiles/bench_conservativity.dir/bench_conservativity.cc.o.d"
+  "bench_conservativity"
+  "bench_conservativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conservativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cq_eval.dir/bench_cq_eval.cc.o"
+  "CMakeFiles/bench_cq_eval.dir/bench_cq_eval.cc.o.d"
+  "bench_cq_eval"
+  "bench_cq_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cq_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_finite_model.dir/bench_finite_model.cc.o"
+  "CMakeFiles/bench_finite_model.dir/bench_finite_model.cc.o.d"
+  "bench_finite_model"
+  "bench_finite_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_finite_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarded.dir/bench_guarded.cc.o"
+  "CMakeFiles/bench_guarded.dir/bench_guarded.cc.o.d"
+  "bench_guarded"
+  "bench_guarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

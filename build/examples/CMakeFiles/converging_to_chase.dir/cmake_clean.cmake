@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converging_to_chase.dir/converging_to_chase.cpp.o"
+  "CMakeFiles/converging_to_chase.dir/converging_to_chase.cpp.o.d"
+  "converging_to_chase"
+  "converging_to_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converging_to_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_model_demo.dir/finite_model_demo.cpp.o"
+  "CMakeFiles/finite_model_demo.dir/finite_model_demo.cpp.o.d"
+  "finite_model_demo"
+  "finite_model_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_model_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for finite_model_demo.
+# This may be replaced when dependencies are built.

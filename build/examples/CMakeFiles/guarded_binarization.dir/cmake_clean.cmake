@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_binarization.dir/guarded_binarization.cpp.o"
+  "CMakeFiles/guarded_binarization.dir/guarded_binarization.cpp.o.d"
+  "guarded_binarization"
+  "guarded_binarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_binarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

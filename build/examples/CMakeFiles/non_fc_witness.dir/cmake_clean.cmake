@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/non_fc_witness.dir/non_fc_witness.cpp.o"
+  "CMakeFiles/non_fc_witness.dir/non_fc_witness.cpp.o.d"
+  "non_fc_witness"
+  "non_fc_witness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/non_fc_witness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

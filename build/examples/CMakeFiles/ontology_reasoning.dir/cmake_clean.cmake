@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_reasoning.dir/ontology_reasoning.cpp.o"
+  "CMakeFiles/ontology_reasoning.dir/ontology_reasoning.cpp.o.d"
+  "ontology_reasoning"
+  "ontology_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

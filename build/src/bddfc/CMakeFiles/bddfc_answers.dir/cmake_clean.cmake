@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_answers.dir/eval/answers.cc.o"
+  "CMakeFiles/bddfc_answers.dir/eval/answers.cc.o.d"
+  "libbddfc_answers.a"
+  "libbddfc_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

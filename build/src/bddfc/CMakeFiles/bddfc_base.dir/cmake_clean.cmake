@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_base.dir/base/status.cc.o"
+  "CMakeFiles/bddfc_base.dir/base/status.cc.o.d"
+  "libbddfc_base.a"
+  "libbddfc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

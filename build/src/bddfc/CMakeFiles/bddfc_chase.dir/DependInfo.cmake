@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bddfc/chase/chase.cc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/chase.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/chase.cc.o.d"
+  "/root/repo/src/bddfc/chase/seminaive.cc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/seminaive.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/seminaive.cc.o.d"
+  "/root/repo/src/bddfc/chase/skeleton.cc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/skeleton.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_chase.dir/chase/skeleton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_chase.dir/chase/chase.cc.o"
+  "CMakeFiles/bddfc_chase.dir/chase/chase.cc.o.d"
+  "CMakeFiles/bddfc_chase.dir/chase/seminaive.cc.o"
+  "CMakeFiles/bddfc_chase.dir/chase/seminaive.cc.o.d"
+  "CMakeFiles/bddfc_chase.dir/chase/skeleton.cc.o"
+  "CMakeFiles/bddfc_chase.dir/chase/skeleton.cc.o.d"
+  "libbddfc_chase.a"
+  "libbddfc_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

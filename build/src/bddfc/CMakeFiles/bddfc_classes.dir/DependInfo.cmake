@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bddfc/classes/recognizers.cc" "src/bddfc/CMakeFiles/bddfc_classes.dir/classes/recognizers.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_classes.dir/classes/recognizers.cc.o.d"
+  "/root/repo/src/bddfc/classes/vtdag.cc" "src/bddfc/CMakeFiles/bddfc_classes.dir/classes/vtdag.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_classes.dir/classes/vtdag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

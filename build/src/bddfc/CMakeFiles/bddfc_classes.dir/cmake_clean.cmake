@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_classes.dir/classes/recognizers.cc.o"
+  "CMakeFiles/bddfc_classes.dir/classes/recognizers.cc.o.d"
+  "CMakeFiles/bddfc_classes.dir/classes/vtdag.cc.o"
+  "CMakeFiles/bddfc_classes.dir/classes/vtdag.cc.o.d"
+  "libbddfc_classes.a"
+  "libbddfc_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

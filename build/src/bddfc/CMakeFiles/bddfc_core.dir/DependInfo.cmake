@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bddfc/core/atom.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/atom.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/atom.cc.o.d"
+  "/root/repo/src/bddfc/core/query.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/query.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/query.cc.o.d"
+  "/root/repo/src/bddfc/core/rule.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/rule.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/rule.cc.o.d"
+  "/root/repo/src/bddfc/core/signature.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/signature.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/signature.cc.o.d"
+  "/root/repo/src/bddfc/core/structure.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/structure.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/structure.cc.o.d"
+  "/root/repo/src/bddfc/core/substitution.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/substitution.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/substitution.cc.o.d"
+  "/root/repo/src/bddfc/core/theory.cc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/theory.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_core.dir/core/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

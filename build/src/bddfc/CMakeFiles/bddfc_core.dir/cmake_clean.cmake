@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_core.dir/core/atom.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/atom.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/query.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/query.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/rule.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/rule.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/signature.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/signature.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/structure.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/structure.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/substitution.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/substitution.cc.o.d"
+  "CMakeFiles/bddfc_core.dir/core/theory.cc.o"
+  "CMakeFiles/bddfc_core.dir/core/theory.cc.o.d"
+  "libbddfc_core.a"
+  "libbddfc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_eval.dir/eval/containment.cc.o"
+  "CMakeFiles/bddfc_eval.dir/eval/containment.cc.o.d"
+  "CMakeFiles/bddfc_eval.dir/eval/match.cc.o"
+  "CMakeFiles/bddfc_eval.dir/eval/match.cc.o.d"
+  "CMakeFiles/bddfc_eval.dir/eval/query_graph.cc.o"
+  "CMakeFiles/bddfc_eval.dir/eval/query_graph.cc.o.d"
+  "libbddfc_eval.a"
+  "libbddfc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

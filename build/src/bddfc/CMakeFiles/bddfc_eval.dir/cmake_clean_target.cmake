@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbddfc_eval.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_finitemodel.dir/finitemodel/model_search.cc.o"
+  "CMakeFiles/bddfc_finitemodel.dir/finitemodel/model_search.cc.o.d"
+  "CMakeFiles/bddfc_finitemodel.dir/finitemodel/pipeline.cc.o"
+  "CMakeFiles/bddfc_finitemodel.dir/finitemodel/pipeline.cc.o.d"
+  "libbddfc_finitemodel.a"
+  "libbddfc_finitemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_finitemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_guarded.dir/guarded/binarize.cc.o"
+  "CMakeFiles/bddfc_guarded.dir/guarded/binarize.cc.o.d"
+  "libbddfc_guarded.a"
+  "libbddfc_guarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_guarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

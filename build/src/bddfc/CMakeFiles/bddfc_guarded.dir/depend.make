@@ -1,0 +1,2 @@
+# Empty dependencies file for bddfc_guarded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_parser.dir/parser/parser.cc.o"
+  "CMakeFiles/bddfc_parser.dir/parser/parser.cc.o.d"
+  "CMakeFiles/bddfc_parser.dir/parser/printer.cc.o"
+  "CMakeFiles/bddfc_parser.dir/parser/printer.cc.o.d"
+  "libbddfc_parser.a"
+  "libbddfc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_reductions.dir/reductions/reductions.cc.o"
+  "CMakeFiles/bddfc_reductions.dir/reductions/reductions.cc.o.d"
+  "libbddfc_reductions.a"
+  "libbddfc_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

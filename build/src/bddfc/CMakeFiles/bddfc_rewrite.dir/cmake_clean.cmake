@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_rewrite.dir/rewrite/rewriter.cc.o"
+  "CMakeFiles/bddfc_rewrite.dir/rewrite/rewriter.cc.o.d"
+  "libbddfc_rewrite.a"
+  "libbddfc_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

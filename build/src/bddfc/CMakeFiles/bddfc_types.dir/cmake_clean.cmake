@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_types.dir/types/coloring.cc.o"
+  "CMakeFiles/bddfc_types.dir/types/coloring.cc.o.d"
+  "CMakeFiles/bddfc_types.dir/types/conservativity.cc.o"
+  "CMakeFiles/bddfc_types.dir/types/conservativity.cc.o.d"
+  "CMakeFiles/bddfc_types.dir/types/ptype.cc.o"
+  "CMakeFiles/bddfc_types.dir/types/ptype.cc.o.d"
+  "CMakeFiles/bddfc_types.dir/types/quotient.cc.o"
+  "CMakeFiles/bddfc_types.dir/types/quotient.cc.o.d"
+  "libbddfc_types.a"
+  "libbddfc_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

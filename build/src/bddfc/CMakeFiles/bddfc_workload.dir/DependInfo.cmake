@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bddfc/workload/generators.cc" "src/bddfc/CMakeFiles/bddfc_workload.dir/workload/generators.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_workload.dir/workload/generators.cc.o.d"
+  "/root/repo/src/bddfc/workload/paper_examples.cc" "src/bddfc/CMakeFiles/bddfc_workload.dir/workload/paper_examples.cc.o" "gcc" "src/bddfc/CMakeFiles/bddfc_workload.dir/workload/paper_examples.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/bddfc/CMakeFiles/bddfc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/bddfc_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/bddfc_workload.dir/workload/paper_examples.cc.o"
+  "CMakeFiles/bddfc_workload.dir/workload/paper_examples.cc.o.d"
+  "libbddfc_workload.a"
+  "libbddfc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

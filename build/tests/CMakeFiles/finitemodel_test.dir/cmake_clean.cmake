@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finitemodel_test.dir/finitemodel_test.cc.o"
+  "CMakeFiles/finitemodel_test.dir/finitemodel_test.cc.o.d"
+  "finitemodel_test"
+  "finitemodel_test.pdb"
+  "finitemodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finitemodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/chase_test[1]_include.cmake")
+include("/root/repo/build/tests/classes_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/types_test[1]_include.cmake")
+include("/root/repo/build/tests/reductions_test[1]_include.cmake")
+include("/root/repo/build/tests/guarded_test[1]_include.cmake")
+include("/root/repo/build/tests/finitemodel_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/answers_test[1]_include.cmake")
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")

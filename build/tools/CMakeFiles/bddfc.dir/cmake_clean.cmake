@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bddfc.dir/bddfc_cli.cc.o"
+  "CMakeFiles/bddfc.dir/bddfc_cli.cc.o.d"
+  "bddfc"
+  "bddfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bddfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
