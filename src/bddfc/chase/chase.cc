@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <functional>
 #include <map>
+#include <unordered_set>
 
 #include "bddfc/eval/match.h"
 
@@ -28,29 +31,94 @@ struct PendingExistential {
   std::vector<TermId> existentials; // the symbolic witness variables
 };
 
-/// Canonical key of a head pattern: existential variables renumbered by
-/// first occurrence, atoms sorted, then serialized.
-std::string PatternKey(const std::vector<Atom>& pattern) {
+/// Serializes `pattern` with variables renumbered by first occurrence.
+std::string SerializeRenumbered(const std::vector<Atom>& pattern) {
   std::unordered_map<TermId, TermId> ren;
   int32_t next = 0;
-  std::vector<Atom> key = pattern;
-  for (Atom& a : key) {
-    for (TermId& t : a.args) {
+  std::string s;
+  for (const Atom& a : pattern) {
+    s += std::to_string(a.pred);
+    for (TermId t : a.args) {
       if (IsVar(t)) {
         auto it = ren.find(t);
         if (it == ren.end()) it = ren.emplace(t, MakeVar(next++)).first;
         t = it->second;
       }
+      s += "," + std::to_string(t);
     }
-  }
-  std::sort(key.begin(), key.end());
-  std::string s;
-  for (const Atom& a : key) {
-    s += std::to_string(a.pred);
-    for (TermId t : a.args) s += "," + std::to_string(t);
     s += "|";
   }
   return s;
+}
+
+/// Canonical key of a head pattern, invariant under existential-variable
+/// renaming *and* atom reordering: the same demanded pattern gets the same
+/// key no matter which rule (or head-atom order) produced it.
+///
+/// Renumbering variables by first occurrence before sorting (the seed
+/// behavior) bakes the incoming atom order into the variable names, so
+/// logically identical patterns hashed apart and spawned duplicate
+/// witnesses. Instead, atoms are sorted under a name-independent local key
+/// (predicate + per-position constant/within-atom variable shape); among
+/// atoms whose local keys tie, every arrangement is tried and the
+/// lexicographically least renumbered serialization wins. Ties are rare
+/// (heads are small), but a cap falls back to the sorted order — still
+/// deterministic and never merging inequivalent patterns, as the key is the
+/// serialized pattern itself.
+std::string PatternKey(const std::vector<Atom>& pattern) {
+  auto local_key = [](const Atom& a) {
+    std::unordered_map<TermId, int32_t> ren;
+    std::string s = std::to_string(a.pred);
+    for (TermId t : a.args) {
+      if (IsVar(t)) {
+        auto it = ren.emplace(t, static_cast<int32_t>(ren.size())).first;
+        s += ",v" + std::to_string(it->second);
+      } else {
+        s += ",c" + std::to_string(t);
+      }
+    }
+    return s;
+  };
+
+  std::vector<std::pair<std::string, Atom>> keyed;
+  keyed.reserve(pattern.size());
+  for (const Atom& a : pattern) keyed.emplace_back(local_key(a), a);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  // Group atoms with equal local keys and bound the number of arrangements.
+  std::vector<std::vector<Atom>> groups;
+  size_t arrangements = 1;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i == 0 || keyed[i].first != keyed[i - 1].first) groups.emplace_back();
+    groups.back().push_back(keyed[i].second);
+    arrangements *= groups.back().size();  // running product of factorials
+  }
+
+  std::vector<Atom> cand;
+  cand.reserve(pattern.size());
+  if (arrangements > 5040) {  // cap: fall back to the sorted order
+    for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
+    return SerializeRenumbered(cand);
+  }
+
+  std::string best;
+  std::function<void(size_t)> rec = [&](size_t gi) {
+    if (gi == groups.size()) {
+      cand.clear();
+      for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
+      std::string s = SerializeRenumbered(cand);
+      if (best.empty() || s < best) best = std::move(s);
+      return;
+    }
+    auto& g = groups[gi];
+    std::sort(g.begin(), g.end());
+    do {
+      rec(gi + 1);
+    } while (std::next_permutation(g.begin(), g.end()));
+  };
+  rec(0);
+  return best;
 }
 
 }  // namespace
@@ -73,11 +141,18 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   // one witness per trigger, not one per round).
   std::unordered_set<std::string> fired;
 
+  const bool delta_engine = options.engine == ChaseEngine::kDelta;
+
   for (size_t round = 1; round <= options.max_rounds; ++round) {
-    Matcher matcher(out.structure);
+    const auto round_start = std::chrono::steady_clock::now();
+    Matcher matcher(out.structure, &out.stats.match);
+    // Witness-existence probes go through a stats-less matcher so
+    // bindings_tried counts rule-body bindings only.
+    Matcher witness(out.structure);
 
     // Buffered additions, evaluated against the Chase^{i} snapshot.
     std::vector<Atom> datalog_additions;
+    std::unordered_set<Atom, AtomHash> datalog_buffered;
     std::map<std::string, PendingExistential> existential_triggers;
 
     for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
@@ -85,7 +160,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
       const bool existential = rule.IsExistential();
       if (existential && options.datalog_only) continue;
 
-      matcher.Enumerate(rule.body, {}, [&](const Binding& b) {
+      auto on_binding = [&](const Binding& b) {
         auto ground = [&](const Atom& a) {
           Atom g = a;
           for (TermId& t : g.args) {
@@ -100,7 +175,12 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
           for (const Atom& h : rule.head) {
             Atom g = ground(h);
             assert(g.IsGround() && "datalog rule with unbound head variable");
-            if (!out.structure.Contains(g)) datalog_additions.push_back(g);
+            if (out.structure.Contains(g)) continue;
+            if (datalog_buffered.insert(g).second) {
+              datalog_additions.push_back(std::move(g));
+            } else {
+              ++out.stats.datalog_deduped;
+            }
           }
           return true;
         }
@@ -120,22 +200,67 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
           }
           if (!fired.insert(key).second) return true;
         } else {
-          if (matcher.Exists(pattern, {})) return true;
+          if (witness.Exists(pattern, {})) return true;
           key = PatternKey(pattern);
         }
         PendingExistential pe;
         pe.rule_index = static_cast<int>(ri);
         pe.head_pattern = pattern;
         pe.existentials = rule.ExistentialVariables();
-        existential_triggers.emplace(std::move(key), std::move(pe));
+        if (!existential_triggers.emplace(std::move(key), std::move(pe))
+                 .second) {
+          ++out.stats.triggers_deduped;
+        }
         return true;
-      });
+      };
+
+      if (delta_engine) {
+        // Semi-naive: rotate a delta anchor over the body. Atoms before the
+        // anchor stay on pre-round rows, the anchor ranges over the last
+        // round's delta, atoms after it over the full relation — each
+        // binding that touches the delta is enumerated exactly once, with
+        // the anchor at its first delta atom. Before the first
+        // MarkRoundBoundary (round 1) all watermarks are 0, so only anchor
+        // 0 fires and it performs one full enumeration.
+        const size_t k = rule.body.size();
+        std::vector<RowBand> bands(k);
+        for (size_t di = 0; di < k; ++di) {
+          const PredId anchor_pred = rule.body[di].pred;
+          const uint32_t wm = out.structure.WatermarkRows(anchor_pred);
+          if (wm >= out.structure.NumFacts(anchor_pred)) {
+            continue;  // this relation gained nothing last round
+          }
+          for (size_t j = 0; j < k; ++j) {
+            if (j < di) {
+              bands[j] = {0, out.structure.WatermarkRows(rule.body[j].pred)};
+            } else if (j == di) {
+              bands[j] = {wm, UINT32_MAX};
+            } else {
+              bands[j] = RowBand::All();
+            }
+          }
+          matcher.EnumerateBanded(rule.body, bands, {}, on_binding);
+        }
+      } else {
+        matcher.Enumerate(rule.body, {}, on_binding);
+      }
     }
 
+    auto elapsed_ms = [&round_start] {
+      return std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - round_start)
+          .count();
+    };
+
     if (datalog_additions.empty() && existential_triggers.empty()) {
+      out.stats.round_ms.push_back(elapsed_ms());
       out.fixpoint_reached = true;
       break;
     }
+
+    // Record the round boundary *before* applying this round's additions:
+    // the rows inserted below form the delta of the next round.
+    out.structure.MarkRoundBoundary();
 
     size_t added = 0;
     for (const Atom& g : datalog_additions) {
@@ -176,6 +301,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
 
     out.rounds_run = round;
     out.facts_per_round.push_back(out.structure.NumFacts());
+    out.stats.round_ms.push_back(elapsed_ms());
 
     if (added == 0) {
       // Buffered additions all turned out to be duplicates: fixpoint.

@@ -6,10 +6,22 @@
 // An oblivious variant (create a witness for every trigger) is provided as a
 // baseline for experiments.
 //
-// Within one round, existential triggers are deduplicated per
-// (head predicate, grounded non-existential head positions): the
-// non-oblivious chase demands at most one witness per demanded atom, which
-// is what Lemma 3(iv) relies on.
+// Within one round, existential triggers are deduplicated per canonicalized
+// head pattern (existential positions renumbered order-invariantly): the
+// non-oblivious chase demands at most one witness per demanded pattern,
+// which is what Lemma 3(iv) relies on.
+//
+// The default engine is *delta-driven* (semi-naive): from round 2 on, each
+// rule body is evaluated only over bindings in which at least one atom
+// matches a fact born in the previous round. The delta is a per-relation
+// row range recorded by Structure::MarkRoundBoundary — no copied
+// structures. Each body atom in turn anchors the delta while atoms before
+// the anchor stay on pre-round rows (the old/new split), so every binding
+// is derived exactly once per round. Because facts are never deleted, a
+// trigger whose body avoids the delta was already handled in an earlier
+// round, and the delta engine produces the same rounds and facts as the
+// naive full re-enumeration (kept available as ChaseEngine::kNaive for A/B
+// testing and ablation baselines).
 
 #ifndef BDDFC_CHASE_CHASE_H_
 #define BDDFC_CHASE_CHASE_H_
@@ -22,8 +34,17 @@
 #include "bddfc/base/status.h"
 #include "bddfc/core/structure.h"
 #include "bddfc/core/theory.h"
+#include "bddfc/eval/match.h"
 
 namespace bddfc {
+
+/// Which round loop RunChase uses. Both produce the same result (same
+/// facts, same rounds, same null count); kDelta only enumerates bindings
+/// anchored in the previous round's delta.
+enum class ChaseEngine {
+  kDelta,  ///< semi-naive delta evaluation (default)
+  kNaive,  ///< full re-enumeration every round (the seed loop; baseline)
+};
 
 /// Budgets and variants for a chase run.
 struct ChaseOptions {
@@ -37,6 +58,23 @@ struct ChaseOptions {
   /// Fire only the plain datalog rules (the saturation mode of Lemma 5 —
   /// existential TGDs are still *checked* afterwards by CheckModel).
   bool datalog_only = false;
+  /// Round-loop implementation (results are identical; speed is not).
+  ChaseEngine engine = ChaseEngine::kDelta;
+};
+
+/// Execution counters of one chase run, for benchmarks and the CLI.
+struct ChaseStats {
+  /// Matcher counters for rule-body enumeration: complete bindings tried
+  /// and posting-list hits/misses. Witness-existence probes are not
+  /// counted here.
+  MatchStats match;
+  /// Existential triggers dropped because an equivalent head pattern was
+  /// already demanded in the same round.
+  size_t triggers_deduped = 0;
+  /// Buffered datalog derivations dropped as duplicates within a round.
+  size_t datalog_deduped = 0;
+  /// Wall time per round in milliseconds (entry 0 = round 1).
+  std::vector<double> round_ms;
 };
 
 /// Provenance of a labeled null invented by the chase.
@@ -63,6 +101,9 @@ struct ChaseResult {
   std::unordered_map<TermId, NullProvenance> null_provenance;
   /// |Chase^i| after each round i (index 0 = |D|); for growth experiments.
   std::vector<size_t> facts_per_round;
+  /// Execution counters (bindings tried, postings hits/misses, dedups,
+  /// per-round wall time).
+  ChaseStats stats;
 
   explicit ChaseResult(SignaturePtr sig) : structure(std::move(sig)) {}
 

@@ -1,31 +1,11 @@
 #include "bddfc/chase/seminaive.h"
 
+#include <unordered_set>
 #include <vector>
 
 #include "bddfc/eval/match.h"
 
 namespace bddfc {
-
-namespace {
-
-/// Unifies a body atom pattern against a ground row into `binding`.
-/// Returns false on mismatch; bindings added on success stay (caller keeps
-/// a fresh copy per row).
-bool BindRow(const Atom& pattern, const std::vector<TermId>& row,
-             Binding* binding) {
-  for (size_t i = 0; i < pattern.args.size(); ++i) {
-    TermId t = pattern.args[i];
-    if (IsConst(t)) {
-      if (t != row[i]) return false;
-      continue;
-    }
-    auto [it, inserted] = binding->emplace(t, row[i]);
-    if (!inserted && it->second != row[i]) return false;
-  }
-  return true;
-}
-
-}  // namespace
 
 SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                                const SaturateOptions& options) {
@@ -36,63 +16,71 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
     if (r.IsDatalog()) rules.push_back(&r);
   }
 
-  // Full structure and the last round's delta.
   instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
     out.structure.AddFact(p, row);
   });
   for (TermId e : instance.Domain()) out.structure.AddDomainElement(e);
 
-  Structure delta(instance.signature_ptr());
-  instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
-    delta.AddFact(p, row);
-  });
-
-  while (delta.NumFacts() > 0) {
+  // The delta of each round is the row range above the last watermark — no
+  // copied structures. Before the first MarkRoundBoundary all watermarks
+  // are 0, so round 1 sees the whole input as its delta.
+  size_t facts_at_mark = 0;
+  while (out.structure.NumFacts() > facts_at_mark) {
     if (++out.rounds_run > options.max_rounds) {
       out.status = Status::ResourceExhausted("max_rounds exhausted");
       return out;
     }
     std::vector<Atom> additions;
-    Matcher full(out.structure);
+    std::unordered_set<Atom, AtomHash> buffered;
+    Matcher matcher(out.structure);
 
     for (const Rule* rule : rules) {
-      for (size_t di = 0; di < rule->body.size(); ++di) {
-        const Atom& danchor = rule->body[di];
-        // Remaining atoms evaluated over the full structure.
-        std::vector<Atom> rest;
-        for (size_t j = 0; j < rule->body.size(); ++j) {
-          if (j != di) rest.push_back(rule->body[j]);
+      const size_t k = rule->body.size();
+      std::vector<RowBand> bands(k);
+      for (size_t di = 0; di < k; ++di) {
+        const Atom& anchor = rule->body[di];
+        const uint32_t wm = out.structure.WatermarkRows(anchor.pred);
+        if (wm >= out.structure.NumFacts(anchor.pred)) {
+          continue;  // empty delta for this anchor
         }
-        for (const auto& row : delta.Rows(danchor.pred)) {
-          Binding binding;
-          if (!BindRow(danchor, row, &binding)) continue;
-          full.Enumerate(rest, binding, [&](const Binding& b) {
-            ++out.bindings_tried;
-            for (const Atom& h : rule->head) {
-              Atom g = h;
-              for (TermId& t : g.args) {
-                if (IsVar(t)) t = b.at(t);
-              }
-              if (!out.structure.Contains(g)) additions.push_back(g);
+        // Old/new split: atoms before the anchor are confined to pre-round
+        // rows, the anchor to the delta, atoms after it range over the full
+        // relation. Each binding is derived once, at its first delta atom
+        // — not once per delta anchor it happens to touch.
+        for (size_t j = 0; j < k; ++j) {
+          if (j < di) {
+            bands[j] = {0, out.structure.WatermarkRows(rule->body[j].pred)};
+          } else if (j == di) {
+            bands[j] = {wm, UINT32_MAX};
+          } else {
+            bands[j] = RowBand::All();
+          }
+        }
+        matcher.EnumerateBanded(rule->body, bands, {}, [&](const Binding& b) {
+          ++out.bindings_tried;
+          for (const Atom& h : rule->head) {
+            Atom g = h;
+            for (TermId& t : g.args) {
+              if (IsVar(t)) t = b.at(t);
             }
-            return true;
-          });
-        }
+            if (!out.structure.Contains(g) && buffered.insert(g).second) {
+              additions.push_back(std::move(g));
+            }
+          }
+          return true;
+        });
       }
     }
 
-    Structure next_delta(instance.signature_ptr());
+    facts_at_mark = out.structure.NumFacts();
+    out.structure.MarkRoundBoundary();
     for (const Atom& g : additions) {
-      if (out.structure.AddFact(g)) {
-        next_delta.AddFact(g);
-        ++out.facts_derived;
-      }
+      if (out.structure.AddFact(g)) ++out.facts_derived;
     }
     if (out.structure.NumFacts() > options.max_facts) {
       out.status = Status::ResourceExhausted("max_facts exhausted");
       return out;
     }
-    delta = std::move(next_delta);
   }
   return out;
 }

@@ -8,9 +8,12 @@
 // theories — without inventing elements.
 //
 // For a rule with body atoms A_1...A_k the engine evaluates k delta
-// versions (A_i ranging over the last round's delta, the others over the
-// full relation), which is the standard trade: more (smaller) joins per
-// round, no repeated derivations across rounds.
+// versions with the standard old/new split: A_i ranges over the last
+// round's delta, atoms before A_i over pre-round rows only, atoms after it
+// over the full relation. Each binding is therefore derived exactly once —
+// at its first delta atom — not once per delta atom it touches. Deltas are
+// row ranges above Structure::MarkRoundBoundary watermarks, not copied
+// structures.
 
 #ifndef BDDFC_CHASE_SEMINAIVE_H_
 #define BDDFC_CHASE_SEMINAIVE_H_
@@ -33,7 +36,7 @@ struct SaturateResult {
   Structure structure;
   size_t rounds_run = 0;
   size_t facts_derived = 0;   ///< new facts beyond the input
-  size_t bindings_tried = 0;  ///< total rule-body matches enumerated
+  size_t bindings_tried = 0;  ///< distinct rule-body matches enumerated
 
   explicit SaturateResult(SignaturePtr sig) : structure(std::move(sig)) {}
 };

@@ -78,6 +78,14 @@ const std::vector<uint32_t>* Structure::Postings(PredId pred, int pos,
   return it == rel->by_pos[pos].end() ? nullptr : &it->second;
 }
 
+void Structure::MarkRoundBoundary() {
+  watermark_.resize(relations_.size());
+  for (size_t p = 0; p < relations_.size(); ++p) {
+    watermark_[p] = static_cast<uint32_t>(relations_[p].rows.size());
+  }
+  facts_at_watermark_ = num_facts_;
+}
+
 void Structure::ForEachFact(
     const std::function<void(PredId, const std::vector<TermId>&)>& fn) const {
   for (PredId p = 0; p < static_cast<PredId>(relations_.size()); ++p) {

@@ -68,6 +68,11 @@ class Structure {
   }
 
   /// All rows of `pred` (each row is one ground tuple), append-ordered.
+  ///
+  /// The returned reference is invalidated by AddFact on a predicate not
+  /// stored yet (the relation table may reallocate). Callers that hold a
+  /// reference across insertions — the chase holds one inside match
+  /// callbacks — must buffer additions and apply them between rounds.
   const std::vector<std::vector<TermId>>& Rows(PredId pred) const;
 
   /// Posting list of rows of `pred` whose argument `pos` equals `value`,
@@ -91,6 +96,23 @@ class Structure {
     return c >= 0 && static_cast<size_t>(c) < in_domain_.size() &&
            in_domain_[c];
   }
+
+  /// Round-boundary bookkeeping for delta-driven evaluation: records the
+  /// current per-relation row counts. After the call, rows of `pred` at
+  /// index >= WatermarkRows(pred) are exactly the facts inserted since —
+  /// the delta is a row range, not a copied structure.
+  void MarkRoundBoundary();
+
+  /// Number of rows of `pred` present at the last MarkRoundBoundary()
+  /// (0 before the first mark, or for predicates unseen at the mark).
+  uint32_t WatermarkRows(PredId pred) const {
+    return pred >= 0 && static_cast<size_t>(pred) < watermark_.size()
+               ? watermark_[pred]
+               : 0;
+  }
+
+  /// Total facts present at the last MarkRoundBoundary() (0 before it).
+  size_t NumFactsAtWatermark() const { return facts_at_watermark_; }
 
   /// Calls fn(pred, tuple) for every stored fact.
   void ForEachFact(
@@ -129,10 +151,12 @@ class Structure {
   const Relation* FindRelation(PredId pred) const;
 
   SignaturePtr sig_;
-  mutable std::vector<Relation> relations_;  // indexed by PredId; grown lazily
+  std::vector<Relation> relations_;  // indexed by PredId; grown lazily
   std::vector<TermId> domain_;
   std::vector<char> in_domain_;  // indexed by constant id
   size_t num_facts_ = 0;
+  std::vector<uint32_t> watermark_;  // per-relation rows at the last mark
+  size_t facts_at_watermark_ = 0;
 };
 
 }  // namespace bddfc

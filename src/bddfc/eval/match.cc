@@ -11,13 +11,28 @@ namespace {
 struct SearchState {
   const Structure& s;
   std::vector<Atom> atoms;         // remaining atoms are atoms[depth..]
+  std::vector<RowBand> bands;      // parallel to atoms; reordered with them
   Binding binding;
   const std::function<bool(const Binding&)>* on_match;
+  MatchStats* stats;
   bool stopped = false;
 
   SearchState(const Structure& s_, std::vector<Atom> a,
-              const std::function<bool(const Binding&)>* cb)
-      : s(s_), atoms(std::move(a)), on_match(cb) {}
+              std::vector<RowBand> b,
+              const std::function<bool(const Binding&)>* cb,
+              MatchStats* st)
+      : s(s_), atoms(std::move(a)), bands(std::move(b)), on_match(cb),
+        stats(st) {
+    if (bands.empty()) bands.resize(atoms.size());
+  }
+
+  /// Width of atom i's band once clamped to its relation (its row count).
+  size_t BandWidth(size_t i) const {
+    size_t n = s.Rows(atoms[i].pred).size();
+    size_t hi = std::min<size_t>(bands[i].end, n);
+    size_t lo = bands[i].begin;
+    return lo < hi ? hi - lo : 0;
+  }
 
   TermId ResolveTerm(TermId t) const {
     if (IsConst(t)) return t;
@@ -34,14 +49,16 @@ struct SearchState {
     return n;
   }
 
-  /// Picks the most constrained remaining atom and swaps it to `depth`.
+  /// Picks the most constrained remaining atom and swaps it to `depth`
+  /// (band width stands in for the row count, so a narrow delta band is
+  /// preferred over a wide full-relation scan).
   void SelectAtom(size_t depth) {
     size_t best = depth;
     int best_bound = -1;
     size_t best_rows = 0;
     for (size_t i = depth; i < atoms.size(); ++i) {
       int b = BoundPositions(i);
-      size_t rows = s.Rows(atoms[i].pred).size();
+      size_t rows = BandWidth(i);
       if (b > best_bound || (b == best_bound && rows < best_rows)) {
         best_bound = b;
         best_rows = rows;
@@ -49,6 +66,7 @@ struct SearchState {
       }
     }
     std::swap(atoms[depth], atoms[best]);
+    std::swap(bands[depth], bands[best]);
   }
 
   /// Tries to unify atom `a`'s pattern with a stored row; on success binds
@@ -80,38 +98,49 @@ struct SearchState {
   void Search(size_t depth) {
     if (stopped) return;
     if (depth == atoms.size()) {
+      if (stats != nullptr) ++stats->bindings_tried;
       if (!(*on_match)(binding)) stopped = true;
       return;
     }
     SelectAtom(depth);
     const Atom& a = atoms[depth];
+    const auto& rows = s.Rows(a.pred);
+    const uint32_t lo = bands[depth].begin;
+    const uint32_t hi =
+        std::min<uint32_t>(bands[depth].end, static_cast<uint32_t>(rows.size()));
+    if (lo >= hi) return;  // empty band: nothing can match
 
     // Choose candidate rows: the posting list of the most selective bound
-    // position, else the full relation.
+    // position, else the band of the relation.
     const std::vector<uint32_t>* postings = nullptr;
     for (size_t i = 0; i < a.args.size(); ++i) {
       TermId t = ResolveTerm(a.args[i]);
       if (IsConst(t)) {
         const std::vector<uint32_t>* p =
             s.Postings(a.pred, static_cast<int>(i), t);
-        if (p == nullptr) return;  // no row matches this constant
+        if (p == nullptr) {
+          if (stats != nullptr) ++stats->postings_misses;
+          return;  // no row matches this constant
+        }
+        if (stats != nullptr) ++stats->postings_hits;
         if (postings == nullptr || p->size() < postings->size()) postings = p;
       }
     }
 
-    const auto& rows = s.Rows(a.pred);
     std::vector<TermId> newly_bound;
     if (postings != nullptr) {
-      for (uint32_t r : *postings) {
+      // Posting lists are append-ordered, so the band is a contiguous slice.
+      auto it = std::lower_bound(postings->begin(), postings->end(), lo);
+      for (; it != postings->end() && *it < hi; ++it) {
         newly_bound.clear();
-        if (TryRow(a, rows[r], &newly_bound)) Search(depth + 1);
+        if (TryRow(a, rows[*it], &newly_bound)) Search(depth + 1);
         UndoBindings(newly_bound);
         if (stopped) return;
       }
     } else {
-      for (const auto& row : rows) {
+      for (uint32_t r = lo; r < hi; ++r) {
         newly_bound.clear();
-        if (TryRow(a, row, &newly_bound)) Search(depth + 1);
+        if (TryRow(a, rows[r], &newly_bound)) Search(depth + 1);
         UndoBindings(newly_bound);
         if (stopped) return;
       }
@@ -128,7 +157,7 @@ bool Matcher::Exists(const std::vector<Atom>& atoms,
     found = true;
     return false;  // stop at first match
   };
-  SearchState st(s_, atoms, &cb);
+  SearchState st(s_, atoms, {}, &cb, stats_);
   st.binding = partial;
   st.Search(0);
   return found;
@@ -137,7 +166,17 @@ bool Matcher::Exists(const std::vector<Atom>& atoms,
 void Matcher::Enumerate(const std::vector<Atom>& atoms, const Binding& partial,
                         const std::function<bool(const Binding&)>& on_match)
     const {
-  SearchState st(s_, atoms, &on_match);
+  SearchState st(s_, atoms, {}, &on_match, stats_);
+  st.binding = partial;
+  st.Search(0);
+}
+
+void Matcher::EnumerateBanded(
+    const std::vector<Atom>& atoms, const std::vector<RowBand>& bands,
+    const Binding& partial,
+    const std::function<bool(const Binding&)>& on_match) const {
+  assert(bands.size() == atoms.size());
+  SearchState st(s_, atoms, bands, &on_match, stats_);
   st.binding = partial;
   st.Search(0);
 }

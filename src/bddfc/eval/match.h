@@ -15,14 +15,35 @@ namespace bddfc {
 /// A variable binding produced by matching: variable id → constant id.
 using Binding = std::unordered_map<TermId, TermId>;
 
+/// Execution counters a Matcher accumulates across calls when one is
+/// attached. The chase aggregates these into its ChaseStats.
+struct MatchStats {
+  size_t bindings_tried = 0;   ///< complete bindings delivered to callbacks
+  size_t postings_hits = 0;    ///< posting-list lookups that found rows
+  size_t postings_misses = 0;  ///< lookups that pruned the search branch
+};
+
+/// Restricts one atom of a conjunction to a row range [begin, end) of its
+/// relation (rows are append-ordered, so a range is a point-in-time slice).
+/// The delta-driven chase uses bands to split a body into "old" rows,
+/// the last round's delta, and the full relation.
+struct RowBand {
+  uint32_t begin = 0;
+  uint32_t end = UINT32_MAX;  // clamped to the relation size
+
+  static RowBand All() { return {}; }
+};
+
 /// Evaluates conjunctions of atoms against one structure.
 ///
 /// The matcher holds only a reference to the structure; it is cheap to
 /// construct and safe to use while the structure grows (the chase constructs
-/// one per round).
+/// one per round). When `stats` is non-null the matcher increments its
+/// counters on every call.
 class Matcher {
  public:
-  explicit Matcher(const Structure& s) : s_(s) {}
+  explicit Matcher(const Structure& s, MatchStats* stats = nullptr)
+      : s_(s), stats_(stats) {}
 
   /// True iff some extension of `partial` maps every variable of `atoms` to
   /// a domain constant such that all atoms hold in the structure.
@@ -35,12 +56,23 @@ class Matcher {
   void Enumerate(const std::vector<Atom>& atoms, const Binding& partial,
                  const std::function<bool(const Binding&)>& on_match) const;
 
+  /// Like Enumerate, but atom i may only match rows in bands[i] of its
+  /// relation. `bands` must have one entry per atom. Used for semi-naive
+  /// delta evaluation: anchor the delta, keep earlier atoms on pre-round
+  /// rows, and let later atoms range over everything.
+  void EnumerateBanded(const std::vector<Atom>& atoms,
+                       const std::vector<RowBand>& bands,
+                       const Binding& partial,
+                       const std::function<bool(const Binding&)>& on_match)
+      const;
+
   /// Counts total matches (distinct bindings of all variables).
   size_t CountMatches(const std::vector<Atom>& atoms,
                       const Binding& partial = {}) const;
 
  private:
   const Structure& s_;
+  MatchStats* stats_;
 };
 
 /// C ⊨ ∃x̄ Q(x̄) for a Boolean CQ (answer variables treated as existential).

@@ -178,6 +178,32 @@ TEST_F(StructureTest, ContainsAllFactsOf) {
   EXPECT_FALSE(small.ContainsAllFactsOf(big));
 }
 
+TEST_F(StructureTest, WatermarkTracksRoundBoundaries) {
+  Structure s(sig_);
+  // Before any mark, every watermark is 0: everything is "delta".
+  EXPECT_EQ(s.WatermarkRows(e_), 0u);
+  EXPECT_EQ(s.NumFactsAtWatermark(), 0u);
+
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(u_, {c_});
+  s.MarkRoundBoundary();
+  EXPECT_EQ(s.WatermarkRows(e_), 1u);
+  EXPECT_EQ(s.WatermarkRows(u_), 1u);
+  EXPECT_EQ(s.NumFactsAtWatermark(), 2u);
+
+  // New rows land above the watermark; old ones stay below.
+  s.AddFact(e_, {b_, c_});
+  EXPECT_EQ(s.WatermarkRows(e_), 1u);
+  EXPECT_EQ(s.NumFacts(e_), 2u);
+  EXPECT_EQ(s.Rows(e_)[s.WatermarkRows(e_)], (std::vector<TermId>{b_, c_}));
+
+  // Re-marking advances; predicates unseen at the mark report 0.
+  s.MarkRoundBoundary();
+  EXPECT_EQ(s.WatermarkRows(e_), 2u);
+  EXPECT_EQ(s.NumFactsAtWatermark(), 3u);
+  EXPECT_EQ(s.WatermarkRows(static_cast<PredId>(99)), 0u);
+}
+
 TEST(SubstitutionTest, BindAndResolveChains) {
   Substitution s;
   TermId x = MakeVar(0), y = MakeVar(1);

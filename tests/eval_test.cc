@@ -117,6 +117,71 @@ TEST_F(MatchTest, ChainMapsOntoCycleButNotConversely) {
   EXPECT_FALSE(HasHomomorphism(cycle, chain));
 }
 
+TEST_F(MatchTest, BandedEnumerationRestrictsAtomsToRowRanges) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});  // row 0 ("old")
+  s.MarkRoundBoundary();
+  s.AddFact(e_, {b_, c_});  // row 1 (the delta)
+
+  Matcher m(s);
+  std::vector<Atom> one = {Atom(e_, {MakeVar(0), MakeVar(1)})};
+  EXPECT_EQ(m.CountMatches(one), 2u);
+
+  // Banded to the delta: only the row above the watermark matches.
+  size_t n = 0;
+  m.EnumerateBanded(one, {{s.WatermarkRows(e_), UINT32_MAX}}, {},
+                    [&](const Binding& b) {
+                      EXPECT_EQ(b.at(MakeVar(0)), b_);
+                      ++n;
+                      return true;
+                    });
+  EXPECT_EQ(n, 1u);
+
+  // Old/delta split across a join: e(X, Y) old ⋈ e(Y, Z) delta leaves
+  // exactly the a→b→c binding (the b→c row may not serve as the old atom).
+  std::vector<Atom> body = {Atom(e_, {MakeVar(0), MakeVar(1)}),
+                            Atom(e_, {MakeVar(1), MakeVar(2)})};
+  n = 0;
+  m.EnumerateBanded(body,
+                    {{0, s.WatermarkRows(e_)}, {s.WatermarkRows(e_),
+                                                UINT32_MAX}},
+                    {}, [&](const Binding& b) {
+                      EXPECT_EQ(b.at(MakeVar(0)), a_);
+                      EXPECT_EQ(b.at(MakeVar(2)), c_);
+                      ++n;
+                      return true;
+                    });
+  EXPECT_EQ(n, 1u);
+
+  // An empty band yields no matches at all.
+  n = 0;
+  m.EnumerateBanded(one, {{5, 5}}, {},
+                    [&](const Binding&) {
+                      ++n;
+                      return true;
+                    });
+  EXPECT_EQ(n, 0u);
+}
+
+TEST_F(MatchTest, AttachedStatsCountBindingsAndPostings) {
+  Structure s(sig_);
+  s.AddFact(e_, {a_, b_});
+  s.AddFact(e_, {b_, c_});
+
+  MatchStats st;
+  Matcher m(s, &st);
+  EXPECT_EQ(m.CountMatches({Atom(e_, {MakeVar(0), MakeVar(1)})}), 2u);
+  EXPECT_EQ(st.bindings_tried, 2u);
+
+  // A bound constant position goes through the posting index.
+  EXPECT_EQ(m.CountMatches({Atom(e_, {a_, MakeVar(0)})}), 1u);
+  EXPECT_GE(st.postings_hits, 1u);
+
+  // A constant absent from the index prunes and records a miss.
+  EXPECT_EQ(m.CountMatches({Atom(e_, {c_, MakeVar(0)})}), 0u);
+  EXPECT_GE(st.postings_misses, 1u);
+}
+
 TEST(ContainmentTest, PathContainments) {
   Signature sig;
   PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();

@@ -52,6 +52,13 @@ int CmdChase(Program& p, size_t max_rounds) {
   std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
               r.rounds_run, r.structure.NumFacts(), r.nulls_created,
               r.fixpoint_reached ? "yes" : "no", r.status.ToString().c_str());
+  double total_ms = 0;
+  for (double ms : r.stats.round_ms) total_ms += ms;
+  std::printf("stats: bindings=%zu postings_hits=%zu postings_misses=%zu "
+              "triggers_deduped=%zu datalog_deduped=%zu chase_ms=%.2f\n",
+              r.stats.match.bindings_tried, r.stats.match.postings_hits,
+              r.stats.match.postings_misses, r.stats.triggers_deduped,
+              r.stats.datalog_deduped, total_ms);
   std::printf("%s", r.structure.ToString().c_str());
   for (size_t i = 0; i < p.queries.size(); ++i) {
     std::printf("query %zu: %s\n", i,
