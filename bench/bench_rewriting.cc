@@ -1,8 +1,10 @@
 // E3 — UCQ rewriting: size, saturation depth (the k_Φ certificate) and κ
-// versus query size on BDD theories. Expected shapes: on the linear
-// successor theory the minimized rewriting of a k-path collapses to the
-// single edge while generated-query counts grow with k; the transitivity
-// theory never saturates (not BDD) and hits its budget at every k.
+// versus query size on BDD theories, pruned vs unpruned. Expected shapes:
+// on the linear successor theory the minimized rewriting of a k-path
+// collapses to the single edge while generated-query counts grow with k —
+// and homomorphic-subsumption pruning keeps the kept set far smaller than
+// the key-dedup-only exploration; the transitivity theory never saturates
+// (not BDD) and hits its budget at every k.
 
 #include "bench_common.h"
 
@@ -28,10 +30,20 @@ Program Transitivity() {
   return std::move(ParseProgram("e(X, Y), e(Y, Z) -> e(X, Z).")).ValueOrDie();
 }
 
+RewriteOptions TableOptions(bool prune) {
+  RewriteOptions opts;
+  opts.max_depth = 12;
+  opts.max_queries = 3000;
+  opts.prune_subsumed = prune;
+  return opts;
+}
+
 void PrintTable() {
-  bddfc_bench::Banner("E3", "rewriting size / depth vs query size");
-  std::printf("%-16s %-4s %-10s %-9s %-8s %-8s\n", "theory", "k",
-              "generated", "minimized", "depth", "status");
+  bddfc_bench::Banner("E3", "rewriting size / depth vs query size, "
+                            "pruned vs unpruned");
+  std::printf("%-16s %-4s %-10s %-10s %-9s %-8s %-9s %-9s %-8s\n", "theory",
+              "k", "gen_prune", "gen_seed", "minimized", "depth", "pruned",
+              "homchk", "status");
   struct Row {
     const char* name;
     Program p;
@@ -42,13 +54,17 @@ void PrintTable() {
   for (Row& row : rows) {
     PredId e = std::move(row.p.theory.sig().FindPredicate("e")).ValueOrDie();
     for (int k = 1; k <= 6; ++k) {
-      RewriteOptions opts;
-      opts.max_depth = 12;
-      opts.max_queries = 3000;
-      RewriteResult r = RewriteQuery(row.p.theory, PathQuery(e, k), opts);
-      std::printf("%-16s %-4d %-10zu %-9zu %-8zu %-8s\n", row.name, k,
-                  r.queries_generated, r.rewriting.size(), r.depth_reached,
-                  r.status.ok() ? "saturated" : "budget");
+      RewriteResult pruned =
+          RewriteQuery(row.p.theory, PathQuery(e, k), TableOptions(true));
+      RewriteResult seed =
+          RewriteQuery(row.p.theory, PathQuery(e, k), TableOptions(false));
+      std::printf("%-16s %-4d %-10zu %-10zu %-9zu %-8zu %-9zu %-9zu %-8s\n",
+                  row.name, k, pruned.queries_generated,
+                  seed.queries_generated, pruned.rewriting.size(),
+                  pruned.depth_reached,
+                  pruned.stats.TotalSubsumptionPruned(),
+                  pruned.stats.hom_checks,
+                  pruned.status.ok() ? "saturated" : "budget");
     }
   }
 
@@ -60,26 +76,81 @@ void PrintTable() {
   }
 }
 
+void ExportCounters(benchmark::State& state, const RewriteResult& r) {
+  state.counters["queries_generated"] =
+      static_cast<double>(r.queries_generated);
+  state.counters["disjuncts"] = static_cast<double>(r.rewriting.size());
+  state.counters["candidates"] =
+      static_cast<double>(r.stats.TotalCandidates());
+  state.counters["key_deduped"] =
+      static_cast<double>(r.stats.TotalKeyDeduped());
+  state.counters["subsumption_pruned"] =
+      static_cast<double>(r.stats.TotalSubsumptionPruned());
+  state.counters["hom_checks"] = static_cast<double>(r.stats.hom_checks);
+  state.counters["hom_checks_skipped"] =
+      static_cast<double>(r.stats.hom_checks_skipped);
+}
+
+/// range(0) = path length k, range(1) = prune_subsumed.
 void BM_RewritePath(benchmark::State& state) {
   Program p = SuccessorWithSource();
   PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
   ConjunctiveQuery q = PathQuery(e, static_cast<int>(state.range(0)));
+  RewriteOptions opts;
+  opts.prune_subsumed = state.range(1) != 0;
+  RewriteResult last;
   for (auto _ : state) {
-    RewriteResult r = RewriteQuery(p.theory, q);
-    benchmark::DoNotOptimize(r.rewriting.size());
+    last = RewriteQuery(p.theory, q, opts);
+    benchmark::DoNotOptimize(last.rewriting.size());
   }
+  ExportCounters(state, last);
 }
-BENCHMARK(BM_RewritePath)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_RewritePath)
+    ->ArgsProduct({{1, 2, 3, 4, 5}, {0, 1}})
+    ->ArgNames({"k", "prune"});
 
+/// The workload where subsumption pruning changes the complexity class:
+/// under transitive closure every Boolean k-path candidate folds into the
+/// edge disjunct, so the pruned engine saturates after a handful of
+/// queries while the blind engine always runs to its query budget.
+void BM_RewritePathTransitive(benchmark::State& state) {
+  Program p = Transitivity();
+  PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+  ConjunctiveQuery q = PathQuery(e, static_cast<int>(state.range(0)));
+  RewriteOptions opts = TableOptions(state.range(1) != 0);
+  RewriteResult last;
+  for (auto _ : state) {
+    last = RewriteQuery(p.theory, q, opts);
+    benchmark::DoNotOptimize(last.rewriting.size());
+  }
+  ExportCounters(state, last);
+}
+BENCHMARK(BM_RewritePathTransitive)
+    ->ArgsProduct({{2, 4, 6}, {0, 1}})
+    ->ArgNames({"k", "prune"});
+
+/// range(0) = rules, range(1) = threads.
 void BM_ProbeBddLinear(benchmark::State& state) {
   auto sig = std::make_shared<Signature>();
   Theory t = RandomLinearTheory(sig, 3, static_cast<int>(state.range(0)), 11);
+  RewriteOptions opts;
+  opts.threads = static_cast<size_t>(state.range(1));
+  BddProbeResult last;
   for (auto _ : state) {
-    BddProbeResult r = ProbeBdd(t);
-    benchmark::DoNotOptimize(r.certified);
+    last = ProbeBdd(t, opts);
+    benchmark::DoNotOptimize(last.certified);
   }
+  state.counters["queries_generated"] =
+      static_cast<double>(last.queries_generated);
+  state.counters["subsumption_pruned"] =
+      static_cast<double>(last.stats.TotalSubsumptionPruned());
+  state.counters["hom_checks"] = static_cast<double>(last.stats.hom_checks);
+  state.counters["hom_checks_skipped"] =
+      static_cast<double>(last.stats.hom_checks_skipped);
 }
-BENCHMARK(BM_ProbeBddLinear)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ProbeBddLinear)
+    ->ArgsProduct({{2, 4, 8}, {1, 4}})
+    ->ArgNames({"rules", "threads"});
 
 void BM_DerivationDepth(benchmark::State& state) {
   Program p = std::move(ParseProgram(R"(

@@ -1,0 +1,98 @@
+#include "bddfc/base/thread_pool.h"
+
+#include <algorithm>
+
+namespace bddfc {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  if (num_threads_ == 1) return;  // inline mode: no workers
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<Status()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.emplace_back(next_index_++, std::move(task));
+    statuses_.emplace_back();  // slot for this task's Status
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
+  if (queue_.empty()) return false;
+  auto [index, task] = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  Status st = task();
+  lock.lock();
+  statuses_[index] = std::move(st);
+  if (--in_flight_ == 0) batch_done_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    RunOneLocked(lock);
+  }
+}
+
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (workers_.empty()) {
+    while (RunOneLocked(lock)) {
+    }
+  } else {
+    batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  Status first;
+  for (Status& st : statuses_) {
+    if (first.ok() && !st.ok()) first = st;
+  }
+  statuses_.clear();
+  next_index_ = 0;
+  return first;
+}
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+Status ParallelFor(size_t n, size_t threads,
+                   const std::function<Status(size_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    Status first;
+    for (size_t i = 0; i < n; ++i) {
+      Status st = fn(i);
+      if (first.ok() && !st.ok()) first = std::move(st);
+    }
+    return first;
+  }
+  ThreadPool pool(std::min(threads, n));
+  for (size_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { return fn(i); });
+  }
+  return pool.Wait();
+}
+
+}  // namespace bddfc

@@ -1,0 +1,77 @@
+// Fixed-size thread pool for fanning out independent work items.
+//
+// The library is exception-free: tasks report failure through the Status
+// they return, and the pool aggregates per-task statuses deterministically
+// (indexed by submission order, scanned in that order by Wait), so a run's
+// outcome does not depend on thread scheduling. A pool constructed with
+// one thread executes tasks inline on Wait(), making `threads = 1` an
+// exact serial baseline with no thread startup cost.
+
+#ifndef BDDFC_BASE_THREAD_POOL_H_
+#define BDDFC_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bddfc/base/status.h"
+
+namespace bddfc {
+
+/// A fixed set of worker threads draining a FIFO work queue.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (clamped to >= 1). With exactly one
+  /// thread no worker is spawned; tasks run inline in Wait().
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. The returned Status is recorded under the task's
+  /// submission index for deterministic aggregation in Wait().
+  void Submit(std::function<Status()> task);
+
+  /// Blocks until every submitted task has finished and returns the first
+  /// non-OK Status in submission order (OK when all succeeded). Resets the
+  /// aggregation state so the pool can be reused for another batch.
+  Status Wait();
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// A reasonable default worker count: hardware concurrency, at least 1.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs one task; returns false when the queue was empty.
+  bool RunOneLocked(std::unique_lock<std::mutex>& lock);
+
+  const size_t num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  std::deque<std::pair<size_t, std::function<Status()>>> queue_;
+  std::vector<Status> statuses_;  // indexed by submission order
+  size_t next_index_ = 0;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n) on `threads` workers and returns the
+/// first non-OK Status in index order. With threads <= 1 the loop runs
+/// inline. Callers get determinism by writing results[i] from task i.
+Status ParallelFor(size_t n, size_t threads,
+                   const std::function<Status(size_t)>& fn);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_THREAD_POOL_H_

@@ -324,6 +324,26 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   return out;
 }
 
+std::vector<std::vector<Atom>> ChaseResult::FactsByRound() const {
+  std::vector<std::vector<Atom>> out;
+  if (structure.NumFacts() == 0) return out;
+  int max_round = 0;
+  for (const auto& [handle, round] : fact_round) {
+    (void)handle;
+    max_round = std::max(max_round, round);
+  }
+  out.resize(static_cast<size_t>(max_round) + 1);
+  for (PredId p = 0; p < structure.NumStoredPredicates(); ++p) {
+    const auto& rows = structure.Rows(p);
+    for (uint32_t row = 0; row < rows.size(); ++row) {
+      auto it = fact_round.find(FactHandle{p, row});
+      int round = it == fact_round.end() ? 0 : it->second;
+      out[static_cast<size_t>(round)].emplace_back(p, rows[row]);
+    }
+  }
+  return out;
+}
+
 std::string RuleViolation::ToString(const Signature& sig) const {
   std::string s = "rule #" + std::to_string(rule_index) + " violated by ";
   for (size_t i = 0; i < grounded_body.size(); ++i) {

@@ -113,6 +113,12 @@ struct ChaseResult {
     auto it = null_provenance.find(e);
     return it == null_provenance.end() ? 0 : it->second.birth_round;
   }
+
+  /// Facts grouped by birth round: entry i holds the ground atoms first
+  /// derived in round i (entry 0 = the facts of D), append-ordered within
+  /// each relation. Built via fact handles, so it stays valid however the
+  /// structure's row storage reallocates. Empty when the structure is.
+  std::vector<std::vector<Atom>> FactsByRound() const;
 };
 
 /// Runs the chase of `theory` on `instance`. The instance's signature object

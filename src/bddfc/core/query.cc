@@ -85,6 +85,24 @@ std::string ConjunctiveQuery::NormalizedKey(const Signature& sig) const {
   return Normalized().ToString(sig);
 }
 
+std::string ConjunctiveQuery::CanonicalKey() const {
+  ConjunctiveQuery n = Normalized();
+  std::string key;
+  key.reserve(8 * (n.atoms.size() * 3 + n.answer_vars.size()));
+  auto append = [&key](int64_t v) {
+    key += std::to_string(v);
+    key += ',';
+  };
+  for (TermId v : n.answer_vars) append(v);
+  key += '|';
+  for (const Atom& a : n.atoms) {
+    append(a.pred);
+    for (TermId t : a.args) append(t);
+    key += ';';
+  }
+  return key;
+}
+
 std::string ConjunctiveQuery::ToString(const Signature& sig) const {
   std::string s;
   if (!answer_vars.empty()) {

@@ -52,6 +52,12 @@ struct ConjunctiveQuery {
   /// Key usable for hashing/dedup of normalized queries.
   std::string NormalizedKey(const Signature& sig) const;
 
+  /// Signature-independent dedup key: a numeric serialization of the
+  /// Normalized() form. Equal keys iff the normal forms are identical.
+  /// Cheaper than NormalizedKey (no name lookups) and safe to compute
+  /// concurrently (touches no shared state).
+  std::string CanonicalKey() const;
+
   std::string ToString(const Signature& sig) const;
 };
 

@@ -68,6 +68,10 @@ const std::vector<std::vector<TermId>>& Structure::Rows(PredId pred) const {
   return rel == nullptr ? kEmptyRows : rel->rows;
 }
 
+PredId Structure::NumStoredPredicates() const {
+  return static_cast<PredId>(relations_.size());
+}
+
 const std::vector<uint32_t>* Structure::Postings(PredId pred, int pos,
                                                  TermId value) const {
   const Relation* rel = FindRelation(pred);

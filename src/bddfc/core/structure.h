@@ -89,6 +89,12 @@ class Structure {
   size_t NumFacts() const { return num_facts_; }
   size_t NumFacts(PredId pred) const { return Rows(pred).size(); }
 
+  /// Upper bound (exclusive) on PredIds with stored rows. May exceed the
+  /// signature's predicate count: facts can be added for predicates interned
+  /// in a signature other than this structure's (e.g. a chase over a theory
+  /// whose signature is richer than the instance's).
+  PredId NumStoredPredicates() const;
+
   /// Domain: every constant occurring in some fact or explicitly added,
   /// in first-appearance order.
   const std::vector<TermId>& Domain() const { return domain_; }

@@ -72,19 +72,19 @@ struct QHomSearch {
 void EnumerateQueryHoms(const ConjunctiveQuery& from,
                         const ConjunctiveQuery& to,
                         const std::function<bool(const QueryHom&)>& on_hom) {
+  // Queries with answer interfaces of different lengths are non-comparable
+  // (a Boolean query is never hom-related to a non-Boolean one); pin answer
+  // terms pairwise otherwise.
+  if (from.answer_vars.size() != to.answer_vars.size()) return;
   QHomSearch search(from, to, &on_hom);
-  // Pin answer variables pairwise when both queries expose them.
-  if (!from.answer_vars.empty() && !to.answer_vars.empty()) {
-    if (from.answer_vars.size() != to.answer_vars.size()) return;
-    for (size_t i = 0; i < from.answer_vars.size(); ++i) {
-      TermId src = from.answer_vars[i];
-      TermId dst = to.answer_vars[i];
-      if (IsVar(src)) {
-        auto [it, inserted] = search.hom.emplace(src, dst);
-        if (!inserted && it->second != dst) return;
-      } else if (src != dst) {
-        return;
-      }
+  for (size_t i = 0; i < from.answer_vars.size(); ++i) {
+    TermId src = from.answer_vars[i];
+    TermId dst = to.answer_vars[i];
+    if (IsVar(src)) {
+      auto [it, inserted] = search.hom.emplace(src, dst);
+      if (!inserted && it->second != dst) return;
+    } else if (src != dst) {
+      return;
     }
   }
   search.Search(0);
@@ -174,29 +174,129 @@ bool UcqContainedIn(const UnionOfCQs& a, const UnionOfCQs& b) {
   });
 }
 
-UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq) {
-  // Core each disjunct first so equivalence classes collapse to canonical
-  // minimal representatives, then drop disjuncts contained in others.
-  UnionOfCQs cored;
-  cored.reserve(ucq.size());
-  for (const ConjunctiveQuery& q : ucq) cored.push_back(CoreOf(q));
+namespace {
 
-  std::vector<bool> dead(cored.size(), false);
-  for (size_t i = 0; i < cored.size(); ++i) {
-    if (dead[i]) continue;
-    for (size_t j = 0; j < cored.size(); ++j) {
-      if (i == j || dead[j]) continue;
-      if (IsContainedIn(cored[j], cored[i])) {
-        // q_j ⊆ q_i: q_j is redundant, unless they are equivalent and j < i
-        // (keep the earliest representative).
-        if (IsContainedIn(cored[i], cored[j]) && j < i) continue;
-        dead[j] = true;
+/// 64-bit bloom bit for an id (predicate or constant).
+uint64_t MaskBit(int64_t id) {
+  return uint64_t{1} << (static_cast<uint64_t>(id) * 0x9e3779b97f4a7c15ULL >>
+                         58);
+}
+
+}  // namespace
+
+CqFilterSignature MakeFilterSignature(const ConjunctiveQuery& q) {
+  CqFilterSignature sig;
+  sig.num_atoms = q.atoms.size();
+  sig.num_answer_vars = q.answer_vars.size();
+  sig.pred_counts.reserve(q.atoms.size());
+  for (const Atom& a : q.atoms) {
+    sig.pred_mask |= MaskBit(a.pred);
+    auto it = std::lower_bound(
+        sig.pred_counts.begin(), sig.pred_counts.end(),
+        std::make_pair(a.pred, uint32_t{0}),
+        [](const auto& x, const auto& y) { return x.first < y.first; });
+    if (it != sig.pred_counts.end() && it->first == a.pred) {
+      ++it->second;
+    } else {
+      sig.pred_counts.insert(it, {a.pred, 1});
+    }
+    for (TermId t : a.args) {
+      if (IsConst(t)) sig.const_mask |= MaskBit(t);
+    }
+  }
+  for (TermId t : q.answer_vars) {
+    if (IsConst(t)) sig.const_mask |= MaskBit(t);
+  }
+  return sig;
+}
+
+bool HomPossible(const CqFilterSignature& from, const CqFilterSignature& to) {
+  if (from.num_answer_vars != to.num_answer_vars) return false;
+  // Homs may map several atoms onto one, so only *presence* of each
+  // predicate (and constant) of `from` in `to` is necessary, not counts.
+  if ((from.pred_mask & ~to.pred_mask) != 0) return false;
+  if ((from.const_mask & ~to.const_mask) != 0) return false;
+  auto it = to.pred_counts.begin();
+  for (const auto& [pred, count] : from.pred_counts) {
+    (void)count;
+    while (it != to.pred_counts.end() && it->first < pred) ++it;
+    if (it == to.pred_counts.end() || it->first != pred) return false;
+  }
+  return true;
+}
+
+bool UcqSubsumptionIndex::Subsumes(const ConjunctiveQuery& q,
+                                   SubsumptionStats* stats) const {
+  CqFilterSignature qsig = MakeFilterSignature(q);
+  for (const Entry& e : entries_) {
+    if (e.dead) continue;
+    // q ⊆ e.q needs a hom from e.q into q.
+    if (!HomPossible(e.sig, qsig)) {
+      if (stats != nullptr) ++stats->prefilter_skipped;
+      continue;
+    }
+    if (stats != nullptr) ++stats->hom_checks;
+    if (HasQueryHom(e.q, q)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> UcqSubsumptionIndex::SubsumedBy(
+    const ConjunctiveQuery& q, SubsumptionStats* stats) const {
+  CqFilterSignature qsig = MakeFilterSignature(q);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.dead) continue;
+    // e.q ⊆ q needs a hom from q into e.q.
+    if (!HomPossible(qsig, e.sig)) {
+      if (stats != nullptr) ++stats->prefilter_skipped;
+      continue;
+    }
+    if (stats != nullptr) ++stats->hom_checks;
+    if (HasQueryHom(q, e.q)) out.push_back(i);
+  }
+  return out;
+}
+
+size_t UcqSubsumptionIndex::Add(ConjunctiveQuery q) {
+  Entry e;
+  e.sig = MakeFilterSignature(q);
+  e.q = std::move(q);
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq, SubsumptionStats* stats) {
+  // Core each disjunct so equivalence classes collapse toward canonical
+  // minimal representatives, and group by canonical key: syntactically
+  // identical normal forms keep one (the earliest) representative without
+  // any hom search.
+  UnionOfCQs reps;
+  reps.reserve(ucq.size());
+  {
+    std::unordered_set<std::string> seen_keys;
+    for (const ConjunctiveQuery& q : ucq) {
+      ConjunctiveQuery cored = CoreOf(q);
+      if (seen_keys.insert(cored.CanonicalKey()).second) {
+        reps.push_back(std::move(cored));
       }
     }
   }
+
+  // One ordered sweep through the index: a representative subsumed by an
+  // earlier kept one is dropped (equivalent disjuncts keep the earliest);
+  // otherwise it retires every kept disjunct it strictly subsumes. Each
+  // surviving pair is probed in at most one direction per sweep step.
+  UcqSubsumptionIndex index;
+  for (ConjunctiveQuery& q : reps) {
+    if (index.Subsumes(q, stats)) continue;
+    for (size_t victim : index.SubsumedBy(q, stats)) index.Retire(victim);
+    index.Add(std::move(q));
+  }
   UnionOfCQs out;
-  for (size_t i = 0; i < cored.size(); ++i) {
-    if (!dead[i]) out.push_back(cored[i]);
+  for (size_t i = 0; i < index.size(); ++i) {
+    if (!index.dead(i)) out.push_back(index.at(i));
   }
   return out;
 }

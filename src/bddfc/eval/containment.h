@@ -1,10 +1,13 @@
-// Query-to-query homomorphisms, CQ/UCQ containment and cores.
+// Query-to-query homomorphisms, CQ/UCQ containment and cores, plus the
+// signature pre-filter and subsumption index used by the UCQ rewriter.
 
 #ifndef BDDFC_EVAL_CONTAINMENT_H_
 #define BDDFC_EVAL_CONTAINMENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "bddfc/core/query.h"
 
@@ -15,8 +18,10 @@ using QueryHom = std::unordered_map<TermId, TermId>;
 
 /// Enumerates homomorphisms h from `from` into `to`: h maps each atom of
 /// `from` onto some atom of `to`, fixes constants, and maps the i-th answer
-/// variable of `from` to the i-th answer variable of `to` (when both have
-/// answer variables). The callback returns false to stop.
+/// variable of `from` to the i-th answer variable of `to`. Queries with
+/// answer interfaces of different lengths are non-comparable: no
+/// homomorphism exists between them (a Boolean query is never hom-related
+/// to a non-Boolean one). The callback returns false to stop.
 void EnumerateQueryHoms(const ConjunctiveQuery& from,
                         const ConjunctiveQuery& to,
                         const std::function<bool(const QueryHom&)>& on_hom);
@@ -38,9 +43,81 @@ ConjunctiveQuery CoreOf(const ConjunctiveQuery& q);
 /// UCQ ⊆ UCQ: every disjunct of `a` is contained in some disjunct of `b`.
 bool UcqContainedIn(const UnionOfCQs& a, const UnionOfCQs& b);
 
+/// Cheap necessary-condition summary of a CQ for homomorphism existence:
+/// sorted predicate multiset, a bloom mask over predicates and constants,
+/// and the answer-interface length. Computing it is O(|q| log |q|); the
+/// filter check HomPossible is O(preds) with an O(1) mask fast path.
+struct CqFilterSignature {
+  /// (predicate, occurrence count), sorted by predicate.
+  std::vector<std::pair<PredId, uint32_t>> pred_counts;
+  uint64_t pred_mask = 0;   ///< bloom over predicate ids
+  uint64_t const_mask = 0;  ///< bloom over constants
+  size_t num_atoms = 0;
+  size_t num_answer_vars = 0;
+};
+
+CqFilterSignature MakeFilterSignature(const ConjunctiveQuery& q);
+
+/// Necessary condition for HasQueryHom(from, to): matching answer-interface
+/// lengths, every predicate of `from` present in `to`, every constant of
+/// `from` present in `to` (constants are fixed by homs). Returns false only
+/// when no homomorphism can exist.
+bool HomPossible(const CqFilterSignature& from, const CqFilterSignature& to);
+
+/// Counters for pre-filtered containment probing.
+struct SubsumptionStats {
+  size_t hom_checks = 0;         ///< full HasQueryHom searches performed
+  size_t prefilter_skipped = 0;  ///< candidate pairs rejected by HomPossible
+
+  SubsumptionStats& operator+=(const SubsumptionStats& o) {
+    hom_checks += o.hom_checks;
+    prefilter_skipped += o.prefilter_skipped;
+    return *this;
+  }
+};
+
+/// A growing set of kept disjuncts supporting pre-filtered containment
+/// probes — the index behind the rewriter's online subsumption pruning and
+/// MinimizeUcq. Entries are addressed by insertion index; Retire marks an
+/// entry dead without invalidating other indexes.
+class UcqSubsumptionIndex {
+ public:
+  /// True iff q ⊆ d for some live entry d (a hom from d into q exists).
+  /// Pairs failing the signature pre-filter skip the hom search.
+  bool Subsumes(const ConjunctiveQuery& q, SubsumptionStats* stats) const;
+
+  /// Indexes of live entries d with d ⊆ q — entries a newly kept disjunct
+  /// makes redundant. Pre-filtered like Subsumes.
+  std::vector<size_t> SubsumedBy(const ConjunctiveQuery& q,
+                                 SubsumptionStats* stats) const;
+
+  /// Keeps q; returns its index.
+  size_t Add(ConjunctiveQuery q);
+
+  /// Marks entry `index` dead (it no longer participates in probes).
+  void Retire(size_t index) { entries_[index].dead = true; }
+
+  size_t size() const { return entries_.size(); }
+  bool dead(size_t index) const { return entries_[index].dead; }
+  const ConjunctiveQuery& at(size_t index) const { return entries_[index].q; }
+
+ private:
+  struct Entry {
+    ConjunctiveQuery q;
+    CqFilterSignature sig;
+    bool dead = false;
+  };
+  std::vector<Entry> entries_;
+};
+
 /// Removes disjuncts subsumed by others (q_i dropped when q_i ⊆ q_j, i≠j),
 /// keeping the earliest representative of each equivalence class.
-UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq);
+/// Disjuncts are cored, grouped by canonical key (identical normal forms
+/// collapse without any hom search), then swept through a pre-filtered
+/// subsumption index instead of a blind pairwise loop. `stats`, when
+/// non-null, accumulates the probe counters.
+UnionOfCQs MinimizeUcq(const UnionOfCQs& ucq,
+                       SubsumptionStats* stats = nullptr);
 
 }  // namespace bddfc
 

@@ -1,10 +1,11 @@
 #include "bddfc/rewrite/rewriter.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
+#include <chrono>
+#include <optional>
 #include <unordered_set>
 
+#include "bddfc/base/thread_pool.h"
 #include "bddfc/chase/chase.h"
 #include "bddfc/core/substitution.h"
 #include "bddfc/eval/containment.h"
@@ -118,7 +119,50 @@ void Factorizations(const ConjunctiveQuery& q,
   }
 }
 
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
+
+size_t RewriteStats::TotalCandidates() const {
+  size_t n = 0;
+  for (const RewriteLevelStats& l : levels) n += l.candidates;
+  return n;
+}
+
+size_t RewriteStats::TotalKeyDeduped() const {
+  size_t n = 0;
+  for (const RewriteLevelStats& l : levels) n += l.key_deduped;
+  return n;
+}
+
+size_t RewriteStats::TotalSubsumptionPruned() const {
+  size_t n = 0;
+  for (const RewriteLevelStats& l : levels) n += l.subsumption_pruned;
+  return n;
+}
+
+double RewriteStats::TotalWallMs() const {
+  double ms = 0;
+  for (const RewriteLevelStats& l : levels) ms += l.wall_ms;
+  return ms;
+}
+
+RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
+  if (levels.size() < o.levels.size()) levels.resize(o.levels.size());
+  for (size_t i = 0; i < o.levels.size(); ++i) {
+    levels[i].candidates += o.levels[i].candidates;
+    levels[i].key_deduped += o.levels[i].key_deduped;
+    levels[i].subsumption_pruned += o.levels[i].subsumption_pruned;
+    levels[i].wall_ms += o.levels[i].wall_ms;
+  }
+  hom_checks += o.hom_checks;
+  hom_checks_skipped += o.hom_checks_skipped;
+  return *this;
+}
 
 RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
                            const RewriteOptions& options) {
@@ -129,18 +173,22 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
     return result;
   }
   const std::vector<Rule>& rules = prepared.value();
-  const Signature& sig = theory.sig();
 
   ConjunctiveQuery start = query.Normalized();
-  std::unordered_set<std::string> seen = {start.NormalizedKey(sig)};
+  std::unordered_set<std::string> seen = {start.CanonicalKey()};
   std::vector<ConjunctiveQuery> all = {start};
   std::vector<ConjunctiveQuery> frontier = {start};
+  UcqSubsumptionIndex kept;
+  SubsumptionStats probes;
+  if (options.prune_subsumed) kept.Add(start);
   result.queries_generated = 1;
   bool budget_hit = false;
   std::string budget_reason;
 
   for (size_t depth = 1; depth <= options.max_depth && !frontier.empty();
        ++depth) {
+    auto level_start = std::chrono::steady_clock::now();
+    RewriteLevelStats level;
     std::vector<ConjunctiveQuery> next;
     for (const ConjunctiveQuery& q : frontier) {
       // Rename rule variables apart from q's.
@@ -157,19 +205,38 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
           if (step.has_value()) candidates.push_back(std::move(*step));
         }
       }
+      // Factorizations are exempt from subsumption pruning below: a
+      // factorization is its parent under a unifying substitution, so the
+      // parent always subsumes it — yet it must still be explored, because
+      // it can unblock resolution steps whose shared-variable applicability
+      // condition failed on the parent (the f-labeled queries of XRewrite).
+      const size_t num_resolved = candidates.size();
       Factorizations(q, &candidates);
+      level.candidates += candidates.size();
 
-      for (ConjunctiveQuery& c : candidates) {
-        ConjunctiveQuery n = c.Normalized();
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        const bool is_factorization = ci >= num_resolved;
+        ConjunctiveQuery n = candidates[ci].Normalized();
         if (options.max_atoms_per_query != 0 &&
             n.atoms.size() > options.max_atoms_per_query) {
           budget_hit = true;
           budget_reason = "max_atoms_per_query";
           continue;
         }
-        std::string key = n.NormalizedKey(sig);
-        if (!seen.insert(key).second) continue;
+        if (!seen.insert(n.CanonicalKey()).second) {
+          ++level.key_deduped;
+          continue;
+        }
+        const bool probing = options.prune_subsumed &&
+                             probes.hom_checks < options.max_hom_checks;
+        if (probing && !is_factorization && kept.Subsumes(n, &probes)) {
+          // n adds nothing to the union, and its rewritings are covered by
+          // the rewritings of the subsuming disjunct: drop, don't explore.
+          ++level.subsumption_pruned;
+          continue;
+        }
         ++result.queries_generated;
+        if (probing) kept.Add(n);
         all.push_back(n);
         next.push_back(std::move(n));
         if (result.queries_generated >= options.max_queries) {
@@ -180,6 +247,8 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
       }
       if (budget_hit && budget_reason == "max_queries") break;
     }
+    level.wall_ms = MsSince(level_start);
+    result.stats.levels.push_back(level);
     if (budget_hit && budget_reason == "max_queries") {
       result.depth_reached = depth;
       break;
@@ -204,62 +273,80 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
   // sized rewritings (an incomplete rewriting is diagnostic output anyway).
   const bool minimize =
       options.minimize && result.status.ok() && all.size() <= 1000;
-  result.rewriting = minimize ? MinimizeUcq(all) : all;
+  result.rewriting = minimize ? MinimizeUcq(all, &probes) : all;
+  result.stats.hom_checks = probes.hom_checks;
+  result.stats.hom_checks_skipped = probes.prefilter_skipped;
   for (const ConjunctiveQuery& q : result.rewriting) {
     result.max_variables = std::max(result.max_variables, q.NumVariables());
   }
   return result;
 }
 
+namespace {
+
+/// The rewriting probe of a rule body: the body as a CQ whose free
+/// variables are the frontier for TGDs (the paper's Ψ(x̄, y)) and the head
+/// variables for datalog rules — they must survive the rewriting.
+ConjunctiveQuery BodyProbe(const Rule& r) {
+  ConjunctiveQuery body;
+  body.atoms = r.body;
+  body.answer_vars =
+      r.IsExistential() ? r.FrontierVariables() : r.HeadVariables();
+  return body;
+}
+
+/// Rewrites every probe query on options.threads workers. Results are
+/// indexed by probe, so any downstream aggregation that scans them in probe
+/// order is deterministic regardless of thread count.
+std::vector<RewriteResult> RewriteAll(const Theory& theory,
+                                      const std::vector<ConjunctiveQuery>& qs,
+                                      const RewriteOptions& options) {
+  std::vector<RewriteResult> results(qs.size());
+  ParallelFor(qs.size(), options.threads, [&](size_t i) {
+    results[i] = RewriteQuery(theory, qs[i], options);
+    return Status::OK();
+  });
+  return results;
+}
+
+}  // namespace
+
 KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
   KappaResult out;
-  for (const Rule& r : theory.rules()) {
-    ConjunctiveQuery body;
-    body.atoms = r.body;
-    // Free variables: the frontier for TGDs (the paper's Ψ(x̄, y)), the head
-    // variables for datalog rules — they must survive the rewriting.
-    body.answer_vars =
-        r.IsExistential() ? r.FrontierVariables() : r.HeadVariables();
-    RewriteResult rr = RewriteQuery(theory, body, options);
-    if (!rr.status.ok()) {
-      out.status = rr.status;
-    }
+  std::vector<ConjunctiveQuery> probes;
+  probes.reserve(theory.rules().size());
+  for (const Rule& r : theory.rules()) probes.push_back(BodyProbe(r));
+  for (const RewriteResult& rr : RewriteAll(theory, probes, options)) {
+    if (out.status.ok() && !rr.status.ok()) out.status = rr.status;
     out.kappa = std::max(out.kappa, rr.max_variables);
+    out.stats += rr.stats;
   }
   return out;
 }
 
 BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
   BddProbeResult out;
-  auto account = [&](const RewriteResult& rr) {
-    if (!rr.status.ok()) out.status = rr.status;
+  // Probe 1: every rule body. Probe 2: one fresh atom per predicate.
+  std::vector<ConjunctiveQuery> probes;
+  for (const Rule& r : theory.rules()) probes.push_back(BodyProbe(r));
+  for (PredId p = 0; p < theory.sig().num_predicates(); ++p) {
+    if (theory.sig().IsColor(p)) continue;
+    std::vector<TermId> args;
+    for (int i = 0; i < theory.sig().arity(p); ++i) {
+      args.push_back(MakeVar(i));
+    }
+    ConjunctiveQuery q;
+    q.atoms.push_back(Atom(p, args));
+    probes.push_back(std::move(q));
+  }
+
+  for (const RewriteResult& rr : RewriteAll(theory, probes, options)) {
+    if (out.status.ok() && !rr.status.ok()) out.status = rr.status;
     out.max_depth_seen = std::max(out.max_depth_seen, rr.depth_reached);
     out.total_disjuncts += rr.rewriting.size();
     out.kappa = std::max(out.kappa, rr.max_variables);
-  };
-
-  // Probe 1: every rule body.
-  for (const Rule& r : theory.rules()) {
-    ConjunctiveQuery body;
-    body.atoms = r.body;
-    body.answer_vars =
-        r.IsExistential() ? r.FrontierVariables() : r.HeadVariables();
-    account(RewriteQuery(theory, body, options));
-    if (!out.status.ok()) break;
-  }
-  // Probe 2: one fresh atom per predicate.
-  if (out.status.ok()) {
-    for (PredId p = 0; p < theory.sig().num_predicates(); ++p) {
-      if (theory.sig().IsColor(p)) continue;
-      std::vector<TermId> args;
-      for (int i = 0; i < theory.sig().arity(p); ++i) {
-        args.push_back(MakeVar(i));
-      }
-      ConjunctiveQuery q;
-      q.atoms.push_back(Atom(p, args));
-      account(RewriteQuery(theory, q, options));
-      if (!out.status.ok()) break;
-    }
+    out.queries_generated += rr.queries_generated;
+    out.stats += rr.stats;
   }
   out.certified = out.status.ok();
   return out;
@@ -267,28 +354,44 @@ BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
 
 int DerivationDepth(const Theory& theory, const Structure& instance,
                     const ConjunctiveQuery& q, size_t max_rounds) {
+  // RunChase requires the theory and instance to share one Signature
+  // object. Callers often parse the instance separately; re-intern such an
+  // instance into the theory's signature (predicates and constants by
+  // name) rather than chasing over mismatched id spaces.
+  const Structure* inst = &instance;
+  Structure reinterned(theory.signature_ptr());
+  if (instance.signature_ptr().get() != theory.signature_ptr().get()) {
+    const Signature& from = instance.sig();
+    Signature& to = *theory.signature_ptr();
+    bool ok = true;
+    instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
+      Result<PredId> tp =
+          to.AddPredicate(from.PredicateName(p), from.arity(p));
+      if (!tp.ok()) {
+        ok = false;  // same name, different arity: no sensible translation
+        return;
+      }
+      std::vector<TermId> args;
+      args.reserve(row.size());
+      for (TermId c : row) args.push_back(to.AddConstant(from.ConstantName(c)));
+      reinterned.AddFact(tp.value(), args);
+    });
+    if (!ok) return -1;
+    inst = &reinterned;
+  }
+
   ChaseOptions copts;
   copts.max_rounds = max_rounds;
-  ChaseResult chase = RunChase(theory, instance, copts);
+  ChaseResult chase = RunChase(theory, *inst, copts);
 
-  // Group facts by birth round, replay them into a prefix structure and
-  // test the query after each round.
-  std::map<int, std::vector<std::pair<PredId, std::vector<TermId>>>> by_round;
-  chase.structure.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
-    auto it = chase.fact_round.find(FactHandle{
-        p, static_cast<uint32_t>(&row - chase.structure.Rows(p).data())});
-    int round = it == chase.fact_round.end() ? 0 : it->second;
-    by_round[round].emplace_back(p, row);
-  });
-
+  // Replay the facts round by round into a prefix structure and test the
+  // query after each round.
   Structure prefix(chase.structure.signature_ptr());
-  int last_round = -1;
-  for (auto& [round, facts] : by_round) {
-    for (auto& [p, row] : facts) prefix.AddFact(p, row);
-    last_round = round;
-    if (Satisfies(prefix, q)) return round;
+  std::vector<std::vector<Atom>> by_round = chase.FactsByRound();
+  for (size_t round = 0; round < by_round.size(); ++round) {
+    for (const Atom& a : by_round[round]) prefix.AddFact(a);
+    if (Satisfies(prefix, q)) return static_cast<int>(round);
   }
-  (void)last_round;
   return -1;
 }
 

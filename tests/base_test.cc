@@ -1,9 +1,14 @@
-// Tests for the base utilities: Status, Result, Interner, hashing.
+// Tests for the base utilities: Status, Result, Interner, hashing, and the
+// thread pool.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <vector>
+
 #include "bddfc/base/interner.h"
 #include "bddfc/base/status.h"
+#include "bddfc/base/thread_pool.h"
 
 namespace bddfc {
 namespace {
@@ -115,6 +120,75 @@ TEST(HashTest, HashRangeIsOrderSensitive) {
   std::vector<int> b = {3, 2, 1};
   EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
   EXPECT_EQ(HashRange(a.begin(), a.end()), HashRange(a.begin(), a.end()));
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(64);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      pool.Submit([&hits, i] {
+        ++hits[i];
+        return Status::OK();
+      });
+    }
+    EXPECT_TRUE(pool.Wait().ok());
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, WaitAggregatesFirstFailureInSubmissionOrder) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([i] {
+      if (i == 7) return Status::InvalidArgument("seven");
+      if (i == 21) return Status::Internal("twenty-one");
+      return Status::OK();
+    });
+  }
+  Status st = pool.Wait();
+  // Deterministic regardless of completion order: the earliest submitted
+  // failure wins.
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "seven");
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool pool(3);
+  for (int batch = 0; batch < 3; ++batch) {
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] {
+        ++count;
+        return Status::OK();
+      });
+    }
+    EXPECT_TRUE(pool.Wait().ok());
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolIsOk) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Wait().ok());
+  ThreadPool inline_pool(1);
+  EXPECT_TRUE(inline_pool.Wait().ok());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversTheRangeAndOrdersStatuses) {
+  for (size_t threads : {1u, 4u}) {
+    std::vector<int> out(100, 0);
+    Status st = ParallelFor(out.size(), threads, [&out](size_t i) {
+      out[i] = static_cast<int>(i) + 1;
+      return i == 13 ? Status::Unknown("thirteen") : Status::OK();
+    });
+    EXPECT_EQ(st.code(), StatusCode::kUnknown);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) + 1);
+    }
+  }
 }
 
 }  // namespace

@@ -116,6 +116,35 @@ TEST(ChaseTest, ChaseLevelsAreRecorded) {
   EXPECT_EQ(rounds, (std::vector<int>{1, 2, 3, 4, 5}));
 }
 
+TEST(ChaseTest, FactsByRoundPartitionsAllFacts) {
+  // Alternating e/u derivations: e facts land in even rounds, u facts in
+  // odd ones, and the per-round groups must partition the final structure
+  // (round 0 = the input instance).
+  Program p = MustParse(R"(
+    u(X) -> exists Z: e(X, Z).
+    e(X, Y) -> u(Y).
+    u(a).
+  )");
+  ChaseOptions opts;
+  opts.max_rounds = 4;
+  ChaseResult res = RunChase(p.theory, p.instance, opts);
+  std::vector<std::vector<Atom>> by_round = res.FactsByRound();
+  ASSERT_EQ(by_round.size(), 5u);
+
+  size_t total = 0;
+  for (const auto& round : by_round) total += round.size();
+  EXPECT_EQ(total, res.structure.NumFacts());
+
+  PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+  PredId u = std::move(p.theory.sig().FindPredicate("u")).ValueOrDie();
+  ASSERT_EQ(by_round[0].size(), 1u);
+  EXPECT_EQ(by_round[0][0].pred, u);
+  for (size_t r = 1; r < by_round.size(); ++r) {
+    ASSERT_EQ(by_round[r].size(), 1u) << "round " << r;
+    EXPECT_EQ(by_round[r][0].pred, r % 2 == 1 ? e : u) << "round " << r;
+  }
+}
+
 TEST(ChaseTest, WithinRoundTriggersAreDeduplicated) {
   // Two body matches demanding the same head pattern must create one
   // witness (the non-oblivious chase invariant behind Lemma 3(iv)).

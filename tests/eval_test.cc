@@ -268,6 +268,134 @@ TEST(ContainmentTest, UcqContainment) {
   EXPECT_FALSE(UcqContainedIn(b, a));
 }
 
+TEST(ContainmentTest, MismatchedAnswerInterfacesAreNonComparable) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  // q1() = ∃x,y e(x, y) and q2(x) = e(x, y): a Boolean query must never be
+  // hom-related to a non-Boolean one (the old laxity let IsContainedIn
+  // equate them).
+  ConjunctiveQuery boolean_q;
+  boolean_q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  ConjunctiveQuery unary_q;
+  unary_q.answer_vars.push_back(MakeVar(0));
+  unary_q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  EXPECT_FALSE(HasQueryHom(boolean_q, unary_q));
+  EXPECT_FALSE(HasQueryHom(unary_q, boolean_q));
+  EXPECT_FALSE(IsContainedIn(boolean_q, unary_q));
+  EXPECT_FALSE(IsContainedIn(unary_q, boolean_q));
+  EXPECT_FALSE(AreHomEquivalent(boolean_q, unary_q));
+  // Different positive arities are equally non-comparable.
+  ConjunctiveQuery binary_q;
+  binary_q.answer_vars = {MakeVar(0), MakeVar(1)};
+  binary_q.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  EXPECT_FALSE(HasQueryHom(unary_q, binary_q));
+  EXPECT_FALSE(HasQueryHom(binary_q, unary_q));
+}
+
+TEST(ContainmentTest, MinimizeUcqCollapsesEquivalentVariableOrders) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  // Three hom-equivalent 2-path disjuncts written with different variable
+  // orders; minimization must keep exactly one (the earliest)
+  // representative, via the canonical key where normal forms coincide and
+  // via subsumption probes where they do not.
+  ConjunctiveQuery p1;  // e(x0, x1), e(x1, x2)
+  p1.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  p1.atoms.push_back(Atom(e, {MakeVar(1), MakeVar(2)}));
+  ConjunctiveQuery p2;  // e(x10, x11), e(x11, x12): same shape, renamed
+  p2.atoms.push_back(Atom(e, {MakeVar(10), MakeVar(11)}));
+  p2.atoms.push_back(Atom(e, {MakeVar(11), MakeVar(12)}));
+  ConjunctiveQuery p3;  // atoms listed in reverse order
+  p3.atoms.push_back(Atom(e, {MakeVar(7), MakeVar(8)}));
+  p3.atoms.push_back(Atom(e, {MakeVar(6), MakeVar(7)}));
+  SubsumptionStats stats;
+  UnionOfCQs min = MinimizeUcq({p1, p2, p3}, &stats);
+  ASSERT_EQ(min.size(), 1u);
+  EXPECT_TRUE(AreHomEquivalent(min[0], p1));
+
+  // p1 and p2 have identical normal forms: they collapse via the canonical
+  // key with no hom search at all.
+  SubsumptionStats key_stats;
+  UnionOfCQs key_min = MinimizeUcq({p1, p2}, &key_stats);
+  ASSERT_EQ(key_min.size(), 1u);
+  EXPECT_EQ(key_stats.hom_checks, 0u);
+}
+
+TEST(ContainmentTest, MinimizeUcqKeepsEarliestOfEquivalentPair) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  // e(x, y), e(x, z) cores to e(x, y): equivalent to the 1-path but not
+  // syntactically identical before coring. The earliest disjunct survives.
+  ConjunctiveQuery redundant;
+  redundant.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(1)}));
+  redundant.atoms.push_back(Atom(e, {MakeVar(0), MakeVar(2)}));
+  UnionOfCQs min = MinimizeUcq({redundant, PathQuery(e, 1)});
+  ASSERT_EQ(min.size(), 1u);
+  EXPECT_EQ(min[0].atoms.size(), 1u);
+}
+
+TEST(ContainmentTest, FilterSignatureIsNecessaryForHoms) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  PredId u = std::move(sig.AddPredicate("u", 1)).ValueOrDie();
+  TermId c = sig.AddConstant("c");
+
+  ConjunctiveQuery path = PathQuery(e, 2);
+  ConjunctiveQuery with_u = PathQuery(e, 2);
+  with_u.atoms.push_back(Atom(u, {MakeVar(0)}));
+  ConjunctiveQuery with_const;
+  with_const.atoms.push_back(Atom(e, {MakeVar(0), c}));
+
+  CqFilterSignature s_path = MakeFilterSignature(path);
+  CqFilterSignature s_with_u = MakeFilterSignature(with_u);
+  CqFilterSignature s_const = MakeFilterSignature(with_const);
+
+  // u does not occur in path: no hom from with_u into path.
+  EXPECT_FALSE(HomPossible(s_with_u, s_path));
+  EXPECT_FALSE(HasQueryHom(with_u, path));
+  // The other direction passes the filter and indeed has a hom.
+  EXPECT_TRUE(HomPossible(s_path, s_with_u));
+  EXPECT_TRUE(HasQueryHom(path, with_u));
+  // Constants must be present in the target.
+  EXPECT_FALSE(HomPossible(s_const, s_path));
+  EXPECT_TRUE(HomPossible(s_path, s_const));
+  // Mismatched answer interfaces fail the filter.
+  ConjunctiveQuery unary = PathQuery(e, 2);
+  unary.answer_vars.push_back(MakeVar(0));
+  EXPECT_FALSE(HomPossible(MakeFilterSignature(unary), s_path));
+}
+
+TEST(ContainmentTest, SubsumptionIndexPrunesAndRetires) {
+  Signature sig;
+  PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();
+  PredId u = std::move(sig.AddPredicate("u", 1)).ValueOrDie();
+  UcqSubsumptionIndex index;
+  index.Add(PathQuery(e, 1));
+  SubsumptionStats stats;
+  // A 3-path is contained in the 1-path (hom the other way).
+  EXPECT_TRUE(index.Subsumes(PathQuery(e, 3), &stats));
+  EXPECT_GE(stats.hom_checks, 1u);
+  // A u-atom query shares no predicate: the pre-filter skips the hom
+  // search entirely.
+  ConjunctiveQuery uq;
+  uq.atoms.push_back(Atom(u, {MakeVar(0)}));
+  SubsumptionStats skip_stats;
+  EXPECT_FALSE(index.Subsumes(uq, &skip_stats));
+  EXPECT_EQ(skip_stats.hom_checks, 0u);
+  EXPECT_EQ(skip_stats.prefilter_skipped, 1u);
+  // SubsumedBy finds entries a new disjunct retires; Retire removes an
+  // entry from all future probes.
+  size_t u_idx = index.Add(std::move(uq));
+  ConjunctiveQuery two_u;  // u(x), u(y) ⊆ u(x)
+  two_u.atoms.push_back(Atom(u, {MakeVar(0)}));
+  two_u.atoms.push_back(Atom(u, {MakeVar(1)}));
+  std::vector<size_t> victims = index.SubsumedBy(PathQuery(e, 2), nullptr);
+  EXPECT_TRUE(victims.empty());  // 1-path ⊄ 2-path
+  EXPECT_TRUE(index.Subsumes(two_u, nullptr));
+  index.Retire(u_idx);
+  EXPECT_FALSE(index.Subsumes(two_u, nullptr));
+}
+
 TEST(QueryGraphTest, TreeAndCycleDetection) {
   Signature sig;
   PredId e = std::move(sig.AddPredicate("e", 2)).ValueOrDie();

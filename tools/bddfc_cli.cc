@@ -2,10 +2,16 @@
 //
 // Usage:
 //   bddfc chase    <program.dlg> [max_rounds]
-//   bddfc rewrite  <program.dlg>            (rewrites each ?- query)
-//   bddfc classify <program.dlg>            (class membership + BDD probe)
+//   bddfc rewrite  <program.dlg> [--threads N] [--no-prune]
+//   bddfc classify <program.dlg> [--threads N] [--no-prune]
 //   bddfc model    <program.dlg>            (Theorem 2 counter-model per query)
 //   bddfc search   <program.dlg> [extra]    (brute-force counter-model)
+//
+// rewrite rewrites each ?- query and prints the per-level RewriteStats;
+// classify prints class membership + the BDD probe. --threads N fans the
+// independent rewritings of the BDD probe over N workers (the output is
+// identical for any N); --no-prune disables homomorphic-subsumption
+// pruning (the pre-PR exploration, for A/B comparison).
 //
 // The program file uses the Datalog± syntax of parser/parser.h: facts,
 // rules (with optional 'exists V:' clauses) and '?-' queries.
@@ -31,7 +37,7 @@ using namespace bddfc;
 int Usage() {
   std::fprintf(stderr,
                "usage: bddfc <chase|rewrite|classify|model|search> "
-               "<program.dlg> [arg]\n");
+               "<program.dlg> [arg] [--threads N] [--no-prune]\n");
   return 2;
 }
 
@@ -69,24 +75,41 @@ int CmdChase(Program& p, size_t max_rounds) {
   return 0;
 }
 
-int CmdRewrite(Program& p) {
+void PrintRewriteStats(const RewriteStats& stats) {
+  std::printf("  stats: candidates=%zu key_deduped=%zu "
+              "subsumption_pruned=%zu hom_checks=%zu hom_checks_skipped=%zu "
+              "wall_ms=%.2f\n",
+              stats.TotalCandidates(), stats.TotalKeyDeduped(),
+              stats.TotalSubsumptionPruned(), stats.hom_checks,
+              stats.hom_checks_skipped, stats.TotalWallMs());
+  for (size_t d = 0; d < stats.levels.size(); ++d) {
+    const RewriteLevelStats& l = stats.levels[d];
+    std::printf("    level %zu: candidates=%zu key_deduped=%zu "
+                "subsumption_pruned=%zu wall_ms=%.2f\n",
+                d + 1, l.candidates, l.key_deduped, l.subsumption_pruned,
+                l.wall_ms);
+  }
+}
+
+int CmdRewrite(Program& p, const RewriteOptions& opts) {
   if (p.queries.empty()) {
     std::printf("no ?- queries in the program\n");
     return 1;
   }
   for (size_t i = 0; i < p.queries.size(); ++i) {
-    RewriteResult r = RewriteQuery(p.theory, p.queries[i]);
+    RewriteResult r = RewriteQuery(p.theory, p.queries[i], opts);
     std::printf("query %zu: %s\n  disjuncts=%zu depth=%zu generated=%zu\n",
                 i, r.status.ToString().c_str(), r.rewriting.size(),
                 r.depth_reached, r.queries_generated);
     std::printf("  %s\n", UcqToString(r.rewriting, p.theory.sig()).c_str());
     std::printf("  D |= rewriting: %s\n",
                 SatisfiesUcq(p.instance, r.rewriting) ? "true" : "false");
+    PrintRewriteStats(r.stats);
   }
   return 0;
 }
 
-int CmdClassify(Program& p) {
+int CmdClassify(Program& p, const RewriteOptions& opts) {
   std::printf("rules=%zu predicates=%d max_arity=%d\n", p.theory.size(),
               p.theory.sig().num_predicates(), p.theory.sig().MaxArity());
   std::printf("binary:          %s\n", IsBinaryTheory(p.theory) ? "yes" : "no");
@@ -100,10 +123,14 @@ int CmdClassify(Program& p) {
               IsWeaklyAcyclic(p.theory) ? "yes" : "no");
   std::printf("theorem-3 heads: %s\n",
               HasSingleFrontierVariableHeads(p.theory) ? "yes" : "no");
-  BddProbeResult probe = ProbeBdd(p.theory);
-  std::printf("BDD probe:       %s (kappa=%d, max rewrite depth=%zu)\n",
+  BddProbeResult probe = ProbeBdd(p.theory, opts);
+  std::printf("BDD probe:       %s (kappa=%d, max rewrite depth=%zu, "
+              "generated=%zu, disjuncts=%zu, pruned=%zu, hom_checks=%zu/%zu "
+              "skipped)\n",
               probe.certified ? "certified" : "unknown at budget",
-              probe.kappa, probe.max_depth_seen);
+              probe.kappa, probe.max_depth_seen, probe.queries_generated,
+              probe.total_disjuncts, probe.stats.TotalSubsumptionPruned(),
+              probe.stats.hom_checks, probe.stats.hom_checks_skipped);
   return 0;
 }
 
@@ -159,14 +186,28 @@ int main(int argc, char** argv) {
   }
   Program& p = loaded.value();
   const char* cmd = argv[1];
-  if (std::strcmp(cmd, "chase") == 0) {
-    return CmdChase(p, argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32);
+  // Flags shared by rewrite/classify; positional extras stay for the rest.
+  RewriteOptions ropts;
+  const char* positional = nullptr;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      ropts.threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-prune") == 0) {
+      ropts.prune_subsumed = false;
+    } else {
+      positional = argv[i];
+    }
   }
-  if (std::strcmp(cmd, "rewrite") == 0) return CmdRewrite(p);
-  if (std::strcmp(cmd, "classify") == 0) return CmdClassify(p);
+  if (std::strcmp(cmd, "chase") == 0) {
+    return CmdChase(p, positional != nullptr
+                           ? std::strtoul(positional, nullptr, 10)
+                           : 32);
+  }
+  if (std::strcmp(cmd, "rewrite") == 0) return CmdRewrite(p, ropts);
+  if (std::strcmp(cmd, "classify") == 0) return CmdClassify(p, ropts);
   if (std::strcmp(cmd, "model") == 0) return CmdModel(p);
   if (std::strcmp(cmd, "search") == 0) {
-    return CmdSearch(p, argc > 3 ? std::atoi(argv[3]) : 1);
+    return CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1);
   }
   return Usage();
 }
