@@ -14,6 +14,15 @@ ThreadPool::ThreadPool(size_t num_threads)
 }
 
 ThreadPool::~ThreadPool() {
+  if (workers_.empty()) {
+    // Inline mode: run queued-but-unstarted tasks here so destruction
+    // drains the queue exactly like the worker shutdown path below.
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+    while (RunOneLocked(lock)) {
+    }
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;

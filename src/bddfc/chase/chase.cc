@@ -202,6 +202,11 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
         } else {
           if (witness.Exists(pattern, {})) return true;
           key = PatternKey(pattern);
+          if (options.fault == ChaseFault::kSkipTriggerDedup) {
+            // Injected bug: make every key unique so same-pattern triggers
+            // stop collapsing to one witness.
+            key += "#" + std::to_string(existential_triggers.size());
+          }
         }
         PendingExistential pe;
         pe.rule_index = static_cast<int>(ri);

@@ -46,6 +46,18 @@ enum class ChaseEngine {
   kNaive,  ///< full re-enumeration every round (the seed loop; baseline)
 };
 
+/// Deliberate engine faults for the differential fuzzer's self-test
+/// (tools/bddfc_fuzz --inject-bug): break one invariant so the oracles must
+/// detect a real divergence and the shrinker must minimize it. Always kNone
+/// outside that self-test.
+enum class ChaseFault {
+  kNone,
+  /// Skip the per-round canonicalized head-pattern dedup of existential
+  /// triggers: every trigger invents its own witnesses (the pre-PR-1
+  /// duplicate-witness bug, reintroduced on demand).
+  kSkipTriggerDedup,
+};
+
 /// Budgets and variants for a chase run.
 struct ChaseOptions {
   /// Maximum number of rounds (Chase^i levels) to run.
@@ -60,6 +72,8 @@ struct ChaseOptions {
   bool datalog_only = false;
   /// Round-loop implementation (results are identical; speed is not).
   ChaseEngine engine = ChaseEngine::kDelta;
+  /// Fault injection for fuzzer self-tests; kNone in all production paths.
+  ChaseFault fault = ChaseFault::kNone;
 };
 
 /// Execution counters of one chase run, for benchmarks and the CLI.

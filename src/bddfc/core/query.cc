@@ -10,7 +10,9 @@ namespace bddfc {
 std::vector<TermId> ConjunctiveQuery::Variables() const {
   std::vector<TermId> vars;
   for (TermId v : answer_vars) {
-    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+    // The answer interface can hold constants (a rewriting step may unify
+    // an answer variable with a rule constant); those are not variables.
+    if (IsVar(v) && std::find(vars.begin(), vars.end(), v) == vars.end()) {
       vars.push_back(v);
     }
   }
@@ -44,7 +46,9 @@ ConjunctiveQuery ConjunctiveQuery::RenamedApart(int32_t* next_var) const {
     out.atoms.push_back(std::move(b));
   }
   out.answer_vars.reserve(answer_vars.size());
-  for (TermId v : answer_vars) out.answer_vars.push_back(ren[v]);
+  for (TermId v : answer_vars) {
+    out.answer_vars.push_back(IsVar(v) ? ren[v] : v);
+  }
   return out;
 }
 

@@ -10,6 +10,7 @@ namespace {
 
 enum class TokKind {
   kIdent,     // lowercase-leading: predicate or constant
+  kQuoted,    // "..." — predicate or constant with arbitrary name
   kVariable,  // uppercase-leading
   kArrow,     // -> or =>
   kComma,
@@ -98,6 +99,41 @@ class Lexer {
         return Status::InvalidArgument("line " + std::to_string(line_) +
                                        ": stray '?'");
       }
+      if (c == '"') {
+        // Quoted name: any symbol whose spelling would not lex as a plain
+        // lowercase identifier (uppercase-leading constants, 'exists', …).
+        // Escapes: \" and \\.
+        ++pos_;
+        std::string name;
+        bool closed = false;
+        while (pos_ < text_.size()) {
+          char q = text_[pos_];
+          if (q == '"') {
+            ++pos_;
+            closed = true;
+            break;
+          }
+          if (q == '\\' && pos_ + 1 < text_.size() &&
+              (text_[pos_ + 1] == '"' || text_[pos_ + 1] == '\\')) {
+            name += text_[pos_ + 1];
+            pos_ += 2;
+            continue;
+          }
+          if (q == '\n') break;  // unterminated on this line
+          name += q;
+          ++pos_;
+        }
+        if (!closed) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unterminated quoted name");
+        }
+        if (name.empty()) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": empty quoted name");
+        }
+        out.push_back({TokKind::kQuoted, std::move(name), line_});
+        continue;
+      }
       if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = pos_;
         while (pos_ < text_.size() &&
@@ -163,7 +199,7 @@ class Parser {
       var_scope_.emplace(t.text, v);
       return v;
     }
-    if (t.kind == TokKind::kIdent) {
+    if (t.kind == TokKind::kIdent || t.kind == TokKind::kQuoted) {
       return sig_->AddConstant(t.text);
     }
     return Status::InvalidArgument("line " + std::to_string(t.line) +
@@ -172,7 +208,7 @@ class Parser {
 
   Result<Atom> ParseAtom() {
     Token name = Next();
-    if (name.kind != TokKind::kIdent) {
+    if (name.kind != TokKind::kIdent && name.kind != TokKind::kQuoted) {
       return Status::InvalidArgument("line " + std::to_string(name.line) +
                                      ": expected predicate name, got '" +
                                      name.text + "'");

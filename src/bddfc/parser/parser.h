@@ -8,10 +8,12 @@
 //   ?- edge(X, Y), u(Y).                        % Boolean CQ
 //
 // Variables start with an uppercase letter; constants with a lowercase
-// letter or digit. The 'exists' clause is optional — any head variable not
-// occurring in the body is existential. Multi-head rules write the head as a
-// comma-separated conjunction. 0-ary atoms are written without parentheses
-// as `goal`.
+// letter or digit. A predicate or constant whose name would not lex that
+// way (uppercase-leading, the keyword 'exists', punctuation, …) is written
+// double-quoted with \" and \\ escapes: edge("Foo", "exists"). The 'exists'
+// clause is optional — any head variable not occurring in the body is
+// existential. Multi-head rules write the head as a comma-separated
+// conjunction. 0-ary atoms are written without parentheses as `goal`.
 
 #ifndef BDDFC_PARSER_PARSER_H_
 #define BDDFC_PARSER_PARSER_H_

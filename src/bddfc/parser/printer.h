@@ -19,7 +19,11 @@ std::string RuleToProgramText(const Rule& rule, const Signature& sig);
 /// Renders a full program: rules, then facts, then queries. The output
 /// reparses to an equivalent program (labeled nulls in the instance are
 /// printed by their generated names and become ordinary constants on
-/// reparse).
+/// reparse). Printing is canonical: rules keep their stable theory order,
+/// facts are emitted in sorted rendered order (independent of internal id
+/// numbering), and names that would not lex as plain identifiers are
+/// quoted — so print ∘ parse ∘ print is a fixpoint, which the fuzzer's
+/// parser-roundtrip oracle relies on.
 std::string ToProgramText(const Theory& theory, const Structure* instance,
                           const std::vector<ConjunctiveQuery>* queries);
 

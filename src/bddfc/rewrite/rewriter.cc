@@ -205,17 +205,16 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
           if (step.has_value()) candidates.push_back(std::move(*step));
         }
       }
-      // Factorizations are exempt from subsumption pruning below: a
-      // factorization is its parent under a unifying substitution, so the
-      // parent always subsumes it — yet it must still be explored, because
-      // it can unblock resolution steps whose shared-variable applicability
-      // condition failed on the parent (the f-labeled queries of XRewrite).
-      const size_t num_resolved = candidates.size();
+      // Factorizations (the f-labeled queries of XRewrite) can unblock
+      // resolution steps whose shared-variable applicability condition
+      // failed on the parent; like every candidate they stay on the
+      // frontier, and like every candidate they are dropped from the
+      // output union when subsumed (a factorization always is — by its
+      // parent, or by whatever subsumed the parent).
       Factorizations(q, &candidates);
       level.candidates += candidates.size();
 
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
-        const bool is_factorization = ci >= num_resolved;
         ConjunctiveQuery n = candidates[ci].Normalized();
         if (options.max_atoms_per_query != 0 &&
             n.atoms.size() > options.max_atoms_per_query) {
@@ -229,15 +228,18 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
         }
         const bool probing = options.prune_subsumed &&
                              probes.hom_checks < options.max_hom_checks;
-        if (probing && !is_factorization && kept.Subsumes(n, &probes)) {
-          // n adds nothing to the union, and its rewritings are covered by
-          // the rewritings of the subsuming disjunct: drop, don't explore.
-          ++level.subsumption_pruned;
-          continue;
-        }
+        // A subsumed candidate adds nothing to the union, but its
+        // rewritings are NOT always covered by the rewritings of the
+        // subsuming disjunct (resolving an atom away can break the very
+        // hom that witnessed subsumption), so it stays on the frontier:
+        // pruning only shrinks the output UCQ, never the exploration.
+        const bool subsumed = probing && kept.Subsumes(n, &probes);
+        if (subsumed) ++level.subsumption_pruned;
         ++result.queries_generated;
-        if (probing) kept.Add(n);
-        all.push_back(n);
+        if (!subsumed) {
+          if (probing) kept.Add(n);
+          all.push_back(n);
+        }
         next.push_back(std::move(n));
         if (result.queries_generated >= options.max_queries) {
           budget_hit = true;

@@ -48,10 +48,13 @@ struct RewriteOptions {
   size_t max_atoms_per_query = 0;
   /// Minimize the final UCQ by pairwise subsumption.
   bool minimize = true;
-  /// Prune candidates homomorphically subsumed by a kept disjunct during
-  /// the BFS (pre-filtered containment probes). Off = the seed behaviour:
-  /// dedup by normalized key only. The final UCQ is hom-equivalent either
-  /// way; pruning keeps the explored set (and MinimizeUcq's input) small.
+  /// Drop candidates homomorphically subsumed by a kept disjunct from the
+  /// output UCQ (pre-filtered containment probes). Off = the seed
+  /// behaviour: dedup by normalized key only. The final UCQ is
+  /// hom-equivalent either way; pruning keeps the kept set (and
+  /// MinimizeUcq's input) small. Subsumed candidates still get explored:
+  /// their rewritings are not always covered by the subsuming disjunct's,
+  /// so pruning the frontier itself would lose completeness.
   bool prune_subsumed = true;
   /// Budget on subsumption-probe hom checks per RewriteQuery. Probing a
   /// candidate costs O(kept disjuncts) hom checks, so on a diverging

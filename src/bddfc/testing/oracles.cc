@@ -1,0 +1,393 @@
+#include "bddfc/testing/oracles.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bddfc/classes/recognizers.h"
+#include "bddfc/eval/answers.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/finitemodel/pipeline.h"
+#include "bddfc/parser/parser.h"
+
+namespace bddfc {
+
+namespace {
+
+template <typename T>
+std::string Mismatch(const char* what, const T& a, const T& b) {
+  std::ostringstream os;
+  os << what << " diverged: " << a << " vs " << b;
+  return os.str();
+}
+
+/// Per-predicate multiset of fact birth rounds — row-order and null-name
+/// independent, so it compares chase runs without an isomorphism search.
+std::map<PredId, std::vector<int>> BirthRoundsByPredicate(
+    const ChaseResult& r) {
+  std::map<PredId, std::vector<int>> out;
+  for (const auto& [handle, round] : r.fact_round) {
+    out[handle.pred].push_back(round);
+  }
+  for (auto& [pred, rounds] : out) {
+    (void)pred;
+    std::sort(rounds.begin(), rounds.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// chase-agreement: delta vs naive round loops (restricted and oblivious)
+// must produce identical chases; fixpoints must satisfy the theory.
+// ---------------------------------------------------------------------------
+
+class ChaseAgreementOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "chase-agreement"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    for (bool oblivious : {false, true}) {
+      ChaseOptions opts;
+      opts.max_rounds = config.max_rounds;
+      opts.max_facts = config.max_facts;
+      opts.oblivious = oblivious;
+
+      opts.engine = ChaseEngine::kDelta;
+      opts.fault = config.chase_fault;
+      ChaseResult delta = RunChase(s.theory, s.instance, opts);
+      opts.engine = ChaseEngine::kNaive;
+      opts.fault = ChaseFault::kNone;
+      ChaseResult naive = RunChase(s.theory, s.instance, opts);
+
+      const char* mode = oblivious ? "[oblivious] " : "[restricted] ";
+      if (delta.status.code() != naive.status.code()) {
+        return OracleOutcome::Fail(mode + Mismatch("status",
+                                                   delta.status.ToString(),
+                                                   naive.status.ToString()));
+      }
+      if (delta.structure.NumFacts() != naive.structure.NumFacts()) {
+        return OracleOutcome::Fail(mode + Mismatch("facts",
+                                                   delta.structure.NumFacts(),
+                                                   naive.structure.NumFacts()));
+      }
+      if (delta.nulls_created != naive.nulls_created) {
+        return OracleOutcome::Fail(
+            mode + Mismatch("nulls", delta.nulls_created,
+                            naive.nulls_created));
+      }
+      if (delta.rounds_run != naive.rounds_run) {
+        return OracleOutcome::Fail(
+            mode + Mismatch("rounds", delta.rounds_run, naive.rounds_run));
+      }
+      if (delta.fixpoint_reached != naive.fixpoint_reached) {
+        return OracleOutcome::Fail(mode + Mismatch("fixpoint",
+                                                   delta.fixpoint_reached,
+                                                   naive.fixpoint_reached));
+      }
+      if (delta.facts_per_round != naive.facts_per_round) {
+        return OracleOutcome::Fail(mode +
+                                   std::string("facts_per_round diverged"));
+      }
+      if (BirthRoundsByPredicate(delta) != BirthRoundsByPredicate(naive)) {
+        return OracleOutcome::Fail(
+            mode + std::string("per-predicate birth rounds diverged"));
+      }
+      // A reached fixpoint must actually be a model of the theory.
+      if (!oblivious && delta.fixpoint_reached) {
+        for (const ChaseResult* r : {&delta, &naive}) {
+          if (auto v = CheckModel(r->structure, s.theory)) {
+            return OracleOutcome::Fail(
+                mode + std::string("fixpoint is not a model: ") +
+                v->ToString(*s.sig));
+          }
+        }
+      }
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// parser-roundtrip: Print ∘ Parse ∘ Print must be a fixpoint and preserve
+// the program's shape.
+// ---------------------------------------------------------------------------
+
+class ParserRoundTripOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "parser-roundtrip"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    (void)config;
+    std::string text1 = ScenarioToText(s);
+    Result<Scenario> reparsed = ParseScenario(text1);
+    if (!reparsed.ok()) {
+      return OracleOutcome::Fail("printed program does not reparse: " +
+                                 reparsed.status().ToString() +
+                                 "\n--- program ---\n" + text1);
+    }
+    const Scenario& r = reparsed.value();
+    if (r.theory.size() != s.theory.size()) {
+      return OracleOutcome::Fail(
+          Mismatch("rule count", s.theory.size(), r.theory.size()));
+    }
+    if (r.instance.NumFacts() != s.instance.NumFacts()) {
+      return OracleOutcome::Fail(Mismatch("fact count",
+                                          s.instance.NumFacts(),
+                                          r.instance.NumFacts()));
+    }
+    if (r.queries.size() != s.queries.size()) {
+      return OracleOutcome::Fail(
+          Mismatch("query count", s.queries.size(), r.queries.size()));
+    }
+    std::string text2 = ScenarioToText(r);
+    if (text1 != text2) {
+      size_t at = 0;
+      while (at < text1.size() && at < text2.size() && text1[at] == text2[at]) {
+        ++at;
+      }
+      return OracleOutcome::Fail(
+          "print-parse-print is not a fixpoint (first divergence at byte " +
+          std::to_string(at) + ")\n--- first ---\n" + text1 +
+          "--- second ---\n" + text2);
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rewrite-vs-chase: Def. 2 — on a theory whose chase terminates, a
+// saturated rewriting Φ′ must satisfy Chase(D,T) ⊨ Φ ⇔ D ⊨ Φ′, and the
+// two certain-answer routes must return the same tuples.
+// ---------------------------------------------------------------------------
+
+class RewriteVsChaseOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "rewrite-vs-chase"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    if (s.queries.empty()) return OracleOutcome::Skip("no queries");
+    if (!IsWeaklyAcyclic(s.theory)) {
+      return OracleOutcome::Skip("not weakly acyclic");
+    }
+    ChaseOptions chase_opts;
+    chase_opts.max_rounds = config.max_rounds;
+    chase_opts.max_facts = config.max_facts;
+    ChaseResult chase = RunChase(s.theory, s.instance, chase_opts);
+    if (!chase.fixpoint_reached) {
+      return OracleOutcome::Skip("chase budget tripped");
+    }
+    RewriteOptions rewrite_opts = config.rewrite;
+    rewrite_opts.threads = 1;
+    size_t checked = 0;
+    for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+      const ConjunctiveQuery& q = s.queries[qi];
+      RewriteResult rw = RewriteQuery(s.theory, q, rewrite_opts);
+      if (!rw.status.ok()) continue;  // budgeted out: sound but incomplete
+      bool chase_says = Satisfies(chase.structure, q);
+      bool rewrite_says = SatisfiesUcq(s.instance, rw.rewriting);
+      ++checked;
+      if (chase_says != rewrite_says) {
+        return OracleOutcome::Fail(
+            "query " + std::to_string(qi) + " (" + q.ToString(*s.sig) +
+            "): " + Mismatch("Boolean certain answer", chase_says,
+                             rewrite_says));
+      }
+      // Non-Boolean variant: free the first variable and compare the
+      // certain-answer tuple sets of the two routes.
+      std::vector<TermId> vars = q.Variables();
+      if (vars.empty()) continue;
+      ConjunctiveQuery open = q;
+      open.answer_vars = {vars[0]};
+      CertainAnswersResult via_chase =
+          CertainAnswers(s.theory, s.instance, open, chase_opts);
+      CertainAnswersResult via_rewriting =
+          CertainAnswersViaRewriting(s.theory, s.instance, open, rewrite_opts);
+      if (!via_chase.complete || !via_rewriting.complete) continue;
+      if (via_chase.answers != via_rewriting.answers) {
+        return OracleOutcome::Fail(
+            "query " + std::to_string(qi) + " (" + open.ToString(*s.sig) +
+            "): " + Mismatch("certain-answer count",
+                             via_chase.answers.size(),
+                             via_rewriting.answers.size()));
+      }
+    }
+    if (checked == 0) return OracleOutcome::Skip("every rewriting budgeted out");
+    return OracleOutcome::Pass();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// rewrite-determinism: ProbeBdd/ComputeKappa must return byte-identical
+// aggregates for any thread count (including budget-tripped Unknown runs —
+// the cutoffs are deterministic too).
+// ---------------------------------------------------------------------------
+
+class RewriteDeterminismOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "rewrite-determinism"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    RewriteOptions base = config.rewrite;
+    base.threads = 1;
+    BddProbeResult serial = ProbeBdd(s.theory, base);
+    KappaResult serial_kappa = ComputeKappa(s.theory, base);
+    for (size_t threads : config.determinism_threads) {
+      RewriteOptions opts = base;
+      opts.threads = threads;
+      BddProbeResult probe = ProbeBdd(s.theory, opts);
+      std::string t = "threads=" + std::to_string(threads) + ": ";
+      if (probe.status.code() != serial.status.code()) {
+        return OracleOutcome::Fail(t + Mismatch("probe status",
+                                                serial.status.ToString(),
+                                                probe.status.ToString()));
+      }
+      if (probe.certified != serial.certified) {
+        return OracleOutcome::Fail(
+            t + Mismatch("certified", serial.certified, probe.certified));
+      }
+      if (probe.kappa != serial.kappa) {
+        return OracleOutcome::Fail(
+            t + Mismatch("kappa", serial.kappa, probe.kappa));
+      }
+      if (probe.max_depth_seen != serial.max_depth_seen) {
+        return OracleOutcome::Fail(t + Mismatch("max_depth_seen",
+                                                serial.max_depth_seen,
+                                                probe.max_depth_seen));
+      }
+      if (probe.total_disjuncts != serial.total_disjuncts) {
+        return OracleOutcome::Fail(t + Mismatch("total_disjuncts",
+                                                serial.total_disjuncts,
+                                                probe.total_disjuncts));
+      }
+      if (probe.queries_generated != serial.queries_generated) {
+        return OracleOutcome::Fail(t + Mismatch("queries_generated",
+                                                serial.queries_generated,
+                                                probe.queries_generated));
+      }
+      if (probe.stats.hom_checks != serial.stats.hom_checks ||
+          probe.stats.TotalCandidates() != serial.stats.TotalCandidates()) {
+        return OracleOutcome::Fail(t + "aggregated RewriteStats diverged");
+      }
+      KappaResult kappa = ComputeKappa(s.theory, opts);
+      if (kappa.kappa != serial_kappa.kappa ||
+          kappa.status.code() != serial_kappa.status.code()) {
+        return OracleOutcome::Fail(
+            t + Mismatch("ComputeKappa", serial_kappa.kappa, kappa.kappa));
+      }
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// pipeline-certify: when the chase refutes Q, the Theorem-2 pipeline's
+// counter-model must *independently* re-verify M ⊇ D, M ⊨ T₀, M ⊭ Q —
+// not just pass the pipeline's own certification.
+// ---------------------------------------------------------------------------
+
+class PipelineCertifyOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "pipeline-certify"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    if (s.queries.empty()) return OracleOutcome::Skip("no queries");
+    if (!IsBinaryTheory(s.theory) || !s.theory.IsSingleHead()) {
+      return OracleOutcome::Skip("not binary single-head");
+    }
+    if (s.theory.size() > 10 || s.instance.NumFacts() > 30) {
+      return OracleOutcome::Skip("scenario too large for the pipeline budget");
+    }
+    ChaseOptions chase_opts;
+    chase_opts.max_rounds = config.max_rounds;
+    chase_opts.max_facts = config.max_facts;
+    ChaseResult chase = RunChase(s.theory, s.instance, chase_opts);
+    if (!chase.fixpoint_reached) {
+      return OracleOutcome::Skip("chase budget tripped");
+    }
+    size_t target = s.queries.size();
+    for (size_t qi = 0; qi < s.queries.size(); ++qi) {
+      if (!Satisfies(chase.structure, s.queries[qi])) {
+        target = qi;
+        break;
+      }
+    }
+    if (target == s.queries.size()) {
+      return OracleOutcome::Skip("every query certain — nothing to refute");
+    }
+    // Clone onto a fresh signature: the pipeline interns hidden/normalized/
+    // color predicates and must not pollute the scenario for later oracles.
+    Result<Scenario> cloned = CloneScenario(s);
+    if (!cloned.ok()) {
+      return OracleOutcome::Fail("clone via print+parse failed: " +
+                                 cloned.status().ToString());
+    }
+    const Scenario& c = cloned.value();
+    const ConjunctiveQuery& q = c.queries[target];
+    PipelineOptions opts;
+    opts.initial_chase_depth = 6;
+    opts.max_chase_depth = 48;
+    opts.max_chase_facts = config.max_facts;
+    opts.max_n = 3;
+    opts.max_m = 3;
+    opts.rewrite_options = config.rewrite;
+    opts.rewrite_options.threads = 1;
+    opts.max_saturation_rounds = 128;
+    FiniteModelResult result =
+        ConstructFiniteCounterModel(c.theory, c.instance, q, opts);
+    if (result.query_certainly_true) {
+      // The terminated chase refuted Q; "certainly true" is a contradiction.
+      // (The reductions also answer FailedPrecondition for out-of-scope
+      // theories, so only this flag is the contradiction signal.)
+      return OracleOutcome::Fail(
+          "pipeline claims the query is certainly true, but the chase "
+          "fixpoint refutes it (query " +
+          std::to_string(target) + ": " + q.ToString(*c.sig) + ")");
+    }
+    if (!result.status.ok()) {
+      return OracleOutcome::Skip("pipeline out of scope or budgeted out: " +
+                                 result.status.ToString());
+    }
+    if (!result.model.ContainsAllFactsOf(c.instance)) {
+      return OracleOutcome::Fail("certified model does not contain D");
+    }
+    if (auto v = CheckModel(result.model, c.theory)) {
+      return OracleOutcome::Fail("certified model violates T0: " +
+                                 v->ToString(*c.sig));
+    }
+    if (Satisfies(result.model, q)) {
+      return OracleOutcome::Fail("certified model satisfies the query " +
+                                 q.ToString(*c.sig));
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
+}  // namespace
+
+const std::vector<const Oracle*>& AllOracles() {
+  static const ChaseAgreementOracle chase_agreement;
+  static const ParserRoundTripOracle parser_roundtrip;
+  static const RewriteDeterminismOracle rewrite_determinism;
+  static const RewriteVsChaseOracle rewrite_vs_chase;
+  static const PipelineCertifyOracle pipeline_certify;
+  static const std::vector<const Oracle*> kAll = {
+      &chase_agreement, &parser_roundtrip, &rewrite_determinism,
+      &rewrite_vs_chase, &pipeline_certify};
+  return kAll;
+}
+
+const Oracle* FindOracle(std::string_view name) {
+  for (const Oracle* o : AllOracles()) {
+    if (o->name() == name) return o;
+  }
+  return nullptr;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,86 @@
+// Differential and metamorphic oracles (DESIGN.md §2.8).
+//
+// Each oracle cross-checks two independent routes to the same semantic
+// answer on one scenario, using the paper's own constructions as ground
+// truth: chase-engine agreement (Chase is engine-independent), the Def. 2
+// equivalence Chase(D, T) ⊨ Φ ⇔ D ⊨ Φ′ on rewritable theories, rewriter
+// thread-count determinism, Parse ∘ Print identity, and independent
+// re-certification of Theorem-2 counter-models (M ⊨ D, T₀ and M ⊭ Q).
+// An oracle returns kSkip when a scenario is outside its sound fragment or
+// a budget trips — only kFail means a real disagreement.
+
+#ifndef BDDFC_TESTING_ORACLES_H_
+#define BDDFC_TESTING_ORACLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/rewrite/rewriter.h"
+#include "bddfc/testing/scenario.h"
+
+namespace bddfc {
+
+/// Shared budgets for oracle checks. Small by default: scenarios are small
+/// and CI wants throughput; every budget miss is a skip, never a failure.
+struct OracleConfig {
+  /// Chase budgets for every chase an oracle runs.
+  size_t max_rounds = 24;
+  size_t max_facts = 20000;
+  /// Rewriter budgets (kept tight; Unknown results are skipped). The atom
+  /// cap matters: without it, datalog closures rewritten with a free
+  /// answer variable grow disjuncts to ~2^depth atoms and a single
+  /// subsumption hom-check backtracks exponentially.
+  RewriteOptions rewrite{.max_depth = 8,
+                         .max_queries = 600,
+                         .max_atoms_per_query = 10,
+                         .max_hom_checks = 30000};
+  /// Thread counts the determinism oracle compares against threads=1.
+  std::vector<size_t> determinism_threads = {4};
+  /// Fault injected into the *delta* chase run of the chase-agreement
+  /// oracle (the fuzzer's self-test); kNone in normal operation.
+  ChaseFault chase_fault = ChaseFault::kNone;
+};
+
+/// Outcome of one oracle check.
+struct OracleOutcome {
+  enum class Kind {
+    kPass,  ///< both routes agreed
+    kSkip,  ///< scenario outside the oracle's fragment, or budget tripped
+    kFail,  ///< genuine disagreement — a bug in at least one engine
+  };
+  Kind kind = Kind::kPass;
+  /// Failure diagnosis (which quantity diverged, both values), or the skip
+  /// reason. Empty on pass.
+  std::string detail;
+
+  static OracleOutcome Pass() { return {}; }
+  static OracleOutcome Skip(std::string why) {
+    return {Kind::kSkip, std::move(why)};
+  }
+  static OracleOutcome Fail(std::string why) {
+    return {Kind::kFail, std::move(why)};
+  }
+  bool failed() const { return kind == Kind::kFail; }
+};
+
+/// One pluggable cross-check.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  /// Stable CLI/corpus name ("chase-agreement", ...).
+  virtual std::string_view name() const = 0;
+  virtual OracleOutcome Check(const Scenario& s,
+                              const OracleConfig& config) const = 0;
+};
+
+/// All registered oracles, in a stable order.
+const std::vector<const Oracle*>& AllOracles();
+
+/// Looks up an oracle by name; nullptr when unknown.
+const Oracle* FindOracle(std::string_view name);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TESTING_ORACLES_H_

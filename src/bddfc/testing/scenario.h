@@ -1,0 +1,77 @@
+// Randomized differential-testing scenarios (DESIGN.md §2.8).
+//
+// A Scenario is one (theory, instance, queries) triple over a shared
+// signature — the unit the fuzzer generates, the oracles cross-check and
+// the shrinker minimizes. Generation is seeded and stratified over the
+// recognizer classes in classes/ (weakly-acyclic binary, guarded, linear,
+// plain-datalog graph closure), so every oracle sees theories in the
+// fragment it is sound for. Everything here is deterministic: the same
+// seed produces byte-identical scenarios on every platform (the workload
+// Rng uses an explicit splitmix64 bounded sampler).
+
+#ifndef BDDFC_TESTING_SCENARIO_H_
+#define BDDFC_TESTING_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bddfc/base/status.h"
+#include "bddfc/core/query.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/core/theory.h"
+
+namespace bddfc {
+
+/// One generated or replayed test case. Copyable; copies share the
+/// signature object (the shrinker relies on this: removing rules or facts
+/// never needs new ids).
+struct Scenario {
+  SignaturePtr sig;
+  Theory theory;
+  Structure instance;
+  /// Boolean CQs (the printer's ?- form carries no answer interface;
+  /// oracles derive non-Boolean variants themselves).
+  std::vector<ConjunctiveQuery> queries;
+  /// Generator family ("acyclic-binary", "guarded", "linear",
+  /// "graph-datalog") or "corpus" for replayed entries.
+  std::string family;
+  /// The seed this scenario was generated from (0 for corpus entries).
+  uint64_t seed = 0;
+
+  Scenario()
+      : sig(std::make_shared<Signature>()), theory(sig), instance(sig) {}
+  explicit Scenario(SignaturePtr s)
+      : sig(std::move(s)), theory(sig), instance(sig) {}
+};
+
+/// Names of the generator families, in stratum order.
+const std::vector<std::string>& ScenarioFamilies();
+
+/// Generates the scenario of `seed`: picks a family and sizes from the
+/// seed, builds the theory via workload/generators, populates a small
+/// instance and attaches 1–3 Boolean queries.
+Scenario GenerateScenario(uint64_t seed);
+
+/// Serializes a scenario as a parseable .dlg program (rules, facts,
+/// queries; canonical printing order).
+std::string ScenarioToText(const Scenario& s);
+
+/// Parses a .dlg program back into a scenario over a fresh signature.
+/// Labeled nulls in the original become named constants (the printer's
+/// documented round-trip semantics).
+Result<Scenario> ParseScenario(std::string_view text,
+                               std::string family = "corpus",
+                               uint64_t seed = 0);
+
+/// Deep-copies a scenario onto a fresh signature by printing and
+/// reparsing. Oracles that mutate the signature (the Theorem-2 pipeline
+/// adds hidden/normalized/color predicates) clone first so the scenario
+/// stays pristine for the next oracle.
+Result<Scenario> CloneScenario(const Scenario& s);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TESTING_SCENARIO_H_

@@ -1,0 +1,37 @@
+// Automatic scenario minimization (delta debugging, DESIGN.md §2.8).
+//
+// Given a scenario on which an oracle fails, the shrinker greedily removes
+// rules, facts, queries and individual atoms while the failure persists,
+// ddmin-style (larger chunks first, then singles, iterated to a fixpoint).
+// The result is 1-minimal: removing any single remaining component makes
+// the oracle pass or skip. Shrinking is fully deterministic, so a CI
+// failure minimizes to the same reproducer on every machine.
+
+#ifndef BDDFC_TESTING_SHRINKER_H_
+#define BDDFC_TESTING_SHRINKER_H_
+
+#include <cstddef>
+
+#include "bddfc/testing/oracles.h"
+#include "bddfc/testing/scenario.h"
+
+namespace bddfc {
+
+/// Counters of one shrink run.
+struct ShrinkStats {
+  size_t attempts = 0;   ///< candidate scenarios re-checked
+  size_t removals = 0;   ///< accepted removals (rules/facts/queries/atoms)
+};
+
+/// Minimizes `s` with respect to `oracle` failing under `config`.
+/// Precondition: oracle.Check(s, config) fails; if it does not, `s` is
+/// returned unchanged. `max_attempts` bounds the number of oracle
+/// re-executions (the scenario returned is the best found so far).
+Scenario ShrinkScenario(const Scenario& s, const Oracle& oracle,
+                        const OracleConfig& config,
+                        size_t max_attempts = 4000,
+                        ShrinkStats* stats = nullptr);
+
+}  // namespace bddfc
+
+#endif  // BDDFC_TESTING_SHRINKER_H_

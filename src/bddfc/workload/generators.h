@@ -23,8 +23,32 @@ class Rng {
     return z ^ (z >> 31);
   }
 
-  /// Uniform in [0, n).
-  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  /// Uniform in [0, n): Lemire's debiased multiply-shift bounded sampler
+  /// over the splitmix64 stream. No std distribution is involved, so a
+  /// given seed yields byte-identical draws on every standard library and
+  /// platform (std::uniform_int_distribution is unspecified and differs
+  /// between libstdc++ and libc++).
+  uint64_t Uniform(uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * n;
+    auto low = static_cast<uint64_t>(m);
+    if (low < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * n;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Derives a decorrelated seed for stream `stream` of a run seeded with
+  /// `seed` (one splitmix64 scramble of the pair). Used by the fuzzer so
+  /// run i's scenario is reproducible from (--seed, i) alone.
+  static uint64_t Mix(uint64_t seed, uint64_t stream) {
+    Rng r(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    return r.Next();
+  }
 
  private:
   uint64_t state_;

@@ -177,6 +177,43 @@ TEST(ThreadPoolTest, WaitOnEmptyPoolIsOk) {
   EXPECT_TRUE(inline_pool.Wait().ok());
 }
 
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  // Work still queued when the pool is destroyed must run, not leak: the
+  // destructor drains the queue before joining. Submit far more tasks
+  // than threads and destroy without calling Wait().
+  for (size_t threads : {2u, 8u}) {
+    std::atomic<int> count{0};
+    {
+      ThreadPool pool(threads);
+      for (int i = 0; i < 200; ++i) {
+        pool.Submit([&count] {
+          ++count;
+          return Status::OK();
+        });
+      }
+      // No Wait(): destruction races the workers for the queue.
+    }
+    EXPECT_EQ(count.load(), 200) << "threads " << threads;
+  }
+}
+
+TEST(ThreadPoolTest, InlinePoolDestructionRunsQueuedWork) {
+  // A 1-thread pool has no workers at all — queued tasks normally run
+  // inline in Wait(), so the destructor is the only thing left to run
+  // them when Wait() was never called.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] {
+        ++count;
+        return Status::OK();
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
 TEST(ThreadPoolTest, ParallelForCoversTheRangeAndOrdersStatuses) {
   for (size_t threads : {1u, 4u}) {
     std::vector<int> out(100, 0);

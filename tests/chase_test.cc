@@ -312,6 +312,67 @@ TEST(CheckModelTest, DetectsMissingWitness) {
   EXPECT_EQ(CheckModel(q.instance, q.theory), std::nullopt);
 }
 
+TEST(CheckModelTest, RepeatedVariableInHeadNeedsTheDiagonal) {
+  // p(X) -> q(X, X): only the diagonal fact q(a, a) satisfies the head;
+  // q(a, b) does not, even though it mentions a.
+  Program bad = MustParse(R"(
+    p(X) -> q(X, X).
+    p(a). q(a, b).
+  )");
+  auto violation = CheckModel(bad.instance, bad.theory);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->rule_index, 0);
+
+  Program good = MustParse(R"(
+    p(X) -> q(X, X).
+    p(a). q(a, a).
+  )");
+  EXPECT_EQ(CheckModel(good.instance, good.theory), std::nullopt);
+}
+
+TEST(CheckModelTest, RepeatedVariableInExistentialHead) {
+  // p(X) -> exists Z: r(X, Z, Z): the witness must repeat; r(a, b, c)
+  // is not one, r(a, b, b) is.
+  Program bad = MustParse(R"(
+    p(X) -> r(X, Z, Z).
+    p(a). r(a, b, c).
+  )");
+  EXPECT_TRUE(CheckModel(bad.instance, bad.theory).has_value());
+
+  Program good = MustParse(R"(
+    p(X) -> r(X, Z, Z).
+    p(a). r(a, b, b).
+  )");
+  EXPECT_EQ(CheckModel(good.instance, good.theory), std::nullopt);
+}
+
+TEST(CheckModelTest, ConstantInHeadMustAppearLiterally) {
+  // p(X) -> q(X, c): the head grounds to q(a, c) exactly; q(a, d) does
+  // not satisfy it.
+  Program bad = MustParse(R"(
+    p(X) -> q(X, c).
+    p(a). q(a, d).
+  )");
+  auto violation = CheckModel(bad.instance, bad.theory);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->rule_index, 0);
+
+  Program good = MustParse(R"(
+    p(X) -> q(X, c).
+    p(a). q(a, c).
+  )");
+  EXPECT_EQ(CheckModel(good.instance, good.theory), std::nullopt);
+
+  // And the chase itself produces the constant-carrying fact.
+  Program chased = MustParse(R"(
+    p(X) -> q(X, c).
+    p(a).
+  )");
+  ChaseResult res = RunChase(chased.theory, chased.instance);
+  ASSERT_TRUE(res.status.ok());
+  EXPECT_EQ(CheckModel(res.structure, chased.theory), std::nullopt);
+}
+
 TEST(CheckModelTest, Example1QuotientIsNotAModel) {
   // The 3-cycle M' of Example 1 triggers the triangle rule.
   Program p = Example1();

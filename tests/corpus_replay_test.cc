@@ -1,0 +1,49 @@
+// Replays every minimized reproducer under tests/corpus/ against the
+// oracle named in its header (DESIGN.md §2.8). Each entry was either a
+// shrunk fuzzer failure or a hand-crafted regression (the PR-1 PatternKey
+// and PR-2 answer-interface bugs live here); all of them must PASS on a
+// healthy build, turning every past failure into a permanent test.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bddfc/testing/corpus.h"
+
+#ifndef BDDFC_CORPUS_DIR
+#error "build must define BDDFC_CORPUS_DIR"
+#endif
+
+namespace bddfc {
+namespace {
+
+TEST(CorpusReplayTest, EveryEntryPasses) {
+  std::vector<std::string> files = ListCorpusFiles(BDDFC_CORPUS_DIR);
+  ASSERT_GE(files.size(), 10u)
+      << "tests/corpus/ must hold at least 10 minimized scenarios";
+  std::set<std::string> oracles_passing;
+  for (const std::string& file : files) {
+    SCOPED_TRACE(file);
+    Result<CorpusEntry> entry = LoadCorpusFile(file);
+    ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+    OracleOutcome out = ReplayCorpusEntry(entry.value());
+    // A skip is legitimate for oracle-regression entries (they fail on a
+    // buggy build and land out-of-fragment on a healthy one), but a
+    // failure is a reintroduced bug.
+    EXPECT_FALSE(out.failed()) << out.detail;
+    if (out.kind == OracleOutcome::Kind::kPass) {
+      oracles_passing.insert(entry.value().oracle);
+    }
+  }
+  // Every oracle needs at least one genuinely passing entry, so corpus rot
+  // (entries degrading into skips) cannot go unnoticed.
+  for (const Oracle* oracle : AllOracles()) {
+    EXPECT_TRUE(oracles_passing.count(std::string(oracle->name())))
+        << "no corpus entry passes oracle " << oracle->name();
+  }
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bddfc/parser/parser.h"
+#include "bddfc/parser/printer.h"
 
 namespace bddfc {
 namespace {
@@ -117,6 +118,74 @@ TEST(ParserTest, SharedSignatureAcrossPrograms) {
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(sig->num_predicates(), 1);
   EXPECT_EQ(sig->num_constants(), 3);
+}
+
+// Reparse-and-reprint: on already-canonical output this must be the
+// identity, which is what the fuzzer's parser-roundtrip oracle checks.
+std::string Reprint(const std::string& text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << text;
+  if (!r.ok()) return "";
+  const Program& p = r.value();
+  return ToProgramText(p.theory, &p.instance, &p.queries);
+}
+
+TEST(PrinterRoundTripTest, QuotedNamesSurviveReparse) {
+  auto r = ParseProgram(R"(e("Foo", b). e("exists", a). "Upper"(a, "with space").)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string printed = ToProgramText(r.value().theory, &r.value().instance,
+                                      &r.value().queries);
+  // Names that would not lex as plain identifiers stay quoted...
+  EXPECT_NE(printed.find("\"Foo\""), std::string::npos);
+  EXPECT_NE(printed.find("\"exists\""), std::string::npos);
+  EXPECT_NE(printed.find("\"with space\""), std::string::npos);
+  // ...and plain ones stay bare.
+  EXPECT_EQ(printed.find("\"a\""), std::string::npos);
+  EXPECT_EQ(Reprint(printed), printed);
+}
+
+TEST(PrinterRoundTripTest, EscapesSurviveReparse) {
+  auto r = ParseProgram(R"(p("say \"hi\"", "back\\slash").)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Signature& sig = r.value().instance.sig();
+  EXPECT_EQ(sig.num_constants(), 2);
+  EXPECT_EQ(sig.ConstantName(0), "say \"hi\"");
+  EXPECT_EQ(sig.ConstantName(1), "back\\slash");
+  std::string printed = ToProgramText(r.value().theory, &r.value().instance,
+                                      &r.value().queries);
+  EXPECT_EQ(Reprint(printed), printed);
+}
+
+TEST(PrinterRoundTripTest, EmptyQuotedNameIsRejected) {
+  EXPECT_FALSE(ParseProgram(R"(p("").)").ok());
+  EXPECT_FALSE(ParseProgram(R"(""(a).)").ok());
+}
+
+TEST(PrinterRoundTripTest, UnterminatedQuoteIsRejected) {
+  EXPECT_FALSE(ParseProgram("p(\"oops).\n").ok());
+}
+
+TEST(PrinterRoundTripTest, FactOrderIsCanonical) {
+  // The same facts in two different source orders print identically, so a
+  // printed program is a canonical form independent of internal fact ids.
+  std::string a = Reprint("z(c). a(b). m(b, c). ?- a(V0).");
+  std::string b = Reprint("m(b, c). z(c). a(b). ?- a(V0).");
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a.find("a(b)"), a.find("m(b, c)"));
+  EXPECT_LT(a.find("m(b, c)"), a.find("z(c)"));
+}
+
+TEST(PrinterRoundTripTest, PrintParsePrintIsAFixpoint) {
+  const char* programs[] = {
+      "e(a, b). e(X, Y) -> exists Z: e(Y, Z). ?- e(X, X).",
+      "p(X) -> q(X, Y), s(Y). p(a).",
+      R"(e("V0", "with space"). "Upper"(a, b). ?- e(V0, V1).)",
+      "t(X, Y), t(Y, Z) -> t(X, Z). t(a, b). t(b, c).",
+  };
+  for (const char* text : programs) {
+    std::string once = Reprint(text);
+    EXPECT_EQ(Reprint(once), once) << text;
+  }
 }
 
 }  // namespace
