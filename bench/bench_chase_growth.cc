@@ -12,6 +12,7 @@
 #include "bench_common.h"
 
 #include <chrono>
+#include <cmath>
 
 #include "bddfc/chase/chase.h"
 #include "bddfc/workload/generators.h"
@@ -36,6 +37,15 @@ void ExportChaseStats(benchmark::State& state, const ChaseResult& r) {
       static_cast<double>(r.stats.triggers_deduped);
   state.counters["datalog_deduped"] =
       static_cast<double>(r.stats.datalog_deduped);
+  // Governor account: all zero / absent-deadline on ungoverned runs, but
+  // exported unconditionally so JSON consumers see a stable counter set.
+  state.counters["peak_accounted_bytes"] =
+      static_cast<double>(r.report.peak_bytes);
+  state.counters["deadline_slack_ms"] =
+      std::isfinite(r.report.deadline_slack_ms) ? r.report.deadline_slack_ms
+                                                : 0.0;
+  state.counters["cancel_checks"] =
+      static_cast<double>(r.report.cancel_checks);
 }
 
 /// A weakly acyclic generator workload: RandomAcyclicBinaryTheory over a

@@ -1,0 +1,191 @@
+// E13 — Resource-governor overhead.
+//
+// The governor's promise is "always on, never noticed": engines run a
+// cooperative CheckPoint per round/level plus one strided probe every 64
+// enumeration steps, and byte accounting is two relaxed atomic ops per
+// fact. This experiment measures the end-to-end cost of that contract by
+// running the same chase workloads (the E1 shapes: Example 9's
+// exponential tree and the E1b generator join load) three ways:
+//
+//   bare      — no ExecutionContext at all (the pre-governor code path)
+//   governed  — a context with a far deadline + a large byte budget, so
+//               every check and every charge is live but nothing trips
+//
+// and reporting the best-of-reps thread-CPU delta. The acceptance bar is < 2%
+// on these workloads; the measured numbers are recorded in EXPERIMENTS.md.
+// The google-benchmark cases below export the governor counters
+// (peak_accounted_bytes, deadline_slack_ms, cancel_checks) into the JSON
+// report alongside the timings.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <cmath>
+#include <vector>
+
+#include "bddfc/base/governor.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+/// Thread CPU time: on a loaded shared machine, wall clock charges a
+/// multi-millisecond preemption to whichever mode was unlucky, drowning a
+/// sub-2% effect. CPU time plus a min-of-reps estimator is robust to it.
+double ThreadCpuMs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+double TimeChaseMs(const Program& p, size_t max_rounds,
+                   ExecutionContext* ctx, size_t* facts) {
+  ChaseOptions opts;
+  opts.max_rounds = max_rounds;
+  opts.max_facts = 5000000;
+  opts.context = ctx;
+  double t0 = ThreadCpuMs();
+  ChaseResult r = RunChase(p.theory, p.instance, opts);
+  double ms = ThreadCpuMs() - t0;
+  *facts = r.structure.NumFacts();
+  return ms;
+}
+
+/// A governed-but-never-tripping context: deadline far away, budget huge,
+/// so every cooperative check and byte charge is exercised.
+ExecutionContext* MakeFarContext(ExecutionContext* ctx) {
+  ctx->SetDeadlineAfterMs(1e9);
+  ctx->SetMemoryLimitBytes(size_t{1} << 40);
+  return ctx;
+}
+
+/// Minimum over reps: the best observation is the one least disturbed by
+/// the machine; any positive delta that survives it is real cost.
+double Best(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+/// Median of paired per-rep deltas: each rep runs bare and governed
+/// back-to-back, so slow drift (allocator state, frequency, co-tenants)
+/// hits both sides of a pair and cancels in the difference.
+double MedianPairedDelta(const std::vector<double>& bare,
+                         const std::vector<double>& gov) {
+  std::vector<double> deltas(bare.size());
+  for (size_t i = 0; i < bare.size(); ++i) deltas[i] = gov[i] - bare[i];
+  std::sort(deltas.begin(), deltas.end());
+  return deltas[deltas.size() / 2];
+}
+
+struct OverheadRow {
+  const char* name;
+  Program program;
+  size_t max_rounds;
+};
+
+void PrintOverheadTable() {
+  bddfc_bench::Banner("E13", "resource-governor overhead (bare vs governed)");
+  std::printf("%-14s %-8s %-8s %-12s %-12s %-10s\n", "workload", "rounds",
+              "facts", "bare ms", "governed ms", "overhead");
+
+  auto tc = ParseProgram(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(X, Y) -> exists W: e(Y, W).
+    e(a, b).
+  )");
+  OverheadRow rows[] = {
+      {"example9", Example9(), 12},
+      {"example1", Example1(), 400},
+      {"tc-chain", std::move(tc).ValueOrDie(), 48},
+  };
+  const int kReps = 31;
+  for (OverheadRow& row : rows) {
+    std::vector<double> bare_ms, gov_ms;
+    size_t facts = 0;
+    // One warm-up pair, then interleave the two modes so frequency
+    // scaling, allocator state and cache effects hit both equally; the
+    // paired-delta median below cancels what is left.
+    for (int rep = -1; rep < kReps; ++rep) {
+      double b = TimeChaseMs(row.program, row.max_rounds, nullptr, &facts);
+      ExecutionContext ctx;
+      double g = TimeChaseMs(row.program, row.max_rounds,
+                             MakeFarContext(&ctx), &facts);
+      if (rep < 0) continue;
+      bare_ms.push_back(b);
+      gov_ms.push_back(g);
+    }
+    double bare = Best(bare_ms);
+    double delta = MedianPairedDelta(bare_ms, gov_ms);
+    std::printf("%-14s %-8zu %-8zu %-12.2f %-12.2f %+.2f%%\n", row.name,
+                row.max_rounds, facts, bare, bare + delta,
+                100.0 * delta / std::max(bare, 1e-9));
+  }
+  std::printf("acceptance bar: < 2%% overhead on these workloads\n");
+}
+
+void ExportGovernorCounters(benchmark::State& state, const ChaseResult& r) {
+  state.counters["facts"] = static_cast<double>(r.structure.NumFacts());
+  state.counters["peak_accounted_bytes"] =
+      static_cast<double>(r.report.peak_bytes);
+  state.counters["deadline_slack_ms"] =
+      std::isfinite(r.report.deadline_slack_ms) ? r.report.deadline_slack_ms
+                                                : 0.0;
+  state.counters["cancel_checks"] =
+      static_cast<double>(r.report.cancel_checks);
+}
+
+void BM_ChaseBare(benchmark::State& state) {
+  Program p = Example9();
+  ChaseOptions opts;
+  opts.max_rounds = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+    ExportGovernorCounters(state, r);
+  }
+}
+BENCHMARK(BM_ChaseBare)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_ChaseGoverned(benchmark::State& state) {
+  Program p = Example9();
+  for (auto _ : state) {
+    ExecutionContext ctx;
+    ChaseOptions opts;
+    opts.max_rounds = static_cast<size_t>(state.range(0));
+    opts.context = MakeFarContext(&ctx);
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+    ExportGovernorCounters(state, r);
+  }
+}
+BENCHMARK(BM_ChaseGoverned)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_CheckPoint(benchmark::State& state) {
+  // Raw cost of one full CheckPoint with a live deadline: a steady_clock
+  // read plus a few relaxed loads.
+  ExecutionContext ctx;
+  ctx.SetDeadlineAfterMs(1e9);
+  ctx.SetMemoryLimitBytes(size_t{1} << 40);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.CheckPoint("bench").ok());
+  }
+}
+BENCHMARK(BM_CheckPoint);
+
+void BM_ShouldStopStride(benchmark::State& state) {
+  // Strided probe: 63 of 64 calls are a single relaxed load.
+  ExecutionContext ctx;
+  ctx.SetDeadlineAfterMs(1e9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ShouldStop("bench"));
+  }
+}
+BENCHMARK(BM_ShouldStopStride);
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintOverheadTable)

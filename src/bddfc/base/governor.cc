@@ -1,0 +1,213 @@
+#include "bddfc/base/governor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bddfc {
+
+const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kNone: return "none";
+    case ResourceKind::kDeadline: return "deadline";
+    case ResourceKind::kMemory: return "memory";
+    case ResourceKind::kCancelled: return "cancelled";
+    case ResourceKind::kFacts: return "facts";
+    case ResourceKind::kRounds: return "rounds";
+    case ResourceKind::kQueries: return "queries";
+    case ResourceKind::kAtoms: return "atoms";
+    case ResourceKind::kHomChecks: return "hom-checks";
+    case ResourceKind::kPatterns: return "patterns";
+    case ResourceKind::kStructures: return "structures";
+  }
+  return "?";
+}
+
+const char* InjectedFaultName(InjectedFault fault) {
+  switch (fault) {
+    case InjectedFault::kNone: return "none";
+    case InjectedFault::kDeadline: return "deadline";
+    case InjectedFault::kOom: return "oom";
+    case InjectedFault::kCancel: return "cancel";
+  }
+  return "?";
+}
+
+InjectedFault InjectedFaultFromName(std::string_view name) {
+  if (name == "deadline") return InjectedFault::kDeadline;
+  if (name == "oom") return InjectedFault::kOom;
+  if (name == "cancel") return InjectedFault::kCancel;
+  return InjectedFault::kNone;
+}
+
+void MemoryAccountant::Charge(size_t bytes) {
+  for (MemoryAccountant* a = this; a != nullptr; a = a->parent_) {
+    size_t now =
+        a->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    size_t peak = a->peak_.load(std::memory_order_relaxed);
+    while (now > peak && !a->peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void MemoryAccountant::Release(size_t bytes) {
+  for (MemoryAccountant* a = this; a != nullptr; a = a->parent_) {
+    a->used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+bool MemoryAccountant::OverBudget() const {
+  for (const MemoryAccountant* a = this; a != nullptr; a = a->parent_) {
+    size_t limit = a->limit_.load(std::memory_order_relaxed);
+    if (limit != 0 && a->used_.load(std::memory_order_relaxed) > limit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ResourceReport::ToString() const {
+  std::string s = "exhausted=" + std::string(ResourceKindName(exhausted));
+  if (!detail.empty()) s += " detail=\"" + detail + "\"";
+  s += " partial=" + std::string(partial_result ? "yes" : "no");
+  s += " peak_bytes=" + std::to_string(peak_bytes);
+  if (limit_bytes != 0) s += " limit_bytes=" + std::to_string(limit_bytes);
+  if (std::isfinite(deadline_slack_ms)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", deadline_slack_ms);
+    s += " deadline_slack_ms=" + std::string(buf);
+  }
+  s += " cancel_checks=" + std::to_string(cancel_checks);
+  for (const PhaseProgress& p : phases) {
+    s += "\n  " + p.phase + ": " + p.progress;
+  }
+  return s;
+}
+
+std::unique_ptr<ExecutionContext> ExecutionContext::CreateChild(
+    size_t memory_limit_bytes) {
+  return std::unique_ptr<ExecutionContext>(
+      new ExecutionContext(this, memory_limit_bytes));
+}
+
+ExecutionContext::ExecutionContext(ExecutionContext* parent,
+                                   size_t memory_limit_bytes)
+    : start_(parent->start_),
+      has_deadline_(parent->has_deadline_),
+      deadline_(parent->deadline_),
+      memory_(memory_limit_bytes, &parent->memory_),
+      cancel_(parent->cancel_),
+      parent_(parent),
+      root_(parent->parent_ == nullptr ? parent : parent->root_) {}
+
+double ExecutionContext::RemainingMs() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(
+             deadline_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+Status ExecutionContext::Trip(ResourceKind kind, std::string detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (kind_ == ResourceKind::kNone) {
+    kind_ = kind;
+    detail_ = std::move(detail);
+    tripped_.store(true, std::memory_order_release);
+  }
+  return Status::ResourceExhausted(detail_);
+}
+
+Status ExecutionContext::RecordExhaustion(ResourceKind kind,
+                                          std::string detail) {
+  return Trip(kind, std::move(detail));
+}
+
+Status ExecutionContext::CheckPoint(const char* where) {
+  ExecutionContext* r = root();
+  size_t check =
+      r->checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  // Latched trip (here or in an ancestor): fail fast with its status.
+  for (ExecutionContext* c = this; c != nullptr; c = c->parent_) {
+    if (c->tripped_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(c->mu_);
+      return Status::ResourceExhausted(c->detail_);
+    }
+  }
+
+  // Injected faults fire on the root's shared check counter so a phase
+  // split across child contexts still trips at a deterministic point.
+  if (r->injected_fault_ != InjectedFault::kNone &&
+      check > r->inject_after_checks_) {
+    std::string at = "injected fault after " +
+                     std::to_string(r->inject_after_checks_) +
+                     " checks at " + where;
+    switch (r->injected_fault_) {
+      case InjectedFault::kDeadline:
+        return Trip(ResourceKind::kDeadline, "deadline exceeded (" + at + ")");
+      case InjectedFault::kOom:
+        return Trip(ResourceKind::kMemory, "memory budget exceeded (" + at + ")");
+      case InjectedFault::kCancel:
+        return Trip(ResourceKind::kCancelled, "cancelled (" + at + ")");
+      case InjectedFault::kNone:
+        break;
+    }
+  }
+
+  if (cancel_.cancelled()) {
+    return Trip(ResourceKind::kCancelled,
+                std::string("cancelled at ") + where);
+  }
+  if (has_deadline_ &&
+      std::chrono::steady_clock::now() > deadline_) {
+    return Trip(ResourceKind::kDeadline,
+                std::string("deadline exceeded at ") + where);
+  }
+  if (memory_.OverBudget()) {
+    return Trip(ResourceKind::kMemory,
+                "memory budget exceeded at " + std::string(where) + " (" +
+                    std::to_string(memory_.used()) + " bytes accounted)");
+  }
+  return Status::OK();
+}
+
+bool ExecutionContext::ShouldStop(const char* where) {
+  if (Exhausted()) return true;
+  // Strided: only every 64th probe pays for the clock read. The counter
+  // races benignly across threads — the stride is a heuristic, not a
+  // correctness boundary.
+  size_t probe =
+      root()->stride_.fetch_add(1, std::memory_order_relaxed);
+  if (probe % 64 != 0) return false;
+  return !CheckPoint(where).ok();
+}
+
+void ExecutionContext::NotePhase(std::string phase, std::string progress) {
+  std::lock_guard<std::mutex> lock(mu_);
+  phases_.push_back({std::move(phase), std::move(progress)});
+}
+
+ResourceReport ExecutionContext::report() const {
+  ResourceReport rep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rep.exhausted = kind_;
+    rep.detail = detail_;
+    rep.phases = phases_;
+  }
+  // A trip latched in an ancestor (e.g. the pipeline recorded a budget
+  // while this child ran) shows up here too.
+  if (rep.exhausted == ResourceKind::kNone && parent_ != nullptr) {
+    ResourceReport up = parent_->report();
+    rep.exhausted = up.exhausted;
+    rep.detail = up.detail;
+  }
+  rep.peak_bytes = memory_.peak();
+  rep.limit_bytes = memory_.limit();
+  rep.deadline_slack_ms = RemainingMs();
+  rep.cancel_checks = cancel_checks();
+  return rep;
+}
+
+}  // namespace bddfc

@@ -1,0 +1,288 @@
+// Unified resource governor: one enforceable contract for deadlines,
+// memory, and cooperative cancellation across every compute module.
+//
+// Every procedure the paper gives us is semi-decidable or worst-case
+// explosive: the chase need not terminate (§1.1), the UCQ rewriting can
+// blow up before the k_Φ bound (Def. 2), and positive-n-type enumeration
+// is exponential in n (Def. 3). The per-engine count caps (max_facts,
+// max_queries, max_patterns, ...) bound *work items* but know nothing
+// about wall-clock time, memory, or each other. An ExecutionContext is
+// the shared contract the engines check instead:
+//
+//   * a wall-clock deadline (steady_clock),
+//   * a hierarchical byte-accounted memory budget (MemoryAccountant;
+//     children charge their parents, so a pipeline can split its
+//     allowance across chase/rewrite/type phases),
+//   * a cooperative CancelToken (flipped by SIGINT handlers or other
+//     threads; checked, never preempted),
+//   * a structured ResourceReport: what ran out, how far the run got,
+//     and whether a partial result was retained.
+//
+// Engines call CheckPoint() at round/level/frontier granularity and
+// ShouldStop() inside hot enumeration loops (strided, so the common case
+// is one relaxed atomic load). On the first trip the context latches the
+// exhausted resource; every later check fails fast. Partial results are
+// cut at the last completed round/level, never mid-application, so an
+// interrupted run is prefix-consistent with an uninterrupted one.
+//
+// Determinism: wall-clock and memory trips are inherently timing
+// dependent, so tests and the fuzz oracles use InjectFaultAfterChecks to
+// make the context report a chosen exhaustion after a fixed number of
+// checks — exercising the exact same early-exit paths deterministically.
+
+#ifndef BDDFC_BASE_GOVERNOR_H_
+#define BDDFC_BASE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bddfc/base/status.h"
+
+namespace bddfc {
+
+/// Which governed resource (or legacy count budget) ran out first.
+enum class ResourceKind {
+  kNone = 0,
+  kDeadline,   ///< the wall-clock deadline passed
+  kMemory,     ///< the accounted byte budget watermark was exceeded
+  kCancelled,  ///< the CancelToken was flipped
+  kFacts,      ///< a max_facts count cap (chase / saturation)
+  kRounds,     ///< a max_rounds / max_depth round cap
+  kQueries,    ///< the rewriter's max_queries cap
+  kAtoms,      ///< the rewriter's max_atoms_per_query cap
+  kHomChecks,  ///< a hom-search budget (subsumption probing)
+  kPatterns,   ///< the type oracle's max_patterns cap
+  kStructures, ///< the model search's max_structures cap
+};
+
+/// Stable lowercase name ("deadline", "memory", ...).
+const char* ResourceKindName(ResourceKind kind);
+
+/// A shared cancellation flag. Copies alias the same flag, so a token
+/// handed to a SIGINT handler (or another thread) cancels every context
+/// that holds a copy. Cancel() is a single atomic store: safe from signal
+/// handlers and concurrent threads.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+  bool cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Byte-accounted memory budget. Charges are approximate (engines charge
+/// the estimated footprint of facts, frontier queries, indexes) and
+/// propagate to the parent accountant, so a child is a *view* carving a
+/// sub-allowance out of the parent's budget: the pipeline gives its chase
+/// phase half the bytes and the rewriter a quarter without double
+/// counting at the root. Enforcement is a watermark — engines keep
+/// charging freely and CheckPoint trips once used() exceeds limit() here
+/// or in any ancestor — which keeps the hot insert path to two relaxed
+/// atomic ops. limit 0 = unlimited (accounting still runs, for reports).
+///
+/// Thread-safe. A parent must outlive its children.
+class MemoryAccountant {
+ public:
+  explicit MemoryAccountant(size_t limit_bytes = 0,
+                            MemoryAccountant* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {}
+
+  MemoryAccountant(const MemoryAccountant&) = delete;
+  MemoryAccountant& operator=(const MemoryAccountant&) = delete;
+
+  void Charge(size_t bytes);
+  void Release(size_t bytes);
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+  size_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t limit() const { return limit_.load(std::memory_order_relaxed); }
+  void set_limit(size_t bytes) {
+    limit_.store(bytes, std::memory_order_relaxed);
+  }
+
+  /// True when this accountant or any ancestor exceeds its limit.
+  bool OverBudget() const;
+
+ private:
+  std::atomic<size_t> used_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<size_t> limit_;
+  MemoryAccountant* const parent_;
+};
+
+/// One phase's progress note inside a ResourceReport ("chase" →
+/// "round 17, 5120 facts").
+struct PhaseProgress {
+  std::string phase;
+  std::string progress;
+};
+
+/// Structured account of a governed run: what ran out (kNone when
+/// nothing), how far each phase got, and the live resource counters at
+/// report time. Attached to every engine result so exhaustion is never a
+/// bare bool or a conflated error string.
+struct ResourceReport {
+  ResourceKind exhausted = ResourceKind::kNone;
+  /// Human-readable trip detail ("deadline exceeded at chase round 12").
+  std::string detail;
+  /// True when the result carries a usable partial prefix (facts up to the
+  /// last complete round, the UCQ union up to the last complete level, ...).
+  bool partial_result = false;
+  size_t peak_bytes = 0;      ///< peak accounted bytes (0 if unaccounted)
+  size_t limit_bytes = 0;     ///< byte budget (0 = unlimited)
+  double deadline_slack_ms = 0;  ///< deadline minus now; negative = overshoot
+  size_t cancel_checks = 0;   ///< cooperative checks performed
+  std::vector<PhaseProgress> phases;
+
+  bool ok() const { return exhausted == ResourceKind::kNone; }
+  /// "exhausted=deadline detail=... peak_bytes=... " one-line summary plus
+  /// one indented line per phase note.
+  std::string ToString() const;
+};
+
+/// Deterministic fault injection: after `after_checks` cooperative checks
+/// the context behaves as if the chosen resource ran out. Used by
+/// governor_test and the fuzzer's governor-prefix oracle to exercise the
+/// interruption paths without real clocks or allocation pressure.
+enum class InjectedFault { kNone, kDeadline, kOom, kCancel };
+
+/// Stable lowercase name ("deadline", "oom", "cancel", "none") — the
+/// spelling used by --inject-fault= flags and corpus '% fault:' headers.
+const char* InjectedFaultName(InjectedFault fault);
+
+/// Inverse of InjectedFaultName; kNone when the name is unknown or "none".
+InjectedFault InjectedFaultFromName(std::string_view name);
+
+/// The execution contract one logical request runs under. Configure
+/// (deadline, memory limit, fault injection) before handing it to
+/// engines; the checking side is thread-safe, so one context can govern a
+/// fan-out over the ThreadPool. The first resource trip latches: every
+/// subsequent CheckPoint/ShouldStop fails immediately, which is what
+/// drains queued pool tasks and unwinds nested phases.
+class ExecutionContext {
+ public:
+  ExecutionContext() : start_(std::chrono::steady_clock::now()) {}
+
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  // -- configuration (before the run) --------------------------------------
+
+  void SetDeadlineAfterMs(double ms) {
+    deadline_ = start_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(ms));
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  /// Milliseconds until the deadline (negative once past); +inf when none.
+  double RemainingMs() const;
+
+  /// Sets the root byte budget (0 = unlimited; accounting always runs).
+  void SetMemoryLimitBytes(size_t bytes) { memory_.set_limit(bytes); }
+  MemoryAccountant& memory() { return memory_; }
+  const MemoryAccountant& memory() const { return memory_; }
+
+  /// The shared cancellation flag (copy it into SIGINT handlers/threads).
+  CancelToken cancel_token() const { return cancel_; }
+  void RequestCancel() { cancel_.Cancel(); }
+
+  void InjectFaultAfterChecks(InjectedFault fault, size_t after_checks) {
+    injected_fault_ = fault;
+    inject_after_checks_ = after_checks;
+  }
+
+  /// Creates a sub-context sharing this context's cancel token, deadline
+  /// and trip visibility, with a child memory accountant capped at
+  /// `memory_limit_bytes` — the pipeline splits its allowance across
+  /// phases this way. The parent must outlive the child.
+  std::unique_ptr<ExecutionContext> CreateChild(size_t memory_limit_bytes);
+
+  // -- cooperative checking (run time, any thread) -------------------------
+
+  /// The full check: cancellation, deadline, memory watermark, injected
+  /// faults. OK, or ResourceExhausted with the trip recorded (first trip
+  /// wins; later calls return the recorded trip). Call at round/level/
+  /// frontier boundaries — cost is one steady_clock read when a deadline
+  /// is set, a few relaxed loads otherwise.
+  Status CheckPoint(const char* where);
+
+  /// Strided probe for hot enumeration loops: a full CheckPoint every
+  /// 64th call, otherwise one relaxed load of the latch. True = stop now.
+  bool ShouldStop(const char* where);
+
+  /// True once any governed resource (or a recorded count budget) tripped
+  /// in this context or an ancestor.
+  bool Exhausted() const {
+    return tripped_.load(std::memory_order_acquire) ||
+           (parent_ != nullptr && parent_->Exhausted());
+  }
+
+  /// Routes a legacy count-budget trip (max_facts, max_queries, ...)
+  /// through the shared contract: latches the trip (unless a governed
+  /// resource already tripped) and returns ResourceExhausted carrying
+  /// `detail`. This is how the per-engine max_* knobs become views onto
+  /// the governor without changing their call sites.
+  Status RecordExhaustion(ResourceKind kind, std::string detail);
+
+  /// Appends a progress note for the report ("chase", "round 12, 800 facts").
+  void NotePhase(std::string phase, std::string progress);
+
+  // -- reporting -----------------------------------------------------------
+
+  /// Snapshot of the current state: trip (if any), phases, peak bytes,
+  /// deadline slack, check count.
+  ResourceReport report() const;
+
+  /// Cooperative checks performed (shared with children: a child's checks
+  /// count on the root, so "after N checks" fault injection is well
+  /// defined across a phase-split pipeline).
+  size_t cancel_checks() const {
+    return root()->checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Child constructor: shares the parent's cancel token, deadline, check
+  /// counter and injected faults; owns a child accountant.
+  ExecutionContext(ExecutionContext* parent, size_t memory_limit_bytes);
+
+  ExecutionContext* root() { return parent_ == nullptr ? this : root_; }
+  const ExecutionContext* root() const {
+    return parent_ == nullptr ? this : root_;
+  }
+
+  /// Latches (kind, detail) as the first trip if none is recorded yet and
+  /// returns the ResourceExhausted status for the recorded trip.
+  Status Trip(ResourceKind kind, std::string detail);
+
+  const std::chrono::steady_clock::time_point start_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  MemoryAccountant memory_;
+  CancelToken cancel_;
+  InjectedFault injected_fault_ = InjectedFault::kNone;
+  size_t inject_after_checks_ = 0;
+  ExecutionContext* parent_ = nullptr;  // trips in ancestors are visible
+  ExecutionContext* root_ = nullptr;    // topmost ancestor (nullptr = self)
+
+  std::atomic<size_t> checks_{0};
+  std::atomic<size_t> stride_{0};  // ShouldStop probe counter (root only)
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex mu_;  // guards kind_/detail_/phases_
+  ResourceKind kind_ = ResourceKind::kNone;
+  std::string detail_;
+  std::vector<PhaseProgress> phases_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_GOVERNOR_H_

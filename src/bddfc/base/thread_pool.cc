@@ -45,6 +45,13 @@ bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
   if (queue_.empty()) return false;
   auto [index, task] = std::move(queue_.front());
   queue_.pop_front();
+  if (cancel_.cancelled()) {
+    // Drain without running: the batch unwinds as fast as the in-flight
+    // tasks reach their own cooperative check-points.
+    statuses_[index] = Status::ResourceExhausted("cancelled before start");
+    if (--in_flight_ == 0) batch_done_.notify_all();
+    return true;
+  }
   lock.unlock();
   Status st = task();
   lock.lock();
@@ -88,18 +95,30 @@ size_t ThreadPool::DefaultThreads() {
 }
 
 Status ParallelFor(size_t n, size_t threads,
-                   const std::function<Status(size_t)>& fn) {
+                   const std::function<Status(size_t)>& fn,
+                   ExecutionContext* ctx) {
   if (threads <= 1 || n <= 1) {
     Status first;
     for (size_t i = 0; i < n; ++i) {
+      if (ctx != nullptr && ctx->Exhausted()) {
+        Status st = ctx->CheckPoint("ParallelFor");
+        if (first.ok() && !st.ok()) first = std::move(st);
+        break;
+      }
       Status st = fn(i);
       if (first.ok() && !st.ok()) first = std::move(st);
     }
     return first;
   }
   ThreadPool pool(std::min(threads, n));
+  if (ctx != nullptr) pool.SetCancelToken(ctx->cancel_token());
   for (size_t i = 0; i < n; ++i) {
-    pool.Submit([&fn, i] { return fn(i); });
+    pool.Submit([&fn, ctx, i] {
+      if (ctx != nullptr && ctx->Exhausted()) {
+        return ctx->CheckPoint("ParallelFor");
+      }
+      return fn(i);
+    });
   }
   return pool.Wait();
 }

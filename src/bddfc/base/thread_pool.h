@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 
 namespace bddfc {
@@ -28,6 +29,12 @@ class ThreadPool {
   /// Creates `num_threads` workers (clamped to >= 1). With exactly one
   /// thread no worker is spawned; tasks run inline in Wait().
   explicit ThreadPool(size_t num_threads);
+
+  /// Attaches a cancellation token: once it flips, queued tasks are
+  /// drained without running (their slot records ResourceExhausted) while
+  /// in-flight tasks keep running until their own cooperative check-points
+  /// observe the same token. Call before submitting a batch.
+  void SetCancelToken(CancelToken token) { cancel_ = std::move(token); }
 
   /// Drains outstanding tasks, then joins the workers.
   ~ThreadPool();
@@ -55,6 +62,7 @@ class ThreadPool {
   bool RunOneLocked(std::unique_lock<std::mutex>& lock);
 
   const size_t num_threads_;
+  CancelToken cancel_;  // drained tasks short-circuit once cancelled
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
@@ -69,8 +77,15 @@ class ThreadPool {
 /// Runs fn(i) for every i in [0, n) on `threads` workers and returns the
 /// first non-OK Status in index order. With threads <= 1 the loop runs
 /// inline. Callers get determinism by writing results[i] from task i.
+///
+/// With a non-null `ctx`, the fan-out is governed: tasks not yet started
+/// when the context trips (deadline, memory, cancellation) are skipped —
+/// their slot records the context's ResourceExhausted — and in-flight
+/// tasks are expected to observe the same context at their own
+/// check-points. The inline (threads <= 1) path honors the same contract.
 Status ParallelFor(size_t n, size_t threads,
-                   const std::function<Status(size_t)>& fn);
+                   const std::function<Status(size_t)>& fn,
+                   ExecutionContext* ctx = nullptr);
 
 }  // namespace bddfc
 

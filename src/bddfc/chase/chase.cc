@@ -129,6 +129,28 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
          "theory and instance must share one Signature object");
   ChaseResult out(instance.signature_ptr());
 
+  // Ungoverned runs get a cheap local context (no deadline, no limits, no
+  // accountant attached) so the loop below has a single code path; its
+  // checks are a handful of relaxed atomic loads per round.
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+  const bool governed = options.context != nullptr;
+  if (governed) out.structure.SetAccountant(&ctx->memory());
+
+  // Detaches the run-scoped accountant and snapshots the resource report;
+  // called before every return so results never carry dangling pointers.
+  auto finalize = [&] {
+    out.structure.SetAccountant(nullptr);
+    ctx->NotePhase("chase", "round " + std::to_string(out.rounds_run) + ", " +
+                                std::to_string(out.structure.NumFacts()) +
+                                " facts" +
+                                (out.fixpoint_reached ? ", fixpoint" : ""));
+    out.report = ctx->report();
+    out.report.partial_result =
+        !out.status.ok() && out.structure.NumFacts() > 0;
+  };
+
   // Round 0: copy the instance, tagging every fact with round 0.
   instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
     AddFactTracked(&out, p, row, 0);
@@ -144,6 +166,15 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   const bool delta_engine = options.engine == ChaseEngine::kDelta;
 
   for (size_t round = 1; round <= options.max_rounds; ++round) {
+    // Round boundary: the structure holds exactly Chase^{round-1}, so a
+    // trip here returns a clean prefix.
+    Status cp = ctx->CheckPoint("chase round start");
+    if (!cp.ok()) {
+      out.status = std::move(cp);
+      finalize();
+      return out;
+    }
+
     const auto round_start = std::chrono::steady_clock::now();
     Matcher matcher(out.structure, &out.stats.match);
     // Witness-existence probes go through a stats-less matcher so
@@ -156,11 +187,15 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     std::map<std::string, PendingExistential> existential_triggers;
 
     for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
+      if (ctx->Exhausted()) break;  // a trip mid-rule skips the rest
       const Rule& rule = theory.rules()[ri];
       const bool existential = rule.IsExistential();
       if (existential && options.datalog_only) continue;
 
       auto on_binding = [&](const Binding& b) {
+        // Strided governor probe: aborts this rule's enumeration on a
+        // trip; the post-enumeration check discards the buffered round.
+        if (ctx->ShouldStop("chase enumerate")) return false;
         auto ground = [&](const Atom& a) {
           Atom g = a;
           for (TermId& t : g.args) {
@@ -257,6 +292,22 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
           .count();
     };
 
+    if (ctx->Exhausted()) {
+      // The governor tripped mid-enumeration: the buffered additions are
+      // an incomplete round. Discard them so the structure stays the
+      // Chase^{round-1} prefix (unless the torn-exhaust fault is injected,
+      // which applies them to give the prefix oracle a bug to catch).
+      if (options.fault == ChaseFault::kTornExhaust) {
+        for (const Atom& g : datalog_additions) {
+          AddFactTracked(&out, g.pred, g.args, static_cast<int>(round));
+        }
+      }
+      out.status = ctx->CheckPoint("chase round abort");
+      out.stats.round_ms.push_back(elapsed_ms());
+      finalize();
+      return out;
+    }
+
     if (datalog_additions.empty() && existential_triggers.empty()) {
       out.stats.round_ms.push_back(elapsed_ms());
       out.fixpoint_reached = true;
@@ -314,18 +365,22 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
       break;
     }
     if (out.structure.NumFacts() > options.max_facts) {
-      out.status = Status::ResourceExhausted(
+      out.status = ctx->RecordExhaustion(
+          ResourceKind::kFacts,
           "chase exceeded max_facts=" + std::to_string(options.max_facts) +
-          " at round " + std::to_string(round));
+              " at round " + std::to_string(round));
+      finalize();
       return out;
     }
   }
 
   if (!out.fixpoint_reached) {
-    out.status = Status::ResourceExhausted(
+    out.status = ctx->RecordExhaustion(
+        ResourceKind::kRounds,
         "chase did not reach a fixpoint within max_rounds=" +
-        std::to_string(options.max_rounds));
+            std::to_string(options.max_rounds));
   }
+  finalize();
   return out;
 }
 

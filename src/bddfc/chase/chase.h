@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/structure.h"
 #include "bddfc/core/theory.h"
@@ -56,6 +57,11 @@ enum class ChaseFault {
   /// triggers: every trigger invents its own witnesses (the pre-PR-1
   /// duplicate-witness bug, reintroduced on demand).
   kSkipTriggerDedup,
+  /// Break the governed-interruption contract: when the governor trips
+  /// mid-round, apply the round's buffered datalog additions anyway
+  /// instead of discarding them, leaving a torn (non-prefix) structure.
+  /// Exists so the governor-prefix oracle has a real bug to catch.
+  kTornExhaust,
 };
 
 /// Budgets and variants for a chase run.
@@ -74,6 +80,13 @@ struct ChaseOptions {
   ChaseEngine engine = ChaseEngine::kDelta;
   /// Fault injection for fuzzer self-tests; kNone in all production paths.
   ChaseFault fault = ChaseFault::kNone;
+  /// Resource governor (not owned; may be null). When set, the run checks
+  /// its deadline / memory budget / cancel token at round boundaries and
+  /// (strided) inside body enumeration, charges fact storage to its
+  /// accountant, and cuts the result at the last complete round on a trip.
+  /// max_facts / max_rounds trips are recorded on it too, so the count
+  /// knobs behave as views onto the same contract.
+  ExecutionContext* context = nullptr;
 };
 
 /// Execution counters of one chase run, for benchmarks and the CLI.
@@ -118,6 +131,11 @@ struct ChaseResult {
   /// Execution counters (bindings tried, postings hits/misses, dedups,
   /// per-round wall time).
   ChaseStats stats;
+  /// Resource account of the run: what tripped (kNone on a clean run),
+  /// peak accounted bytes, deadline slack, check counts. partial_result is
+  /// true when a budget cut the run short but the structure holds a valid
+  /// Chase^L prefix (it always does — rounds are applied atomically).
+  ResourceReport report;
 
   explicit ChaseResult(SignaturePtr sig) : structure(std::move(sig)) {}
 

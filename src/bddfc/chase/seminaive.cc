@@ -11,6 +11,17 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                                const SaturateOptions& options) {
   SaturateResult out(instance.signature_ptr());
 
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+  if (options.context != nullptr) out.structure.SetAccountant(&ctx->memory());
+  auto finalize = [&] {
+    out.structure.SetAccountant(nullptr);
+    out.report = ctx->report();
+    out.report.partial_result =
+        !out.status.ok() && out.structure.NumFacts() > 0;
+  };
+
   std::vector<const Rule*> rules;
   for (const Rule& r : theory.rules()) {
     if (r.IsDatalog()) rules.push_back(&r);
@@ -26,8 +37,18 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
   // are 0, so round 1 sees the whole input as its delta.
   size_t facts_at_mark = 0;
   while (out.structure.NumFacts() > facts_at_mark) {
+    Status cp = ctx->CheckPoint("saturate round start");
+    if (!cp.ok()) {
+      out.status = std::move(cp);
+      finalize();
+      return out;
+    }
     if (++out.rounds_run > options.max_rounds) {
-      out.status = Status::ResourceExhausted("max_rounds exhausted");
+      out.status =
+          ctx->RecordExhaustion(ResourceKind::kRounds,
+                                "saturation exceeded max_rounds=" +
+                                    std::to_string(options.max_rounds));
+      finalize();
       return out;
     }
     std::vector<Atom> additions;
@@ -57,6 +78,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
           }
         }
         matcher.EnumerateBanded(rule->body, bands, {}, [&](const Binding& b) {
+          if (ctx->ShouldStop("saturate enumerate")) return false;
           ++out.bindings_tried;
           for (const Atom& h : rule->head) {
             Atom g = h;
@@ -72,16 +94,31 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       }
     }
 
+    if (ctx->Exhausted()) {
+      // Tripped mid-enumeration: discard the buffered (incomplete) round
+      // so the structure is the closure prefix of complete rounds, and
+      // roll the counter back — rounds_run only counts completed rounds,
+      // so a replay bounded by it reproduces this exact structure.
+      --out.rounds_run;
+      out.status = ctx->CheckPoint("saturate round abort");
+      finalize();
+      return out;
+    }
+
     facts_at_mark = out.structure.NumFacts();
     out.structure.MarkRoundBoundary();
     for (const Atom& g : additions) {
       if (out.structure.AddFact(g)) ++out.facts_derived;
     }
     if (out.structure.NumFacts() > options.max_facts) {
-      out.status = Status::ResourceExhausted("max_facts exhausted");
+      out.status = ctx->RecordExhaustion(
+          ResourceKind::kFacts, "saturation exceeded max_facts=" +
+                                    std::to_string(options.max_facts));
+      finalize();
       return out;
     }
   }
+  finalize();
   return out;
 }
 

@@ -18,6 +18,7 @@
 #ifndef BDDFC_CHASE_SEMINAIVE_H_
 #define BDDFC_CHASE_SEMINAIVE_H_
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/structure.h"
 #include "bddfc/core/theory.h"
@@ -28,6 +29,11 @@ namespace bddfc {
 struct SaturateOptions {
   size_t max_rounds = 100000;
   size_t max_facts = 10000000;
+  /// Resource governor (not owned; may be null): deadline / memory /
+  /// cancellation checks at round boundaries and strided probes inside
+  /// enumeration; on a trip the result is the closure prefix up to the
+  /// last complete round.
+  ExecutionContext* context = nullptr;
 };
 
 /// Result of a saturation run.
@@ -37,6 +43,7 @@ struct SaturateResult {
   size_t rounds_run = 0;
   size_t facts_derived = 0;   ///< new facts beyond the input
   size_t bindings_tried = 0;  ///< distinct rule-body matches enumerated
+  ResourceReport report;      ///< resource account (see ChaseResult::report)
 
   explicit SaturateResult(SignaturePtr sig) : structure(std::move(sig)) {}
 };

@@ -43,7 +43,19 @@ bool Structure::AddFact(PredId pred, const std::vector<TermId>& args) {
     AddDomainElement(args[pos]);
   }
   ++num_facts_;
+  if (accountant_ != nullptr) {
+    accountant_->Charge(ApproxFactBytes(args.size()));
+  }
   return true;
+}
+
+size_t Structure::ApproxAccountedBytes() const {
+  size_t bytes = 0;
+  for (const Relation& rel : relations_) {
+    bytes += rel.rows.size() *
+             ApproxFactBytes(static_cast<size_t>(std::max(rel.arity, 0)));
+  }
+  return bytes;
 }
 
 void Structure::AddDomainElement(TermId c) {

@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/interner.h"
 #include "bddfc/core/atom.h"
 #include "bddfc/core/signature.h"
@@ -60,6 +61,29 @@ class Structure {
 
   /// Registers a constant as a domain element even if it occurs in no fact.
   void AddDomainElement(TermId c);
+
+  /// Attaches a memory accountant: every subsequent successful AddFact
+  /// charges ApproxFactBytes(arity) to it. The accountant is run-scoped
+  /// state, not part of the structure's value — engines attach it for the
+  /// duration of a governed run and detach (nullptr) before returning, so
+  /// results never carry dangling accountant pointers.
+  void SetAccountant(MemoryAccountant* accountant) {
+    accountant_ = accountant;
+  }
+  MemoryAccountant* accountant() const { return accountant_; }
+
+  /// Estimated heap footprint of one stored fact of the given arity: the
+  /// row vector, the dedup-map entry (key copy + node), and one posting
+  /// per position. An accounting estimate, not an allocator measurement.
+  static size_t ApproxFactBytes(size_t arity) {
+    return 96 + arity * (2 * sizeof(TermId) + sizeof(uint32_t) + 16);
+  }
+
+  /// Sum of ApproxFactBytes over every stored fact — exactly what an
+  /// accountant was charged while building this structure. Callers that
+  /// discard an accounted structure Release() this amount to return its
+  /// allowance to the budget.
+  size_t ApproxAccountedBytes() const;
 
   /// True iff the ground fact is present.
   bool Contains(PredId pred, const std::vector<TermId>& args) const;
@@ -163,6 +187,7 @@ class Structure {
   size_t num_facts_ = 0;
   std::vector<uint32_t> watermark_;  // per-relation rows at the last mark
   size_t facts_at_watermark_ = 0;
+  MemoryAccountant* accountant_ = nullptr;  // unowned; run-scoped
 };
 
 }  // namespace bddfc

@@ -36,6 +36,10 @@ ModelSearchResult FindFiniteModel(const Theory& theory,
   ModelSearchResult result;
   SignaturePtr sig = theory.signature_ptr();
 
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+
   for (int extra = 0; extra <= options.max_extra_elements; ++extra) {
     std::vector<TermId> domain = instance.Domain();
     for (int i = 0; i < extra; ++i) {
@@ -74,9 +78,15 @@ ModelSearchResult FindFiniteModel(const Theory& theory,
 
     uint64_t limit = uint64_t{1} << optional.size();
     for (uint64_t mask = 0; mask < limit; ++mask) {
+      if (ctx->ShouldStop("model search")) {
+        result.status = ctx->CheckPoint("model search abort");
+        return result;
+      }
       if (++result.structures_checked > options.max_structures) {
-        result.status =
-            Status::ResourceExhausted("max_structures exhausted");
+        result.status = ctx->RecordExhaustion(
+            ResourceKind::kStructures,
+            "model search exceeded max_structures=" +
+                std::to_string(options.max_structures));
         return result;
       }
       Structure candidate(sig);

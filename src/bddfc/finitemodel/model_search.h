@@ -13,6 +13,7 @@
 
 #include <optional>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/query.h"
 #include "bddfc/core/structure.h"
@@ -25,6 +26,10 @@ struct ModelSearchOptions {
   int max_extra_elements = 2;
   /// Cap on enumerated candidate structures.
   size_t max_structures = size_t{1} << 22;
+  /// Resource governor (not owned; may be null): strided deadline/memory/
+  /// cancellation probes inside the candidate enumeration; max_structures
+  /// trips are recorded on it as ResourceKind::kStructures.
+  ExecutionContext* context = nullptr;
 };
 
 struct ModelSearchResult {

@@ -1,6 +1,7 @@
 #include "bddfc/finitemodel/pipeline.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "bddfc/chase/chase.h"
@@ -36,6 +37,24 @@ FiniteModelResult ConstructFiniteCounterModel(
   SignaturePtr sig = theory.signature_ptr();
   FiniteModelResult result(sig);
   const int num_original_preds = sig->num_predicates();
+
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+  const bool governed = options.context != nullptr;
+  // Phase sub-budgets: chase gets half the bytes, the rewriter a quarter,
+  // everything else charges the shared remainder. 0 = unlimited.
+  const size_t mem_limit = ctx->memory().limit();
+  const size_t chase_mem = mem_limit != 0 ? mem_limit / 2 : 0;
+  std::unique_ptr<ExecutionContext> rewrite_ctx =
+      ctx->CreateChild(mem_limit != 0 ? mem_limit / 4 : 0);
+
+  // Fills the resource account before a return. The governed-trip exits
+  // additionally stash the freshest chase prefix in partial_chase.
+  auto finalize = [&] {
+    result.report = ctx->report();
+    result.report.partial_result = result.partial_chase.NumFacts() > 0;
+  };
 
   // Scope: binary theories (Theorem 1) directly; theories whose TGD heads
   // have at most one frontier variable (Theorem 3) via the §5.1 head
@@ -86,12 +105,26 @@ FiniteModelResult ConstructFiniteCounterModel(
   // the certification step covers any shortfall), capped at max_m.
   int m = options.m_override;
   if (m < 0) {
-    KappaResult kappa = ComputeKappa(t, options.rewrite_options);
+    RewriteOptions ropts = options.rewrite_options;
+    ropts.context = rewrite_ctx.get();
+    KappaResult kappa = ComputeKappa(t, ropts);
+    // Count-budget Unknowns are tolerated (certification covers the
+    // shortfall), but a governed trip ends the run here. CheckPoint, not
+    // Exhausted(): a trip latched inside the child is re-evaluated against
+    // the shared deadline/budget/token here on the parent.
+    Status cp = ctx->CheckPoint("pipeline kappa");
+    if (!cp.ok()) {
+      result.status = std::move(cp);
+      ctx->NotePhase("kappa", "aborted");
+      finalize();
+      return result;
+    }
     m = std::max(kappa.kappa, t.MaxBodyVariables());
     m = std::max(m, 1);
   }
   m = std::min(m, options.max_m);
   result.kappa = m;
+  ctx->NotePhase("kappa", "m=" + std::to_string(m));
 
   size_t depth = options.initial_chase_depth;
   bool stop = false;
@@ -100,17 +133,36 @@ FiniteModelResult ConstructFiniteCounterModel(
       depth = options.max_chase_depth;
       stop = true;
     }
-    // Step 3: chase prefix.
+    // Step 3: chase prefix. The chase runs under its own child context so
+    // its max_rounds trip stays local — the depth-doubling loop depends on
+    // retrying after exactly that trip. A chase-phase *memory* trip is
+    // likewise local to the phase's sub-budget: the pipeline proceeds with
+    // the prefix (graceful degradation); only root-level trips abort.
     ChaseOptions copts;
     copts.max_rounds = depth;
     copts.max_facts = options.max_chase_facts;
+    std::unique_ptr<ExecutionContext> chase_ctx = ctx->CreateChild(chase_mem);
+    copts.context = chase_ctx.get();
     ChaseResult chase = RunChase(t, instance, copts);
+
+    Status chase_cp = ctx->CheckPoint("pipeline chase");
+    if (!chase_cp.ok()) {
+      // Governed trip: hand back the best partial result — the chase
+      // prefix up to its last complete round — with the report attached.
+      result.status = std::move(chase_cp);
+      result.partial_chase = std::move(chase.structure);
+      result.partial_chase_rounds = chase.rounds_run;
+      finalize();
+      return result;
+    }
 
     // F present => Chase(D, T₀) ⊨ Q: no counter-model exists (§3.1).
     if (!chase.structure.Rows(f_pred).empty()) {
       result.query_certainly_true = true;
       result.status = Status::FailedPrecondition(
           "the query is certainly true: Chase(D, T) derives it");
+      finalize();
+      result.report.partial_result = false;
       return result;
     }
 
@@ -128,6 +180,8 @@ FiniteModelResult ConstructFiniteCounterModel(
         result.attempts.push_back(attempt);
         result.model = std::move(candidate);
         result.chase_depth_used = chase.rounds_run;
+        finalize();
+        result.report.partial_result = false;
         return result;
       }
       attempt.failure = "finite chase failed certification";
@@ -153,6 +207,14 @@ FiniteModelResult ConstructFiniteCounterModel(
     const Coloring& col = coloring.value();
 
     for (int n = options.initial_n; n <= options.max_n; ++n) {
+      Status cp = ctx->CheckPoint("pipeline attempt");
+      if (!cp.ok()) {
+        result.status = std::move(cp);
+        result.partial_chase = std::move(chase.structure);
+        result.partial_chase_rounds = chase.rounds_run;
+        finalize();
+        return result;
+      }
       PipelineAttempt attempt;
       attempt.chase_depth = depth;
       attempt.n = n;
@@ -169,10 +231,14 @@ FiniteModelResult ConstructFiniteCounterModel(
           static_cast<int>(quotient.structure.Domain().size());
 
       if (options.check_conservativity) {
+        std::unique_ptr<ExecutionContext> cons_ctx = ctx->CreateChild(0);
         ConservativityReport rep = CheckConservativeUpTo(
             col.colored, quotient, m, col.base_predicates,
-            options.max_patterns);
-        attempt.conservative = rep.conservative;
+            options.max_patterns, cons_ctx.get());
+        // A budget trip makes rep.conservative meaningless — say so
+        // instead of silently reporting "not conservative".
+        attempt.conservativity_inconclusive = !rep.status.ok();
+        attempt.conservative = rep.status.ok() && rep.conservative;
       }
 
       // Step 6: datalog saturation (Lemma 5: the TGDs stay satisfied).
@@ -180,10 +246,23 @@ FiniteModelResult ConstructFiniteCounterModel(
       sat.datalog_only = true;
       sat.max_rounds = options.max_saturation_rounds;
       sat.max_facts = options.max_chase_facts;
+      std::unique_ptr<ExecutionContext> sat_ctx = ctx->CreateChild(0);
+      sat.context = sat_ctx.get();
       ChaseResult saturated = RunChase(t, quotient.structure, sat);
       if (!saturated.status.ok()) {
+        Status sat_cp = ctx->CheckPoint("pipeline saturation");
+        if (!sat_cp.ok()) {
+          result.status = std::move(sat_cp);
+          result.partial_chase = std::move(chase.structure);
+          result.partial_chase_rounds = chase.rounds_run;
+          finalize();
+          return result;
+        }
         attempt.failure = "saturation: " + saturated.status.ToString();
         result.attempts.push_back(attempt);
+        if (governed) {
+          ctx->memory().Release(saturated.structure.ApproxAccountedBytes());
+        }
         continue;
       }
 
@@ -203,16 +282,38 @@ FiniteModelResult ConstructFiniteCounterModel(
         result.model = std::move(candidate);
         result.n_used = n;
         result.chase_depth_used = depth;
+        ctx->NotePhase("certify", "model with " +
+                                      std::to_string(result.model.NumFacts()) +
+                                      " facts at depth " +
+                                      std::to_string(depth) +
+                                      ", n=" + std::to_string(n));
+        finalize();
+        result.report.partial_result = false;
         return result;
       }
       result.attempts.push_back(attempt);
+      if (governed) {
+        ctx->memory().Release(saturated.structure.ApproxAccountedBytes());
+      }
+    }
+    // This depth's chase prefix is rebuilt (deeper) next iteration; hand
+    // its allowance back to the budget.
+    if (governed) {
+      ctx->memory().Release(chase.structure.ApproxAccountedBytes());
     }
     depth *= 2;
   }
 
+  // Reaching this point means every attempt failed on its *explicit*
+  // per-attempt budgets or certification — never a silent governor trip
+  // (those return above, as ResourceExhausted with the report attached).
+  ctx->NotePhase("pipeline",
+                 std::to_string(result.attempts.size()) + " attempts, none certified");
   result.status = Status::Unknown(
       "no certified finite model within budgets (" +
       std::to_string(result.attempts.size()) + " attempts)");
+  finalize();
+  result.report.partial_result = false;
   return result;
 }
 

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/query.h"
 #include "bddfc/core/structure.h"
@@ -61,6 +62,15 @@ struct PipelineOptions {
   bool check_conservativity = false;
   /// Datalog saturation budget.
   size_t max_saturation_rounds = 512;
+  /// Resource governor (not owned; may be null). The pipeline carves the
+  /// byte budget into phase sub-accounts (chase half, rewriter a quarter,
+  /// the rest shared), runs every engine call under a child context so the
+  /// per-phase count budgets above stay retryable (the depth-doubling loop
+  /// *depends* on a chase max_rounds trip being local to one attempt), and
+  /// aborts between phases on a governed trip (deadline/memory/cancel)
+  /// with ResourceExhausted, a populated report, and the partial chase
+  /// prefix in FiniteModelResult::partial_chase.
+  ExecutionContext* context = nullptr;
 };
 
 /// One pipeline attempt, for diagnostics.
@@ -71,6 +81,9 @@ struct PipelineAttempt {
   int quotient_size = 0;
   bool used_exact_partition = false;
   bool conservative = false;  ///< only meaningful with check_conservativity
+  /// True when the ♠2 check tripped a budget: `conservative` is then
+  /// meaningless (it is NOT silently reported as "not conservative").
+  bool conservativity_inconclusive = false;
   bool certified = false;
   std::string failure;  ///< empty when certified
 };
@@ -79,7 +92,10 @@ struct PipelineAttempt {
 struct FiniteModelResult {
   /// OK: `model` is a certified finite model of D, T₀ avoiding Q.
   /// FailedPrecondition: Chase(D, T₀) ⊨ Q — no counter-model exists.
-  /// Unknown: budgets exhausted before certification.
+  /// Unknown: the per-attempt count budgets ran dry before certification
+  /// (the explicit attempt list says which; the run itself completed).
+  /// ResourceExhausted: the governor tripped (deadline/memory/cancel) —
+  /// `report` says what and `partial_chase` holds the best prefix.
   Status status = Status::OK();
   Structure model;
   bool query_certainly_true = false;
@@ -87,8 +103,15 @@ struct FiniteModelResult {
   int n_used = 0;
   size_t chase_depth_used = 0;
   std::vector<PipelineAttempt> attempts;
+  /// On a governor trip: the last chase prefix computed before the trip
+  /// (facts up to its last complete round); empty otherwise.
+  Structure partial_chase;
+  size_t partial_chase_rounds = 0;
+  /// Resource account of the whole run (phase notes, peak bytes, slack).
+  ResourceReport report;
 
-  explicit FiniteModelResult(SignaturePtr sig) : model(std::move(sig)) {}
+  explicit FiniteModelResult(SignaturePtr sig)
+      : model(sig), partial_chase(std::move(sig)) {}
 };
 
 /// Runs the pipeline. `theory` must be binary and single-head (apply the

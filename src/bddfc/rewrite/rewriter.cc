@@ -174,23 +174,52 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
   }
   const std::vector<Rule>& rules = prepared.value();
 
+  // Governed runs charge the exploration state (kept union + frontier) to
+  // the shared accountant and release it on return; the estimate is per
+  // kept CQ, not per allocation.
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+  size_t charged_bytes = 0;
+  auto charge_query = [&](const ConjunctiveQuery& q) {
+    size_t bytes = 96 + q.atoms.size() * 64;
+    charged_bytes += bytes;
+    ctx->memory().Charge(bytes);
+  };
+
   ConjunctiveQuery start = query.Normalized();
   std::unordered_set<std::string> seen = {start.CanonicalKey()};
   std::vector<ConjunctiveQuery> all = {start};
   std::vector<ConjunctiveQuery> frontier = {start};
+  charge_query(start);
   UcqSubsumptionIndex kept;
   SubsumptionStats probes;
   if (options.prune_subsumed) kept.Add(start);
   result.queries_generated = 1;
   bool budget_hit = false;
+  bool governor_trip = false;
   std::string budget_reason;
 
   for (size_t depth = 1; depth <= options.max_depth && !frontier.empty();
        ++depth) {
+    // Level boundary: a trip here (or mid-level below) cuts the union at
+    // the last complete level, so the partial result is well defined.
+    Status cp = ctx->CheckPoint("rewrite level start");
+    if (!cp.ok()) {
+      result.status = std::move(cp);
+      governor_trip = true;
+      break;
+    }
+    const size_t union_at_level_start = all.size();
+
     auto level_start = std::chrono::steady_clock::now();
     RewriteLevelStats level;
     std::vector<ConjunctiveQuery> next;
     for (const ConjunctiveQuery& q : frontier) {
+      if (ctx->ShouldStop("rewrite frontier")) {
+        governor_trip = true;
+        break;
+      }
       // Rename rule variables apart from q's.
       int32_t next_var = 0;
       for (TermId v : q.Variables()) {
@@ -236,6 +265,7 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
         const bool subsumed = probing && kept.Subsumes(n, &probes);
         if (subsumed) ++level.subsumption_pruned;
         ++result.queries_generated;
+        charge_query(n);
         if (!subsumed) {
           if (probing) kept.Add(n);
           all.push_back(n);
@@ -248,6 +278,15 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
         }
       }
       if (budget_hit && budget_reason == "max_queries") break;
+    }
+    if (governor_trip) {
+      // Discard this level's partial additions: the union stays the
+      // last-complete-level prefix.
+      all.resize(union_at_level_start);
+      result.status = ctx->CheckPoint("rewrite level abort");
+      level.wall_ms = MsSince(level_start);
+      result.stats.levels.push_back(level);
+      break;
     }
     level.wall_ms = MsSince(level_start);
     result.stats.levels.push_back(level);
@@ -264,7 +303,10 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
     frontier = std::move(next);
   }
 
-  if (!frontier.empty() || budget_hit) {
+  if (!governor_trip && (!frontier.empty() || budget_hit)) {
+    // Count budgets are run-local semi-decision outcomes (Unknown), not
+    // governed-resource trips: inside a shared fan-out one query maxing
+    // out max_queries must not cancel its siblings.
     result.status = Status::Unknown(
         "rewriting did not saturate (budget: " +
         (budget_reason.empty() ? std::string("max_depth") : budget_reason) +
@@ -281,6 +323,23 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
   for (const ConjunctiveQuery& q : result.rewriting) {
     result.max_variables = std::max(result.max_variables, q.NumVariables());
   }
+
+  result.report = ctx->report();
+  if (governor_trip) {
+    result.report.partial_result = !result.rewriting.empty();
+  } else if (!result.status.ok() &&
+             result.report.exhausted == ResourceKind::kNone) {
+    // Note the run-local count budget in this result's report without
+    // latching the (possibly shared) context.
+    result.report.exhausted = budget_reason == "max_queries"
+                                  ? ResourceKind::kQueries
+                              : budget_reason == "max_atoms_per_query"
+                                  ? ResourceKind::kAtoms
+                                  : ResourceKind::kRounds;
+    result.report.detail = result.status.message();
+    result.report.partial_result = !result.rewriting.empty();
+  }
+  ctx->memory().Release(charged_bytes);
   return result;
 }
 
@@ -304,10 +363,23 @@ std::vector<RewriteResult> RewriteAll(const Theory& theory,
                                       const std::vector<ConjunctiveQuery>& qs,
                                       const RewriteOptions& options) {
   std::vector<RewriteResult> results(qs.size());
-  ParallelFor(qs.size(), options.threads, [&](size_t i) {
-    results[i] = RewriteQuery(theory, qs[i], options);
-    return Status::OK();
-  });
+  std::vector<char> ran(qs.size(), 0);
+  ParallelFor(
+      qs.size(), options.threads,
+      [&](size_t i) {
+        ran[i] = 1;
+        results[i] = RewriteQuery(theory, qs[i], options);
+        return Status::OK();
+      },
+      options.context);
+  // Tasks drained by a governor trip never ran; without a status their
+  // empty slots would read as saturated (empty) rewritings.
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (!ran[i] && options.context != nullptr) {
+      results[i].status = options.context->CheckPoint("rewrite fan-out");
+      results[i].report = options.context->report();
+    }
+  }
   return results;
 }
 

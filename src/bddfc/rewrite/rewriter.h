@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/query.h"
 #include "bddfc/core/structure.h"
@@ -70,6 +71,15 @@ struct RewriteOptions {
   /// ProbeBdd and ComputeKappa (1 = serial; results are deterministic and
   /// identical for any thread count). RewriteQuery itself is single-threaded.
   size_t threads = 1;
+  /// Resource governor (not owned; may be null). Deadline / memory /
+  /// cancellation are checked at BFS-level boundaries and (strided) inside
+  /// candidate generation; frontier storage is charged to its accountant
+  /// for the duration of the run. On a trip the run returns
+  /// ResourceExhausted with `rewriting` cut at the last *complete* level —
+  /// a sound partial union. The count budgets above stay run-local
+  /// (Unknown), so one query tripping max_queries inside a shared fan-out
+  /// does not cancel its siblings; the shared context is thread-safe.
+  ExecutionContext* context = nullptr;
 };
 
 /// Per-BFS-level execution counters of one rewriting run.
@@ -115,6 +125,10 @@ struct RewriteResult {
   int max_variables = 0;
   /// Execution counters (per-level candidates/dedup/pruning, hom probes).
   RewriteStats stats;
+  /// Resource account: a governor trip (deadline/memory/cancel) or the
+  /// run-local count budget that made the result Unknown; partial_result
+  /// is true when `rewriting` is a usable level-prefix union.
+  ResourceReport report;
 };
 
 /// Computes the UCQ rewriting of `query` under `theory`.

@@ -40,6 +40,7 @@ std::string CorpusEntryToText(const CorpusEntry& entry) {
   if (entry.seed != 0) {
     out += "% seed: " + std::to_string(entry.seed) + "\n";
   }
+  if (!entry.fault.empty()) out += "% fault: " + entry.fault + "\n";
   if (!entry.note.empty()) out += "% note: " + OneLine(entry.note) + "\n";
   out += entry.program;
   if (!entry.program.empty() && entry.program.back() != '\n') out += "\n";
@@ -68,6 +69,8 @@ Result<CorpusEntry> ParseCorpusText(std::string_view text) {
       entry.family = value;
     } else if (key == "seed") {
       entry.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "fault") {
+      entry.fault = value;
     } else if (key == "note") {
       entry.note = value;
     }
@@ -114,7 +117,19 @@ OracleOutcome ReplayCorpusEntry(const CorpusEntry& entry,
     return OracleOutcome::Fail("corpus program does not parse: " +
                                scenario.status().ToString());
   }
-  return oracle->Check(scenario.value(), config);
+  // A '% fault:' header arms the governor's deterministic fault injection
+  // so interruption oracles (governor-prefix) exercise their trip path on
+  // replay instead of skipping.
+  OracleConfig replay_config = config;
+  if (!entry.fault.empty()) {
+    InjectedFault fault = InjectedFaultFromName(entry.fault);
+    if (fault == InjectedFault::kNone) {
+      return OracleOutcome::Fail("unknown '% fault:' value '" + entry.fault +
+                                 "'");
+    }
+    replay_config.inject_fault = fault;
+  }
+  return oracle->Check(scenario.value(), replay_config);
 }
 
 }  // namespace bddfc

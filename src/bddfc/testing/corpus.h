@@ -35,6 +35,8 @@ struct CorpusEntry {
   std::string oracle;   ///< oracle name (must resolve via FindOracle)
   std::string family;   ///< generator family the scenario came from
   uint64_t seed = 0;    ///< originating fuzzer scenario seed (0 = crafted)
+  std::string fault;    ///< injected fault to arm on replay ("", "deadline",
+                        ///< "oom", "cancel") — governor-prefix entries only
   std::string note;     ///< free-form provenance (failure detail, PR, ...)
   std::string program;  ///< .dlg program text (no header lines)
 };

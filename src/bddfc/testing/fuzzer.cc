@@ -92,6 +92,9 @@ FuzzReport RunFuzzer(const FuzzOptions& options) {
           entry.oracle = name;
           entry.family = scenario.family;
           entry.seed = scenario_seed;
+          if (options.config.inject_fault != InjectedFault::kNone) {
+            entry.fault = InjectedFaultName(options.config.inject_fault);
+          }
           entry.note = outcome.detail;
           entry.program = ScenarioToText(failure.minimized);
           failure.corpus_text = CorpusEntryToText(entry);

@@ -369,6 +369,113 @@ class PipelineCertifyOracle : public Oracle {
   }
 };
 
+// ---------------------------------------------------------------------------
+// governor-prefix: a chase interrupted by the governor (deadline / memory /
+// cancel, injected deterministically after K cooperative checks) must be
+// prefix-consistent with the uninterrupted run — ResourceExhausted with the
+// right ResourceKind, the same facts per completed round, the same
+// per-predicate birth rounds on that prefix, and no torn half-round.
+// ---------------------------------------------------------------------------
+
+class GovernorPrefixOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "governor-prefix"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    if (config.inject_fault == InjectedFault::kNone) {
+      return OracleOutcome::Skip("no fault injected (--inject-fault)");
+    }
+    ResourceKind expected = ResourceKind::kNone;
+    switch (config.inject_fault) {
+      case InjectedFault::kDeadline: expected = ResourceKind::kDeadline; break;
+      case InjectedFault::kOom:      expected = ResourceKind::kMemory;   break;
+      case InjectedFault::kCancel:   expected = ResourceKind::kCancelled; break;
+      case InjectedFault::kNone:     break;
+    }
+
+    ChaseOptions base;
+    base.max_rounds = config.max_rounds;
+    base.max_facts = config.max_facts;
+    ChaseResult baseline = RunChase(s.theory, s.instance, base);
+
+    bool tripped_any = false;
+    for (size_t after : {size_t{1}, size_t{3}, size_t{7}}) {
+      ExecutionContext ctx;
+      ctx.InjectFaultAfterChecks(config.inject_fault, after);
+      ChaseOptions opts = base;
+      opts.context = &ctx;
+      // kTornExhaust rides along so the torn-prefix path has a detector.
+      opts.fault = config.chase_fault;
+      ChaseResult run = RunChase(s.theory, s.instance, opts);
+      std::string t = "after " + std::to_string(after) + " checks: ";
+
+      if (run.status.ok() ||
+          run.status.code() != StatusCode::kResourceExhausted ||
+          run.report.exhausted != expected) {
+        // The chase may legitimately finish (or trip a count budget) before
+        // the injected fault fires; only a wrong *governed* kind is a bug.
+        bool governed_kind =
+            run.report.exhausted == ResourceKind::kDeadline ||
+            run.report.exhausted == ResourceKind::kMemory ||
+            run.report.exhausted == ResourceKind::kCancelled;
+        if (governed_kind && run.report.exhausted != expected) {
+          return OracleOutcome::Fail(
+              t + Mismatch("exhausted kind", ResourceKindName(expected),
+                           ResourceKindName(run.report.exhausted)));
+        }
+        continue;
+      }
+      tripped_any = true;
+
+      if (run.rounds_run > baseline.rounds_run) {
+        return OracleOutcome::Fail(
+            t + Mismatch("rounds_run beyond baseline", baseline.rounds_run,
+                         run.rounds_run));
+      }
+      if (run.facts_per_round.size() > baseline.facts_per_round.size()) {
+        return OracleOutcome::Fail(t + "more facts_per_round entries than "
+                                       "the uninterrupted run");
+      }
+      for (size_t i = 0; i < run.facts_per_round.size(); ++i) {
+        if (run.facts_per_round[i] != baseline.facts_per_round[i]) {
+          return OracleOutcome::Fail(
+              t + "facts_per_round[" + std::to_string(i) + "] " +
+              Mismatch("is not a baseline prefix", baseline.facts_per_round[i],
+                       run.facts_per_round[i]));
+        }
+      }
+      // No torn half-round: every fact belongs to a completed round.
+      if (!run.facts_per_round.empty() &&
+          run.structure.NumFacts() != run.facts_per_round.back()) {
+        return OracleOutcome::Fail(
+            t + Mismatch("torn structure: facts vs last complete round",
+                         run.structure.NumFacts(), run.facts_per_round.back()));
+      }
+      // Per-predicate birth rounds on the completed prefix must agree.
+      auto clip = [&](const ChaseResult& r) {
+        std::map<PredId, std::vector<int>> out;
+        for (auto& [pred, rounds] : BirthRoundsByPredicate(r)) {
+          for (int round : rounds) {
+            if (round <= static_cast<int>(run.rounds_run)) {
+              out[pred].push_back(round);
+            }
+          }
+        }
+        return out;
+      };
+      if (clip(run) != clip(baseline)) {
+        return OracleOutcome::Fail(
+            t + "per-predicate birth rounds diverge on the completed prefix");
+      }
+    }
+    if (!tripped_any) {
+      return OracleOutcome::Skip("chase finished before any injected fault");
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -377,9 +484,10 @@ const std::vector<const Oracle*>& AllOracles() {
   static const RewriteDeterminismOracle rewrite_determinism;
   static const RewriteVsChaseOracle rewrite_vs_chase;
   static const PipelineCertifyOracle pipeline_certify;
+  static const GovernorPrefixOracle governor_prefix;
   static const std::vector<const Oracle*> kAll = {
       &chase_agreement, &parser_roundtrip, &rewrite_determinism,
-      &rewrite_vs_chase, &pipeline_certify};
+      &rewrite_vs_chase, &pipeline_certify, &governor_prefix};
   return kAll;
 }
 

@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/chase/chase.h"
 #include "bddfc/rewrite/rewriter.h"
 #include "bddfc/testing/scenario.h"
@@ -40,7 +41,15 @@ struct OracleConfig {
   std::vector<size_t> determinism_threads = {4};
   /// Fault injected into the *delta* chase run of the chase-agreement
   /// oracle (the fuzzer's self-test); kNone in normal operation.
+  /// kTornExhaust instead targets the governor-prefix oracle: the governed
+  /// chase applies a torn round on exhaustion, which that oracle must
+  /// flag as a prefix-consistency violation.
   ChaseFault chase_fault = ChaseFault::kNone;
+  /// Deterministic governor fault for the governor-prefix oracle
+  /// (--inject-fault): each interrupted chase run injects this exhaustion
+  /// after a fixed number of cooperative checks and is compared against
+  /// the uninterrupted baseline. kNone disables the oracle (skip).
+  InjectedFault inject_fault = InjectedFault::kNone;
 };
 
 /// Outcome of one oracle check.

@@ -5,19 +5,29 @@ namespace bddfc {
 ConservativityReport CheckConservativeUpTo(const Structure& c,
                                            const Quotient& q, int m,
                                            const std::vector<PredId>& sigma,
-                                           size_t max_positions) {
+                                           size_t max_positions,
+                                           ExecutionContext* context) {
   ConservativityReport out;
   TypeOracleOptions opts;
   opts.num_variables = m;
   opts.predicates = sigma;
   opts.max_patterns = max_positions;
+  opts.context = context;
   TypeOracle oracle(q.structure, c, opts);
   for (TermId e : c.Domain()) {
     TermId image = q.Project(e);
     if (image < 0 || !oracle.TypeContained(image, e)) {
       if (oracle.budget_exhausted()) {
-        out.status = Status::ResourceExhausted(
-            "conservativity check exceeded max_patterns");
+        // The negative answer is inconclusive. A governed trip carries the
+        // governor's detail; a count trip stays local to this report so
+        // the caller can retry with other parameters.
+        out.status =
+            context != nullptr && context->Exhausted()
+                ? context->CheckPoint("conservativity abort")
+                : Status::ResourceExhausted(
+                      "conservativity check exceeded max_positions=" +
+                      std::to_string(max_positions));
+        out.patterns_checked = oracle.patterns_checked();
         return out;
       }
       out.failing_element = e;
@@ -31,7 +41,8 @@ ConservativityReport CheckConservativeUpTo(const Structure& c,
 }
 
 ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
-                                        size_t max_positions) {
+                                        size_t max_positions,
+                                        ExecutionContext* context) {
   ConservativityProbe out;
   Result<Coloring> coloring = NaturalColoring(c, m);
   if (!coloring.ok()) {
@@ -42,14 +53,25 @@ ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
 
   // Partition the colored structure by ≡_n over the full (colored)
   // signature: exact when the game fits the budget, ball refinement as the
-  // fallback.
+  // fallback. The exact attempt runs under a child context so its
+  // max_patterns trip stays local — only a *governed* trip (deadline,
+  // memory, cancel) propagates and skips the fallback path too.
   TypePartition partition;
+  std::unique_ptr<ExecutionContext> exact_child;
+  if (context != nullptr) exact_child = context->CreateChild(0);
   Result<TypePartition> exact =
-      ExactPtpPartition(col.colored, n, {}, max_positions);
+      ExactPtpPartition(col.colored, n, {}, max_positions, exact_child.get());
   if (exact.ok()) {
     partition = std::move(exact).value();
     out.used_exact_partition = true;
   } else {
+    if (context != nullptr) {
+      Status cp = context->CheckPoint("conservativity partition fallback");
+      if (!cp.ok()) {
+        out.status = std::move(cp);
+        return out;
+      }
+    }
     partition = BallPartition(col.colored, n);
   }
 
@@ -58,7 +80,7 @@ ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
   out.quotient_size = static_cast<int>(q.structure.Domain().size());
 
   ConservativityReport rep = CheckConservativeUpTo(
-      col.colored, q, m, col.base_predicates, max_positions);
+      col.colored, q, m, col.base_predicates, max_positions, context);
   out.status = rep.status;
   out.conservative = rep.conservative;
   return out;

@@ -33,10 +33,18 @@ struct ConservativityReport {
 /// Checks (♠2) for the quotient `q` of `c`: every element's positive m-type
 /// over `sigma` is preserved. `sigma` is the base signature (colors
 /// excluded); pass Coloring::base_predicates.
+///
+/// A non-null `context` governs the pebble game (deadline/memory/cancel);
+/// both a governed trip and a max_positions trip surface as a non-OK
+/// status — `conservative` is then false *and meaningless*, so callers
+/// must consult `status` before trusting it. The max_positions trip is
+/// reported on the return value only (the context is not latched), so a
+/// caller may retry with different parameters.
 ConservativityReport CheckConservativeUpTo(const Structure& c,
                                            const Quotient& q, int m,
                                            const std::vector<PredId>& sigma,
-                                           size_t max_positions = 2000000);
+                                           size_t max_positions = 2000000,
+                                           ExecutionContext* context = nullptr);
 
 /// End-to-end Def. 9 probe for one (m, n) pair: color `c` naturally with
 /// window m, quotient by ≡_n over the colored signature (exact pebble
@@ -49,7 +57,8 @@ struct ConservativityProbe {
   bool used_exact_partition = false;
 };
 ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
-                                        size_t max_positions = 2000000);
+                                        size_t max_positions = 2000000,
+                                        ExecutionContext* context = nullptr);
 
 }  // namespace bddfc
 

@@ -18,6 +18,12 @@ struct TypeOracle::Impl {
   const Structure& b;
   TypeOracleOptions options;
 
+  /// Ungoverned oracles fall back to a local (limitless) context so the
+  /// pattern loop has one code path.
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx = nullptr;
+  size_t charged_bytes = 0;  // incident-index estimate, released in ~Impl
+
   std::vector<char> in_theta;   // indexed by PredId
   bool const_only_ok = true;    // constant-only atoms of A hold in B
   std::vector<TermId> a_nulls;
@@ -29,6 +35,7 @@ struct TypeOracle::Impl {
   Impl(const Structure& a_, const Structure& b_,
        const TypeOracleOptions& opts)
       : a(a_), b(b_), options(opts) {
+    ctx = options.context != nullptr ? options.context : &local_ctx;
     assert(a.signature_ptr().get() == b.signature_ptr().get() &&
            "type oracle requires a shared signature");
     in_theta.assign(a.sig().num_predicates(), 0);
@@ -55,6 +62,19 @@ struct TypeOracle::Impl {
     for (TermId e : a.Domain()) {
       if (a.sig().IsNull(e)) a_nulls.push_back(e);
     }
+    // Account the incident index (the oracle's dominant allocation) for
+    // the oracle's lifetime when a governor is attached.
+    if (options.context != nullptr) {
+      for (const auto& [e, rows] : incident) {
+        (void)e;
+        charged_bytes += 64 + rows.size() * sizeof(rows[0]);
+      }
+      ctx->memory().Charge(charged_bytes);
+    }
+  }
+
+  ~Impl() {
+    if (charged_bytes != 0) ctx->memory().Release(charged_bytes);
   }
 
   /// Builds the canonical query of A ↾ (S ∪ C_con) over Θ, with the
@@ -107,6 +127,10 @@ struct TypeOracle::Impl {
     if (pinned >= 0) s.push_back(pinned);
     std::vector<size_t> stack;  // indexes into a_nulls (combination DFS)
     auto check_current = [&]() {
+      if (ctx->ShouldStop("ptype patterns")) {
+        budget_hit = true;  // governor trip: answers become inconclusive
+        return false;
+      }
       ++patterns_checked;
       if (patterns_checked >= options.max_patterns) {
         budget_hit = true;
@@ -181,11 +205,13 @@ int TypePartition::ClassOf(TermId e) const {
 
 Result<TypePartition> ExactPtpPartition(const Structure& c, int n,
                                         const std::vector<PredId>& predicates,
-                                        size_t max_patterns) {
+                                        size_t max_patterns,
+                                        ExecutionContext* context) {
   TypeOracleOptions opts;
   opts.num_variables = n;
   opts.predicates = predicates;
   opts.max_patterns = max_patterns;
+  opts.context = context;
   TypeOracle oracle(c, c, opts);
 
   TypePartition out;
@@ -213,9 +239,16 @@ Result<TypePartition> ExactPtpPartition(const Structure& c, int n,
     }
     out.class_id[i] = found;
     if (oracle.budget_exhausted()) {
-      return Status::ResourceExhausted(
-          "type partition exceeded max_patterns=" +
-          std::to_string(max_patterns));
+      // Inconclusive containments make the whole partition unusable, so no
+      // partial result is returned. Record the trip on the governor (a
+      // governed trip is already latched; RecordExhaustion keeps it).
+      std::string detail = "type partition exceeded max_patterns=" +
+                           std::to_string(max_patterns);
+      if (context != nullptr) {
+        return context->RecordExhaustion(ResourceKind::kPatterns,
+                                         std::move(detail));
+      }
+      return Status::ResourceExhausted(std::move(detail));
     }
   }
   out.num_classes = static_cast<int>(reps.size());

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/base/status.h"
 #include "bddfc/core/structure.h"
 
@@ -45,6 +46,12 @@ struct TypeOracleOptions {
   std::vector<PredId> predicates;
   /// Safety cap on (pattern, target) query evaluations per containment.
   size_t max_patterns = 5000000;
+  /// Resource governor (not owned; may be null): strided deadline/memory/
+  /// cancellation probes inside pattern enumeration; the oracle's incident
+  /// index is charged to its accountant for the oracle's lifetime. A trip
+  /// makes subsequent answers inconclusive — it is reported through
+  /// budget_exhausted() exactly like a max_patterns trip.
+  ExecutionContext* context = nullptr;
 };
 
 /// Decides positive-type containment between elements of A and B.
@@ -64,8 +71,10 @@ class TypeOracle {
   /// Number of canonical-query evaluations performed so far.
   size_t patterns_checked() const;
 
-  /// True when some containment check tripped max_patterns (its `false`
-  /// answer is then inconclusive).
+  /// True when some containment check tripped max_patterns *or* the
+  /// attached governor tripped (deadline/memory/cancel): every `false`
+  /// answer given since is inconclusive. Never silently swallowed —
+  /// callers must consult this before trusting a negative answer.
   bool budget_exhausted() const;
 
  private:
@@ -91,7 +100,7 @@ struct TypePartition {
 /// (Remark 1).
 Result<TypePartition> ExactPtpPartition(
     const Structure& c, int n, const std::vector<PredId>& predicates = {},
-    size_t max_patterns = 5000000);
+    size_t max_patterns = 5000000, ExecutionContext* context = nullptr);
 
 /// Cheap refinement of ≡_n: partition by the canonical form of each
 /// element's undirected radius-(n-1) neighborhood among labeled nulls

@@ -1,0 +1,117 @@
+// End-to-end tests of the CLI exit-code contract (tools/bddfc_cli.cc):
+//
+//   0  success                      2  usage / parse error
+//   1  negative semantic outcome    3  resource exhausted
+//
+// and of the fuzzer's 0/1/2 contract plus its fault-injection flags. The
+// test executes the real binaries (paths injected by CMake) and inspects
+// the process exit status, so it covers argument parsing, the governor
+// wiring and the report printing that unit tests cannot reach.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Executes `binary args...` with stdout/stderr discarded; returns the exit
+/// code (or -1 when the process died abnormally).
+int RunBinary(const std::string& binary, const std::string& args) {
+  std::string cmd = binary + " " + args + " > /dev/null 2>&1";
+  int rc = std::system(cmd.c_str());
+  if (rc == -1 || !WIFEXITED(rc)) return -1;
+  return WEXITSTATUS(rc);
+}
+
+/// Writes a program under the test's scratch dir and returns its path.
+std::string WriteProgram(const std::string& name, const std::string& text) {
+  fs::path dir = fs::current_path() / "exit_code_scratch";
+  fs::create_directories(dir);
+  fs::path path = dir / name;
+  std::ofstream out(path);
+  out << text;
+  return path.string();
+}
+
+const char* kInfiniteTc =
+    "e(X, Y), e(Y, Z) -> e(X, Z).\n"
+    "e(X, Y) -> exists W: e(Y, W).\n"
+    "e(a, b).\n"
+    "?- e(X, X).\n";
+
+const char* kTerminating =
+    "e(X, Y) -> exists Z: r(Y, Z).\n"
+    "e(a, b).\n"
+    "?- r(X, X).\n";
+
+TEST(CliExitCodeTest, SuccessIsZero) {
+  std::string prog = WriteProgram("terminating.dlg", kTerminating);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog), 0);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "rewrite " + prog), 0);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "classify " + prog), 0);
+  // The chase terminates avoiding r(X, X): a counter-model exists.
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + prog), 0);
+}
+
+TEST(CliExitCodeTest, UsageAndParseErrorsAreTwo) {
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, ""), 2);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "frobnicate nope.dlg"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase /nonexistent/no.dlg"), 2);
+  std::string bad = WriteProgram("bad.dlg", "this is not datalog (\n");
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + bad), 2);
+  std::string prog = WriteProgram("tc.dlg", kInfiniteTc);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog + " --deadline-ms -5"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog + " --mem-budget-mb junk"), 2);
+}
+
+TEST(CliExitCodeTest, NegativeSemanticOutcomeIsOne) {
+  // The query e(X, Y) is certainly true: no counter-model exists.
+  std::string certain = WriteProgram("certain.dlg",
+                                     "e(X, Y) -> exists Z: e(Y, Z).\n"
+                                     "e(a, b).\n"
+                                     "?- e(X, Y).\n");
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + certain), 1);
+  // Every finite model of transitive closure + totality has a self-loop:
+  // the exhaustive search (0 extra elements) finds nothing.
+  std::string tc = WriteProgram("tc.dlg", kInfiniteTc);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "search " + tc + " 0"), 1);
+}
+
+TEST(CliExitCodeTest, ResourceExhaustionIsThree) {
+  std::string tc = WriteProgram("tc.dlg", kInfiniteTc);
+  // Count budget (max_rounds) on a diverging chase.
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + tc + " 5"), 3);
+  // Wall-clock deadline.
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH,
+                "chase " + tc + " 1000000 --deadline-ms 20"), 3);
+  // Memory budget.
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH,
+                "chase " + tc + " 1000000 --mem-budget-mb 1"), 3);
+  // Governed pipeline under a deadline.
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + tc + " --deadline-ms 1"), 3);
+}
+
+TEST(FuzzExitCodeTest, ContractIsZeroOneTwo) {
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--list-oracles"), 0);
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--bogus-flag"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--inject-bug=unknown"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--inject-fault=unknown"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--oracle=no-such-oracle"), 2);
+  // A small clean campaign of the governor-prefix oracle passes...
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH,
+                "--runs=10 --oracle=governor-prefix --inject-fault=deadline"),
+            0);
+  // ...and catches the deliberately torn exhaustion path (self-test).
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH,
+                "--runs=60 --oracle=governor-prefix --inject-fault=deadline "
+                "--inject-bug=torn-exhaust --no-shrink"),
+            1);
+}
+
+}  // namespace

@@ -13,15 +13,31 @@
 // identical for any N); --no-prune disables homomorphic-subsumption
 // pruning (the pre-PR exploration, for A/B comparison).
 //
+// Resource governance (all commands): --deadline-ms N bounds wall-clock
+// time, --mem-budget-mb N bounds accounted memory, and SIGINT (Ctrl-C)
+// requests cooperative cancellation. On any of the three the command
+// stops at the next round/level/frontier boundary, prints the best
+// partial result plus the resource report, and exits with code 3.
+//
+// Exit codes:
+//   0  success (chase/rewrite/classify completed; counter-model found)
+//   1  negative semantic outcome (query certainly true, no model found,
+//      no counter-model within the explicit count budgets)
+//   2  usage or parse error
+//   3  resource exhausted (deadline / memory budget / cancelled / count
+//      cap) — a partial result and the resource report were printed
+//
 // The program file uses the Datalog± syntax of parser/parser.h: facts,
 // rules (with optional 'exists V:' clauses) and '?-' queries.
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "bddfc/base/governor.h"
 #include "bddfc/chase/chase.h"
 #include "bddfc/classes/recognizers.h"
 #include "bddfc/eval/match.h"
@@ -34,11 +50,32 @@ namespace {
 
 using namespace bddfc;
 
+// Exit codes of the documented contract (see the header comment).
+enum ExitCode {
+  kExitOk = 0,
+  kExitNegative = 1,
+  kExitUsage = 2,
+  kExitExhausted = 3,
+};
+
 int Usage() {
   std::fprintf(stderr,
                "usage: bddfc <chase|rewrite|classify|model|search> "
-               "<program.dlg> [arg] [--threads N] [--no-prune]\n");
-  return 2;
+               "<program.dlg> [arg] [--threads N] [--no-prune]\n"
+               "             [--deadline-ms N] [--mem-budget-mb N]\n"
+               "exit codes: 0 ok, 1 negative outcome, 2 usage/parse error, "
+               "3 resource exhausted\n");
+  return kExitUsage;
+}
+
+// SIGINT flips the shared CancelToken; every engine drains at its next
+// cooperative check and the command prints its partial result. A second
+// Ctrl-C kills the process the default way.
+CancelToken* g_cancel = nullptr;
+
+extern "C" void OnSigInt(int) {
+  if (g_cancel != nullptr) g_cancel->Cancel();
+  std::signal(SIGINT, SIG_DFL);
 }
 
 Result<Program> Load(const char* path) {
@@ -51,9 +88,22 @@ Result<Program> Load(const char* path) {
   return ParseProgram(buf.str());
 }
 
-int CmdChase(Program& p, size_t max_rounds) {
+void PrintReport(const ResourceReport& report) {
+  std::printf("resource report: %s\n", report.ToString().c_str());
+}
+
+/// Exit code for a finished command: governed/count trips map to 3, other
+/// errors to 1, OK to `ok_code`.
+int ExitFor(const Status& status, int ok_code = kExitOk) {
+  if (status.ok()) return ok_code;
+  return status.code() == StatusCode::kResourceExhausted ? kExitExhausted
+                                                         : kExitNegative;
+}
+
+int CmdChase(Program& p, size_t max_rounds, ExecutionContext* ctx) {
   ChaseOptions opts;
   opts.max_rounds = max_rounds;
+  opts.context = ctx;
   ChaseResult r = RunChase(p.theory, p.instance, opts);
   std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
               r.rounds_run, r.structure.NumFacts(), r.nulls_created,
@@ -72,7 +122,8 @@ int CmdChase(Program& p, size_t max_rounds) {
                                                        "depth)"
                                                      : "not derived");
   }
-  return 0;
+  if (!r.status.ok()) PrintReport(r.report);
+  return ExitFor(r.status);
 }
 
 void PrintRewriteStats(const RewriteStats& stats) {
@@ -94,8 +145,9 @@ void PrintRewriteStats(const RewriteStats& stats) {
 int CmdRewrite(Program& p, const RewriteOptions& opts) {
   if (p.queries.empty()) {
     std::printf("no ?- queries in the program\n");
-    return 1;
+    return kExitNegative;
   }
+  int rc = kExitOk;
   for (size_t i = 0; i < p.queries.size(); ++i) {
     RewriteResult r = RewriteQuery(p.theory, p.queries[i], opts);
     std::printf("query %zu: %s\n  disjuncts=%zu depth=%zu generated=%zu\n",
@@ -105,8 +157,12 @@ int CmdRewrite(Program& p, const RewriteOptions& opts) {
     std::printf("  D |= rewriting: %s\n",
                 SatisfiesUcq(p.instance, r.rewriting) ? "true" : "false");
     PrintRewriteStats(r.stats);
+    if (r.status.code() == StatusCode::kResourceExhausted) {
+      PrintReport(r.report);
+      rc = kExitExhausted;
+    }
   }
-  return 0;
+  return rc;
 }
 
 int CmdClassify(Program& p, const RewriteOptions& opts) {
@@ -131,18 +187,26 @@ int CmdClassify(Program& p, const RewriteOptions& opts) {
               probe.kappa, probe.max_depth_seen, probe.queries_generated,
               probe.total_disjuncts, probe.stats.TotalSubsumptionPruned(),
               probe.stats.hom_checks, probe.stats.hom_checks_skipped);
-  return 0;
+  if (probe.status.code() == StatusCode::kResourceExhausted) {
+    std::printf("BDD probe stopped early: %s\n",
+                probe.status.ToString().c_str());
+    if (opts.context != nullptr) PrintReport(opts.context->report());
+    return kExitExhausted;
+  }
+  return kExitOk;
 }
 
-int CmdModel(Program& p) {
+int CmdModel(Program& p, ExecutionContext* ctx) {
   if (p.queries.empty()) {
     std::printf("no ?- queries in the program\n");
-    return 1;
+    return kExitNegative;
   }
-  int rc = 0;
+  int rc = kExitOk;
   for (size_t i = 0; i < p.queries.size(); ++i) {
+    PipelineOptions opts;
+    opts.context = ctx;
     FiniteModelResult r =
-        ConstructFiniteCounterModel(p.theory, p.instance, p.queries[i]);
+        ConstructFiniteCounterModel(p.theory, p.instance, p.queries[i], opts);
     if (r.status.ok()) {
       std::printf("query %zu: counter-model with %zu elements "
                   "(kappa=%d n=%d depth=%zu):\n%s",
@@ -150,29 +214,45 @@ int CmdModel(Program& p) {
                   r.chase_depth_used, r.model.ToString().c_str());
     } else if (r.query_certainly_true) {
       std::printf("query %zu: certainly true (no counter-model exists)\n", i);
+      if (rc == kExitOk) rc = kExitNegative;
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
+      std::printf("query %zu: %s\n", i, r.status.ToString().c_str());
+      if (r.report.partial_result) {
+        std::printf("partial chase prefix: %zu facts after %zu complete "
+                    "round(s)\n%s",
+                    r.partial_chase.NumFacts(), r.partial_chase_rounds,
+                    r.partial_chase.ToString().c_str());
+      }
+      PrintReport(r.report);
+      return kExitExhausted;  // governed trip: later queries would re-trip
     } else {
       std::printf("query %zu: %s\n", i, r.status.ToString().c_str());
-      rc = 1;
+      rc = kExitNegative;
     }
   }
   return rc;
 }
 
-int CmdSearch(Program& p, int extra) {
+int CmdSearch(Program& p, int extra, ExecutionContext* ctx) {
   const ConjunctiveQuery* avoid =
       p.queries.empty() ? nullptr : &p.queries[0];
   ModelSearchOptions opts;
   opts.max_extra_elements = extra;
+  opts.context = ctx;
   ModelSearchResult r = FindFiniteModel(p.theory, p.instance, avoid, opts);
   std::printf("checked %zu structures; %s\n", r.structures_checked,
               r.status.ToString().c_str());
   if (r.found) {
     std::printf("model:\n%s", r.model->ToString().c_str());
-    return 0;
+    return kExitOk;
+  }
+  if (r.status.code() == StatusCode::kResourceExhausted) {
+    PrintReport(ctx->report());
+    return kExitExhausted;
   }
   std::printf("no finite model%s within the domain budget\n",
               avoid != nullptr ? " avoiding the first query" : "");
-  return 1;
+  return kExitNegative;
 }
 
 }  // namespace
@@ -182,32 +262,56 @@ int main(int argc, char** argv) {
   Result<Program> loaded = Load(argv[2]);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
-    return 1;
+    return kExitUsage;
   }
   Program& p = loaded.value();
   const char* cmd = argv[1];
   // Flags shared by rewrite/classify; positional extras stay for the rest.
   RewriteOptions ropts;
   const char* positional = nullptr;
+  double deadline_ms = -1;
+  double mem_budget_mb = -1;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       ropts.threads = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       ropts.prune_subsumed = false;
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      deadline_ms = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || deadline_ms < 0) return Usage();
+    } else if (std::strcmp(argv[i], "--mem-budget-mb") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      mem_budget_mb = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || mem_budget_mb < 0) return Usage();
     } else {
       positional = argv[i];
     }
   }
+
+  // One governed context for the whole command; SIGINT flips its token.
+  ExecutionContext ctx;
+  if (deadline_ms >= 0) ctx.SetDeadlineAfterMs(deadline_ms);
+  if (mem_budget_mb >= 0) {
+    ctx.SetMemoryLimitBytes(static_cast<size_t>(mem_budget_mb * 1024 * 1024));
+  }
+  static CancelToken cancel = ctx.cancel_token();
+  g_cancel = &cancel;
+  std::signal(SIGINT, OnSigInt);
+  ropts.context = &ctx;
+
   if (std::strcmp(cmd, "chase") == 0) {
     return CmdChase(p, positional != nullptr
                            ? std::strtoul(positional, nullptr, 10)
-                           : 32);
+                           : 32,
+                    &ctx);
   }
   if (std::strcmp(cmd, "rewrite") == 0) return CmdRewrite(p, ropts);
   if (std::strcmp(cmd, "classify") == 0) return CmdClassify(p, ropts);
-  if (std::strcmp(cmd, "model") == 0) return CmdModel(p);
+  if (std::strcmp(cmd, "model") == 0) return CmdModel(p, &ctx);
   if (std::strcmp(cmd, "search") == 0) {
-    return CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1);
+    return CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1,
+                     &ctx);
   }
   return Usage();
 }

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   bddfc_fuzz [--runs=N] [--seed=S] [--time-budget=120s]
-//              [--oracle=NAME] [--inject-bug=chase-dedup]
+//              [--oracle=NAME] [--inject-bug=chase-dedup|torn-exhaust]
+//              [--inject-fault=deadline|oom|cancel]
 //              [--corpus-out=DIR] [--no-shrink] [--max-failures=K]
 //              [--replay=FILE-or-DIR] [--list-oracles] [-v]
 //
@@ -11,9 +12,16 @@
 // 1-minimal reproducers and printed as replayable corpus entries; with
 // --corpus-out they are also written as .dlg files. --replay loads one
 // corpus file (or every .dlg in a directory) and re-runs the oracle named
-// in its header. --inject-bug=chase-dedup deliberately breaks trigger
-// dedup in the delta chase — the fuzzer's own self-test: the campaign
-// must then fail and minimize.
+// in its header.
+//
+// --inject-fault=deadline|oom|cancel arms the governor-prefix oracle: on
+// each scenario it deterministically interrupts the chase after K
+// cooperative checks and asserts the interrupted run is prefix-consistent
+// with the uninterrupted one. --inject-bug deliberately breaks an engine
+// invariant — the fuzzer's own self-test: the campaign must then fail and
+// minimize. chase-dedup breaks trigger dedup in the delta chase;
+// torn-exhaust makes a governed exhaustion apply a torn half-round, which
+// governor-prefix (run with --inject-fault) must catch.
 //
 // Exit status: 0 = clean, 1 = oracle failures, 2 = usage error.
 
@@ -36,7 +44,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: bddfc_fuzz [--runs=N] [--seed=S] [--time-budget=SECS[s]]\n"
-      "                  [--oracle=NAME] [--inject-bug=chase-dedup]\n"
+      "                  [--oracle=NAME]\n"
+      "                  [--inject-bug=chase-dedup|torn-exhaust]\n"
+      "                  [--inject-fault=deadline|oom|cancel]\n"
       "                  [--corpus-out=DIR] [--no-shrink]\n"
       "                  [--max-failures=K] [--replay=FILE-or-DIR]\n"
       "                  [--list-oracles] [-v]\n");
@@ -121,11 +131,27 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--oracle=")) {
       options.oracle = v;
     } else if (const char* v = value("--inject-bug=")) {
-      if (std::strcmp(v, "chase-dedup") != 0) {
-        std::fprintf(stderr, "unknown bug '%s' (have: chase-dedup)\n", v);
+      if (std::strcmp(v, "chase-dedup") == 0) {
+        options.config.chase_fault = ChaseFault::kSkipTriggerDedup;
+      } else if (std::strcmp(v, "torn-exhaust") == 0) {
+        options.config.chase_fault = ChaseFault::kTornExhaust;
+      } else {
+        std::fprintf(stderr,
+                     "unknown bug '%s' (have: chase-dedup, torn-exhaust)\n", v);
         return 2;
       }
-      options.config.chase_fault = ChaseFault::kSkipTriggerDedup;
+    } else if (const char* v = value("--inject-fault=")) {
+      if (std::strcmp(v, "deadline") == 0) {
+        options.config.inject_fault = InjectedFault::kDeadline;
+      } else if (std::strcmp(v, "oom") == 0) {
+        options.config.inject_fault = InjectedFault::kOom;
+      } else if (std::strcmp(v, "cancel") == 0) {
+        options.config.inject_fault = InjectedFault::kCancel;
+      } else {
+        std::fprintf(stderr,
+                     "unknown fault '%s' (have: deadline, oom, cancel)\n", v);
+        return 2;
+      }
     } else if (const char* v = value("--corpus-out=")) {
       corpus_out = v;
     } else if (const char* v = value("--max-failures=")) {
