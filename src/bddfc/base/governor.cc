@@ -82,6 +82,10 @@ std::string ResourceReport::ToString() const {
   for (const PhaseProgress& p : phases) {
     s += "\n  " + p.phase + ": " + p.progress;
   }
+  if (!open_phases.empty()) {
+    s += "\n  open:";
+    for (const std::string& p : open_phases) s += " " + p;
+  }
   return s;
 }
 
@@ -188,6 +192,35 @@ void ExecutionContext::NotePhase(std::string phase, std::string progress) {
   phases_.push_back({std::move(phase), std::move(progress)});
 }
 
+PhaseScope::PhaseScope(ExecutionContext* ctx, const char* phase)
+    : ctx_(ctx), phase_(phase), span_(phase) {
+  if (ctx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(ctx_->mu_);
+    ctx_->open_phases_.emplace_back(phase);
+  }
+}
+
+PhaseScope::~PhaseScope() {
+  std::string note = std::move(progress_);
+  if (note.empty()) {
+    note = (ctx_ != nullptr && ctx_->Exhausted()) ? "aborted" : "done";
+  }
+  span_.set_detail(note);
+  if (ctx_ != nullptr) {
+    std::lock_guard<std::mutex> lock(ctx_->mu_);
+    // Pop the innermost matching entry (scopes unwind LIFO per thread,
+    // but sibling phases on pool threads may interleave in the vector).
+    for (auto it = ctx_->open_phases_.rbegin();
+         it != ctx_->open_phases_.rend(); ++it) {
+      if (*it == phase_) {
+        ctx_->open_phases_.erase(std::next(it).base());
+        break;
+      }
+    }
+    ctx_->phases_.push_back({phase_, std::move(note)});
+  }
+}
+
 ResourceReport ExecutionContext::report() const {
   ResourceReport rep;
   {
@@ -195,6 +228,7 @@ ResourceReport ExecutionContext::report() const {
     rep.exhausted = kind_;
     rep.detail = detail_;
     rep.phases = phases_;
+    rep.open_phases = open_phases_;
   }
   // A trip latched in an ancestor (e.g. the pipeline recorded a budget
   // while this child ran) shows up here too.

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bddfc/base/status.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 
@@ -141,7 +142,12 @@ struct ResourceReport {
   size_t limit_bytes = 0;     ///< byte budget (0 = unlimited)
   double deadline_slack_ms = 0;  ///< deadline minus now; negative = overshoot
   size_t cancel_checks = 0;   ///< cooperative checks performed
+  /// Completed phase notes, in completion order (a PhaseScope appends one
+  /// when it closes, so an early return can never leave a stale entry).
   std::vector<PhaseProgress> phases;
+  /// Phases still open at report() time, outermost first. Non-empty only
+  /// when the report is taken mid-run (e.g. a trip unwinding a pipeline).
+  std::vector<std::string> open_phases;
 
   bool ok() const { return exhausted == ResourceKind::kNone; }
   /// "exhausted=deadline detail=... peak_bytes=... " one-line summary plus
@@ -235,6 +241,8 @@ class ExecutionContext {
   Status RecordExhaustion(ResourceKind kind, std::string detail);
 
   /// Appends a progress note for the report ("chase", "round 12, 800 facts").
+  /// Prefer PhaseScope, which also tracks the open-phase stack and traces
+  /// the phase as a span; NotePhase remains for one-shot notes.
   void NotePhase(std::string phase, std::string progress);
 
   // -- reporting -----------------------------------------------------------
@@ -274,13 +282,45 @@ class ExecutionContext {
   ExecutionContext* parent_ = nullptr;  // trips in ancestors are visible
   ExecutionContext* root_ = nullptr;    // topmost ancestor (nullptr = self)
 
+  friend class PhaseScope;
+
   std::atomic<size_t> checks_{0};
   std::atomic<size_t> stride_{0};  // ShouldStop probe counter (root only)
   std::atomic<bool> tripped_{false};
-  mutable std::mutex mu_;  // guards kind_/detail_/phases_
+  mutable std::mutex mu_;  // guards kind_/detail_/phases_/open_phases_
   ResourceKind kind_ = ResourceKind::kNone;
   std::string detail_;
   std::vector<PhaseProgress> phases_;
+  std::vector<std::string> open_phases_;
+};
+
+/// RAII phase marker: one object is both the governor's phase bookkeeping
+/// and the tracing span for the phase. Construction pushes the phase onto
+/// the context's open-phase stack and opens a span; destruction pops the
+/// stack and appends the PhaseProgress note — so every exit path (early
+/// return, error, resource trip) unwinds the report correctly, which the
+/// old NotePhase-at-the-end pattern did not guarantee.
+///
+/// The note defaults to "done", or "aborted" when the context tripped;
+/// set_progress() overrides it ("round 12, 800 facts"). `ctx` may be
+/// null: the scope still traces, and the phase bookkeeping is skipped.
+class PhaseScope {
+ public:
+  PhaseScope(ExecutionContext* ctx, const char* phase);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  void set_progress(std::string progress) { progress_ = std::move(progress); }
+  /// The underlying trace span's id (0 when tracing is disabled).
+  uint64_t span_id() const { return span_.id(); }
+
+ private:
+  ExecutionContext* ctx_;
+  const char* phase_;
+  std::string progress_;
+  obs::TraceSpan span_;
 };
 
 }  // namespace bddfc

@@ -32,9 +32,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<Status()> task) {
+  const uint64_t parent = obs::Tracer::CurrentSpanId();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.emplace_back(next_index_++, std::move(task));
+    queue_.push_back({next_index_++, parent, std::move(task)});
     statuses_.emplace_back();  // slot for this task's Status
     ++in_flight_;
   }
@@ -43,19 +44,24 @@ void ThreadPool::Submit(std::function<Status()> task) {
 
 bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
   if (queue_.empty()) return false;
-  auto [index, task] = std::move(queue_.front());
+  QueuedTask qt = std::move(queue_.front());
   queue_.pop_front();
   if (cancel_.cancelled()) {
     // Drain without running: the batch unwinds as fast as the in-flight
     // tasks reach their own cooperative check-points.
-    statuses_[index] = Status::ResourceExhausted("cancelled before start");
+    statuses_[qt.index] = Status::ResourceExhausted("cancelled before start");
     if (--in_flight_ == 0) batch_done_.notify_all();
     return true;
   }
   lock.unlock();
-  Status st = task();
+  Status st;
+  {
+    // Re-parent the task's spans under the span that submitted it.
+    obs::TraceSpan span("pool.task", qt.parent_span);
+    st = qt.fn();
+  }
   lock.lock();
-  statuses_[index] = std::move(st);
+  statuses_[qt.index] = std::move(st);
   if (--in_flight_ == 0) batch_done_.notify_all();
   return true;
 }

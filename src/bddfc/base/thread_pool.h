@@ -43,7 +43,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. The returned Status is recorded under the task's
-  /// submission index for deterministic aggregation in Wait().
+  /// submission index for deterministic aggregation in Wait(). When
+  /// tracing is enabled, the submitting thread's innermost span id is
+  /// captured here and the task runs under a "pool.task" span parented to
+  /// it, so a fan-out's per-task spans nest under the span that submitted
+  /// them even though they execute on worker threads.
   void Submit(std::function<Status()> task);
 
   /// Blocks until every submitted task has finished and returns the first
@@ -66,7 +70,12 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
-  std::deque<std::pair<size_t, std::function<Status()>>> queue_;
+  struct QueuedTask {
+    size_t index;
+    uint64_t parent_span;  // submitting thread's span id (0 = none)
+    std::function<Status()> fn;
+  };
+  std::deque<QueuedTask> queue_;
   std::vector<Status> statuses_;  // indexed by submission order
   size_t next_index_ = 0;
   size_t in_flight_ = 0;  // queued + currently running tasks

@@ -1,0 +1,50 @@
+#ifndef BDDFC_BASE_TIMESCALE_H_
+#define BDDFC_BASE_TIMESCALE_H_
+
+/// Real-time scaling for tests and benchmarks that assert on wall-clock
+/// behavior (deadline trips, signal latency). Sanitizer instrumentation
+/// slows the instrumented sections 2-20x, so a "50 ms deadline fires with
+/// <1 ms slack" assertion that is robust natively becomes flaky under
+/// ASan/TSan. Multiply every such constant by TimeScale() instead of
+/// hardcoding it; the factor is 1 natively, 10 under a sanitizer, and can
+/// be overridden via BDDFC_TIME_SCALE for unusually slow machines.
+
+#include <cstdlib>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BDDFC_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define BDDFC_UNDER_SANITIZER 1
+#endif
+#endif
+#ifndef BDDFC_UNDER_SANITIZER
+#define BDDFC_UNDER_SANITIZER 0
+#endif
+
+namespace bddfc {
+
+/// Multiplier for wall-clock constants in real-time assertions.
+/// BDDFC_TIME_SCALE (a positive decimal) overrides the built-in default.
+inline double TimeScale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("BDDFC_TIME_SCALE")) {
+      char* end = nullptr;
+      double v = std::strtod(env, &end);
+      if (end != env && v > 0) return v;
+    }
+    return BDDFC_UNDER_SANITIZER ? 10.0 : 1.0;
+  }();
+  return scale;
+}
+
+/// `ms` scaled by TimeScale(), rounded to a whole millisecond (min 1).
+inline int ScaledMs(int ms) {
+  double v = static_cast<double>(ms) * TimeScale();
+  return v < 1.0 ? 1 : static_cast<int>(v);
+}
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_TIMESCALE_H_

@@ -8,8 +8,54 @@
 #include <unordered_set>
 
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
+
+void ChaseStats::PublishTo(const char* prefix) const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  // Registry handles are stable for the process lifetime (Reset zeroes
+  // values but never erases entries), so resolve the names once: the
+  // string assembly and map lookups are microsecond-scale, which is real
+  // overhead against a sub-millisecond chase.
+  struct Handles {
+    std::string prefix;
+    obs::Counter* bindings_tried;
+    obs::Counter* postings_hits;
+    obs::Counter* postings_misses;
+    obs::Counter* triggers_deduped;
+    obs::Counter* datalog_deduped;
+    obs::Histogram* round_us;
+  };
+  auto resolve = [&reg](const char* pfx) {
+    const std::string p(pfx);
+    return Handles{p,
+                   reg.GetCounter(p + ".bindings_tried"),
+                   reg.GetCounter(p + ".postings_hits"),
+                   reg.GetCounter(p + ".postings_misses"),
+                   reg.GetCounter(p + ".triggers_deduped"),
+                   reg.GetCounter(p + ".datalog_deduped"),
+                   reg.GetHistogram(p + ".round_us")};
+  };
+  auto publish = [this](const Handles& h) {
+    h.bindings_tried->Add(match.bindings_tried);
+    h.postings_hits->Add(match.postings_hits);
+    h.postings_misses->Add(match.postings_misses);
+    h.triggers_deduped->Add(triggers_deduped);
+    h.datalog_deduped->Add(datalog_deduped);
+    for (double ms : round_ms) {
+      h.round_us->Record(static_cast<uint64_t>(ms * 1000.0));
+    }
+  };
+  static const Handles first = resolve(prefix);
+  if (first.prefix == prefix) {
+    publish(first);
+  } else {
+    publish(resolve(prefix));
+  }
+}
 
 namespace {
 
@@ -128,6 +174,8 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   assert(theory.signature_ptr().get() == instance.signature_ptr().get() &&
          "theory and instance must share one Signature object");
   ChaseResult out(instance.signature_ptr());
+  obs::TraceSpan run_span(options.datalog_only ? "chase.datalog"
+                                               : "chase.run");
 
   // Ungoverned runs get a cheap local context (no deadline, no limits, no
   // accountant attached) so the loop below has a single code path; its
@@ -142,13 +190,35 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   // called before every return so results never carry dangling pointers.
   auto finalize = [&] {
     out.structure.SetAccountant(nullptr);
-    ctx->NotePhase("chase", "round " + std::to_string(out.rounds_run) + ", " +
-                                std::to_string(out.structure.NumFacts()) +
-                                " facts" +
-                                (out.fixpoint_reached ? ", fixpoint" : ""));
+    std::string progress =
+        "round " + std::to_string(out.rounds_run) + ", " +
+        std::to_string(out.structure.NumFacts()) + " facts" +
+        (out.fixpoint_reached ? ", fixpoint" : "");
+    run_span.set_detail(progress);
+    ctx->NotePhase("chase", std::move(progress));
     out.report = ctx->report();
     out.report.partial_result =
         !out.status.ok() && out.structure.NumFacts() > 0;
+    out.stats.PublishTo("bddfc.chase");
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    if (reg.enabled()) {
+      struct RunMetrics {
+        obs::Counter* runs;
+        obs::Counter* rounds;
+        obs::Counter* nulls_created;
+        obs::Gauge* last_facts;
+      };
+      static const RunMetrics rm{
+          obs::MetricsRegistry::Global().GetCounter("bddfc.chase.runs"),
+          obs::MetricsRegistry::Global().GetCounter("bddfc.chase.rounds"),
+          obs::MetricsRegistry::Global().GetCounter(
+              "bddfc.chase.nulls_created"),
+          obs::MetricsRegistry::Global().GetGauge("bddfc.chase.last_facts")};
+      rm.runs->Add(1);
+      rm.rounds->Add(out.rounds_run);
+      rm.nulls_created->Add(out.nulls_created);
+      rm.last_facts->Set(out.structure.NumFacts());
+    }
   };
 
   // Round 0: copy the instance, tagging every fact with round 0.
@@ -176,6 +246,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     }
 
     const auto round_start = std::chrono::steady_clock::now();
+    obs::TraceSpan round_span("chase.round");
     Matcher matcher(out.structure, &out.stats.match);
     // Witness-existence probes go through a stats-less matcher so
     // bindings_tried counts rule-body bindings only.

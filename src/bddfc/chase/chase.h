@@ -102,6 +102,12 @@ struct ChaseStats {
   size_t datalog_deduped = 0;
   /// Wall time per round in milliseconds (entry 0 = round 1).
   std::vector<double> round_ms;
+
+  /// Publishes these counters into the global metrics registry under
+  /// `<prefix>.*` keys ("bddfc.chase" for RunChase). Called once at the
+  /// end of a run; a no-op (one relaxed load) when the registry is
+  /// disabled, so ungoverned hot paths pay nothing.
+  void PublishTo(const char* prefix) const;
 };
 
 /// Provenance of a labeled null invented by the chase.

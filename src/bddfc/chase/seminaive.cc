@@ -4,12 +4,15 @@
 #include <vector>
 
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 
 SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                                const SaturateOptions& options) {
   SaturateResult out(instance.signature_ptr());
+  obs::TraceSpan run_span("saturate.run");
 
   ExecutionContext local_ctx;
   ExecutionContext* ctx =
@@ -17,9 +20,31 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
   if (options.context != nullptr) out.structure.SetAccountant(&ctx->memory());
   auto finalize = [&] {
     out.structure.SetAccountant(nullptr);
+    run_span.set_detail("round " + std::to_string(out.rounds_run) + ", " +
+                        std::to_string(out.structure.NumFacts()) + " facts");
     out.report = ctx->report();
     out.report.partial_result =
         !out.status.ok() && out.structure.NumFacts() > 0;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    if (reg.enabled()) {
+      struct RunMetrics {
+        obs::Counter* runs;
+        obs::Counter* rounds;
+        obs::Counter* facts_derived;
+        obs::Counter* bindings_tried;
+      };
+      static const RunMetrics rm{
+          obs::MetricsRegistry::Global().GetCounter("bddfc.saturate.runs"),
+          obs::MetricsRegistry::Global().GetCounter("bddfc.saturate.rounds"),
+          obs::MetricsRegistry::Global().GetCounter(
+              "bddfc.saturate.facts_derived"),
+          obs::MetricsRegistry::Global().GetCounter(
+              "bddfc.saturate.bindings_tried")};
+      rm.runs->Add(1);
+      rm.rounds->Add(out.rounds_run);
+      rm.facts_derived->Add(out.facts_derived);
+      rm.bindings_tried->Add(out.bindings_tried);
+    }
   };
 
   std::vector<const Rule*> rules;
@@ -51,6 +76,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       finalize();
       return out;
     }
+    obs::TraceSpan round_span("saturate.round");
     std::vector<Atom> additions;
     std::unordered_set<Atom, AtomHash> buffered;
     Matcher matcher(out.structure);

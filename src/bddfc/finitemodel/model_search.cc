@@ -4,6 +4,8 @@
 
 #include "bddfc/chase/chase.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 
@@ -34,6 +36,19 @@ ModelSearchResult FindFiniteModel(const Theory& theory,
                                   const ConjunctiveQuery* avoid,
                                   const ModelSearchOptions& options) {
   ModelSearchResult result;
+  obs::TraceSpan span("model_search.run");
+  // Publishes on every return path (the search exits from several places).
+  struct Publish {
+    const ModelSearchResult& r;
+    ~Publish() {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      if (reg.enabled()) {
+        reg.GetCounter("bddfc.model_search.runs")->Add(1);
+        reg.GetCounter("bddfc.model_search.structures_checked")
+            ->Add(r.structures_checked);
+      }
+    }
+  } publish{result};
   SignaturePtr sig = theory.signature_ptr();
 
   ExecutionContext local_ctx;

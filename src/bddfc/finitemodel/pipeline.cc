@@ -8,6 +8,7 @@
 #include "bddfc/chase/skeleton.h"
 #include "bddfc/classes/recognizers.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/trace.h"
 #include "bddfc/reductions/reductions.h"
 #include "bddfc/types/coloring.h"
 #include "bddfc/types/conservativity.h"
@@ -36,6 +37,7 @@ FiniteModelResult ConstructFiniteCounterModel(
     const ConjunctiveQuery& query, const PipelineOptions& options) {
   SignaturePtr sig = theory.signature_ptr();
   FiniteModelResult result(sig);
+  obs::TraceSpan pipeline_span("pipeline.run");
   const int num_original_preds = sig->num_predicates();
 
   ExecutionContext local_ctx;
@@ -81,19 +83,24 @@ FiniteModelResult ConstructFiniteCounterModel(
     base = &*binarized;
   }
 
-  // Step 1 (♠4): hide the query.
-  Result<HiddenQuery> hidden = HideQuery(*base, query);
+  // Step 1 (♠4): hide the query. Stage scopes (here and below) are RAII:
+  // every exit path — success, error, governed trip — closes the phase in
+  // the report and the stage's trace span together.
+  Result<HiddenQuery> hidden = [&] {
+    PhaseScope scope(ctx, "hide");
+    return HideQuery(*base, query);
+  }();
   if (!hidden.ok()) {
     result.status = hidden.status();
     return result;
   }
   // Step 2 (♠5): normal form. Split multi-head datalog rules first.
-  Result<Theory> single = SingleHeadify(hidden.value().theory);
-  if (!single.ok()) {
-    result.status = single.status();
-    return result;
-  }
-  Result<Theory> normalized = NormalizeSpade5(single.value());
+  Result<Theory> normalized = [&]() -> Result<Theory> {
+    PhaseScope scope(ctx, "normalize");
+    Result<Theory> single = SingleHeadify(hidden.value().theory);
+    if (!single.ok()) return single;
+    return NormalizeSpade5(single.value());
+  }();
   if (!normalized.ok()) {
     result.status = normalized.status();
     return result;
@@ -104,27 +111,38 @@ FiniteModelResult ConstructFiniteCounterModel(
   // The coloring window m: κ of §3.3, computed from the rewriter (budgeted;
   // the certification step covers any shortfall), capped at max_m.
   int m = options.m_override;
-  if (m < 0) {
-    RewriteOptions ropts = options.rewrite_options;
-    ropts.context = rewrite_ctx.get();
-    KappaResult kappa = ComputeKappa(t, ropts);
-    // Count-budget Unknowns are tolerated (certification covers the
-    // shortfall), but a governed trip ends the run here. CheckPoint, not
-    // Exhausted(): a trip latched inside the child is re-evaluated against
-    // the shared deadline/budget/token here on the parent.
-    Status cp = ctx->CheckPoint("pipeline kappa");
-    if (!cp.ok()) {
-      result.status = std::move(cp);
-      ctx->NotePhase("kappa", "aborted");
-      finalize();
-      return result;
+  bool kappa_aborted = false;
+  {
+    PhaseScope kappa_scope(ctx, "kappa");
+    if (m < 0) {
+      RewriteOptions ropts = options.rewrite_options;
+      ropts.context = rewrite_ctx.get();
+      KappaResult kappa = ComputeKappa(t, ropts);
+      // Count-budget Unknowns are tolerated (certification covers the
+      // shortfall), but a governed trip ends the run here. CheckPoint, not
+      // Exhausted(): a trip latched inside the child is re-evaluated against
+      // the shared deadline/budget/token here on the parent.
+      Status cp = ctx->CheckPoint("pipeline kappa");
+      if (!cp.ok()) {
+        result.status = std::move(cp);
+        kappa_aborted = true;
+      } else {
+        m = std::max(kappa.kappa, t.MaxBodyVariables());
+        m = std::max(m, 1);
+      }
     }
-    m = std::max(kappa.kappa, t.MaxBodyVariables());
-    m = std::max(m, 1);
+    if (!kappa_aborted) {
+      m = std::min(m, options.max_m);
+      result.kappa = m;
+      kappa_scope.set_progress("m=" + std::to_string(m));
+    }
   }
-  m = std::min(m, options.max_m);
-  result.kappa = m;
-  ctx->NotePhase("kappa", "m=" + std::to_string(m));
+  if (kappa_aborted) {
+    // The scope above already closed the phase as "aborted", so the report
+    // taken here shows it completed-with-abort rather than dangling open.
+    finalize();
+    return result;
+  }
 
   size_t depth = options.initial_chase_depth;
   bool stop = false;
@@ -138,12 +156,19 @@ FiniteModelResult ConstructFiniteCounterModel(
     // retrying after exactly that trip. A chase-phase *memory* trip is
     // likewise local to the phase's sub-budget: the pipeline proceeds with
     // the prefix (graceful degradation); only root-level trips abort.
-    ChaseOptions copts;
-    copts.max_rounds = depth;
-    copts.max_facts = options.max_chase_facts;
-    std::unique_ptr<ExecutionContext> chase_ctx = ctx->CreateChild(chase_mem);
-    copts.context = chase_ctx.get();
-    ChaseResult chase = RunChase(t, instance, copts);
+    ChaseResult chase = [&] {
+      PhaseScope scope(ctx, "chase");
+      ChaseOptions copts;
+      copts.max_rounds = depth;
+      copts.max_facts = options.max_chase_facts;
+      std::unique_ptr<ExecutionContext> chase_ctx =
+          ctx->CreateChild(chase_mem);
+      copts.context = chase_ctx.get();
+      ChaseResult r = RunChase(t, instance, copts);
+      scope.set_progress("depth " + std::to_string(depth) + ", " +
+                         std::to_string(r.structure.NumFacts()) + " facts");
+      return r;
+    }();
 
     Status chase_cp = ctx->CheckPoint("pipeline chase");
     if (!chase_cp.ok()) {
@@ -173,10 +198,18 @@ FiniteModelResult ConstructFiniteCounterModel(
       PipelineAttempt attempt;
       attempt.chase_depth = chase.rounds_run;
       attempt.n = 0;
-      if (candidate.ContainsAllFactsOf(instance) &&
-          CheckModel(candidate, theory) == std::nullopt &&
-          !Satisfies(candidate, query)) {
-        attempt.certified = true;
+      {
+        PhaseScope scope(ctx, "certify");
+        if (candidate.ContainsAllFactsOf(instance) &&
+            CheckModel(candidate, theory) == std::nullopt &&
+            !Satisfies(candidate, query)) {
+          attempt.certified = true;
+          scope.set_progress("finite chase certified directly");
+        } else {
+          scope.set_progress("finite chase failed certification");
+        }
+      }
+      if (attempt.certified) {
         result.attempts.push_back(attempt);
         result.model = std::move(candidate);
         result.chase_depth_used = chase.rounds_run;
@@ -190,8 +223,14 @@ FiniteModelResult ConstructFiniteCounterModel(
     }
 
     // Step 4: skeleton.
-    Skeleton skeleton = SkeletonOf(t, instance, chase);
-    SkeletonAnalysis forest = AnalyzeSkeleton(skeleton.structure);
+    SkeletonAnalysis forest;
+    Skeleton skeleton = [&] {
+      PhaseScope scope(ctx, "skeleton");
+      Skeleton s = SkeletonOf(t, instance, chase);
+      forest = AnalyzeSkeleton(s.structure);
+      scope.set_progress(std::to_string(s.structure.NumFacts()) + " facts");
+      return s;
+    }();
     if (!forest.is_forest) {
       result.status = Status::Internal(
           "skeleton is not a forest — (♠5) normalization violated Lemma 3");
@@ -199,7 +238,10 @@ FiniteModelResult ConstructFiniteCounterModel(
     }
 
     // Step 5: color, quotient; step 6: saturate; step 7: certify.
-    Result<Coloring> coloring = NaturalColoring(skeleton.structure, m);
+    Result<Coloring> coloring = [&] {
+      PhaseScope scope(ctx, "color");
+      return NaturalColoring(skeleton.structure, m);
+    }();
     if (!coloring.ok()) {
       result.status = coloring.status();
       return result;
@@ -225,8 +267,15 @@ FiniteModelResult ConstructFiniteCounterModel(
       // with interior elements instead of leaving witness-less tails (see
       // ptype.h). Prefix-exact partitions (ExactPtpPartition) would keep
       // the frontier distinct and the candidate would fail certification.
-      TypePartition partition = AncestorPathPartition(col.colored, n);
-      Quotient quotient = BuildQuotient(col.colored, partition);
+      Quotient quotient = [&] {
+        PhaseScope scope(ctx, "quotient");
+        TypePartition partition = AncestorPathPartition(col.colored, n);
+        Quotient q = BuildQuotient(col.colored, partition);
+        scope.set_progress(
+            "n=" + std::to_string(n) + ", " +
+            std::to_string(q.structure.Domain().size()) + " elements");
+        return q;
+      }();
       attempt.quotient_size =
           static_cast<int>(quotient.structure.Domain().size());
 
@@ -242,13 +291,18 @@ FiniteModelResult ConstructFiniteCounterModel(
       }
 
       // Step 6: datalog saturation (Lemma 5: the TGDs stay satisfied).
-      ChaseOptions sat;
-      sat.datalog_only = true;
-      sat.max_rounds = options.max_saturation_rounds;
-      sat.max_facts = options.max_chase_facts;
-      std::unique_ptr<ExecutionContext> sat_ctx = ctx->CreateChild(0);
-      sat.context = sat_ctx.get();
-      ChaseResult saturated = RunChase(t, quotient.structure, sat);
+      ChaseResult saturated = [&] {
+        PhaseScope scope(ctx, "saturate");
+        ChaseOptions sat;
+        sat.datalog_only = true;
+        sat.max_rounds = options.max_saturation_rounds;
+        sat.max_facts = options.max_chase_facts;
+        std::unique_ptr<ExecutionContext> sat_ctx = ctx->CreateChild(0);
+        sat.context = sat_ctx.get();
+        ChaseResult r = RunChase(t, quotient.structure, sat);
+        scope.set_progress(std::to_string(r.structure.NumFacts()) + " facts");
+        return r;
+      }();
       if (!saturated.status.ok()) {
         Status sat_cp = ctx->CheckPoint("pipeline saturation");
         if (!sat_cp.ok()) {
@@ -269,24 +323,29 @@ FiniteModelResult ConstructFiniteCounterModel(
       // Step 7: certification against the ORIGINAL theory and query.
       Structure candidate =
           ProjectToOriginal(saturated.structure, num_original_preds);
-      if (!candidate.ContainsAllFactsOf(instance)) {
-        attempt.failure = "candidate lost facts of D";
-      } else if (auto violation = CheckModel(candidate, theory)) {
-        attempt.failure =
-            "not a model: " + violation->ToString(*sig);
-      } else if (Satisfies(candidate, query)) {
-        attempt.failure = "candidate satisfies the query";
-      } else {
-        attempt.certified = true;
+      {
+        PhaseScope cert_scope(ctx, "certify");
+        if (!candidate.ContainsAllFactsOf(instance)) {
+          attempt.failure = "candidate lost facts of D";
+        } else if (auto violation = CheckModel(candidate, theory)) {
+          attempt.failure =
+              "not a model: " + violation->ToString(*sig);
+        } else if (Satisfies(candidate, query)) {
+          attempt.failure = "candidate satisfies the query";
+        } else {
+          attempt.certified = true;
+          cert_scope.set_progress(
+              "model with " + std::to_string(candidate.NumFacts()) +
+              " facts at depth " + std::to_string(depth) +
+              ", n=" + std::to_string(n));
+        }
+        if (!attempt.certified) cert_scope.set_progress(attempt.failure);
+      }
+      if (attempt.certified) {
         result.attempts.push_back(attempt);
         result.model = std::move(candidate);
         result.n_used = n;
         result.chase_depth_used = depth;
-        ctx->NotePhase("certify", "model with " +
-                                      std::to_string(result.model.NumFacts()) +
-                                      " facts at depth " +
-                                      std::to_string(depth) +
-                                      ", n=" + std::to_string(n));
         finalize();
         result.report.partial_result = false;
         return result;

@@ -10,6 +10,8 @@
 #include "bddfc/core/substitution.h"
 #include "bddfc/eval/containment.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 
@@ -145,10 +147,51 @@ size_t RewriteStats::TotalSubsumptionPruned() const {
   return n;
 }
 
-double RewriteStats::TotalWallMs() const {
+double RewriteStats::TotalAccumMs() const {
   double ms = 0;
-  for (const RewriteLevelStats& l : levels) ms += l.wall_ms;
+  for (const RewriteLevelStats& l : levels) ms += l.accum_ms;
   return ms;
+}
+
+void RewriteStats::PublishTo(const char* prefix) const {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (!reg.enabled()) return;
+  // Registry handles are stable for the process lifetime (Reset zeroes
+  // values but never erases entries), so resolve the names once rather
+  // than paying string assembly + map lookups on every run.
+  struct Handles {
+    std::string prefix;
+    obs::Counter* candidates;
+    obs::Counter* key_deduped;
+    obs::Counter* subsumption_pruned;
+    obs::Counter* hom_checks;
+    obs::Counter* hom_checks_skipped;
+    obs::Histogram* depth;
+  };
+  auto resolve = [&reg](const char* pfx) {
+    const std::string p(pfx);
+    return Handles{p,
+                   reg.GetCounter(p + ".candidates"),
+                   reg.GetCounter(p + ".key_deduped"),
+                   reg.GetCounter(p + ".subsumption_pruned"),
+                   reg.GetCounter(p + ".hom_checks"),
+                   reg.GetCounter(p + ".hom_checks_skipped"),
+                   reg.GetHistogram(p + ".depth")};
+  };
+  auto publish = [this](const Handles& h) {
+    h.candidates->Add(TotalCandidates());
+    h.key_deduped->Add(TotalKeyDeduped());
+    h.subsumption_pruned->Add(TotalSubsumptionPruned());
+    h.hom_checks->Add(hom_checks);
+    h.hom_checks_skipped->Add(hom_checks_skipped);
+    h.depth->Record(levels.size());
+  };
+  static const Handles first = resolve(prefix);
+  if (first.prefix == prefix) {
+    publish(first);
+  } else {
+    publish(resolve(prefix));
+  }
 }
 
 RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
@@ -157,16 +200,27 @@ RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
     levels[i].candidates += o.levels[i].candidates;
     levels[i].key_deduped += o.levels[i].key_deduped;
     levels[i].subsumption_pruned += o.levels[i].subsumption_pruned;
-    levels[i].wall_ms += o.levels[i].wall_ms;
+    // Per-level times accumulate across merged runs (cpu-style): the sum
+    // over a thread fan-out exceeds elapsed time by design and is labeled
+    // accordingly (accum, not wall).
+    levels[i].accum_ms += o.levels[i].accum_ms;
   }
   hom_checks += o.hom_checks;
   hom_checks_skipped += o.hom_checks_skipped;
+  // True wall does NOT sum: merged runs overlapped (fan-out) or the caller
+  // measures the batch itself (ComputeKappa/ProbeBdd overwrite this). The
+  // max of the inputs is a sound lower bound in both cases. The seed
+  // summed per-level wall times here, which made ComputeKappa report
+  // "wall" time ~threads x the real elapsed time.
+  wall_ms = std::max(wall_ms, o.wall_ms);
   return *this;
 }
 
 RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
                            const RewriteOptions& options) {
   RewriteResult result;
+  obs::TraceSpan run_span("rewrite.query");
+  const auto run_start = std::chrono::steady_clock::now();
   Result<std::vector<Rule>> prepared = PrepareRules(theory);
   if (!prepared.ok()) {
     result.status = prepared.status();
@@ -213,6 +267,7 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
     const size_t union_at_level_start = all.size();
 
     auto level_start = std::chrono::steady_clock::now();
+    obs::TraceSpan level_span("rewrite.level");
     RewriteLevelStats level;
     std::vector<ConjunctiveQuery> next;
     for (const ConjunctiveQuery& q : frontier) {
@@ -284,11 +339,15 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
       // last-complete-level prefix.
       all.resize(union_at_level_start);
       result.status = ctx->CheckPoint("rewrite level abort");
-      level.wall_ms = MsSince(level_start);
+      level.accum_ms = MsSince(level_start);
       result.stats.levels.push_back(level);
       break;
     }
-    level.wall_ms = MsSince(level_start);
+    level.accum_ms = MsSince(level_start);
+    if (level_span.id() != 0) {
+      level_span.set_detail("level " + std::to_string(depth) + ", " +
+                            std::to_string(level.candidates) + " candidates");
+    }
     result.stats.levels.push_back(level);
     if (budget_hit && budget_reason == "max_queries") {
       result.depth_reached = depth;
@@ -340,6 +399,24 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
     result.report.partial_result = !result.rewriting.empty();
   }
   ctx->memory().Release(charged_bytes);
+  result.stats.wall_ms = MsSince(run_start);
+  result.stats.PublishTo("bddfc.rewrite");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.enabled()) {
+    struct RunMetrics {
+      obs::Counter* runs;
+      obs::Counter* queries_generated;
+      obs::Counter* disjuncts;
+    };
+    static const RunMetrics rm{
+        obs::MetricsRegistry::Global().GetCounter("bddfc.rewrite.runs"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "bddfc.rewrite.queries_generated"),
+        obs::MetricsRegistry::Global().GetCounter("bddfc.rewrite.disjuncts")};
+    rm.runs->Add(1);
+    rm.queries_generated->Add(result.queries_generated);
+    rm.disjuncts->Add(result.rewriting.size());
+  }
   return result;
 }
 
@@ -387,6 +464,8 @@ std::vector<RewriteResult> RewriteAll(const Theory& theory,
 
 KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
   KappaResult out;
+  obs::TraceSpan span("rewrite.kappa");
+  const auto start = std::chrono::steady_clock::now();
   std::vector<ConjunctiveQuery> probes;
   probes.reserve(theory.rules().size());
   for (const Rule& r : theory.rules()) probes.push_back(BodyProbe(r));
@@ -395,11 +474,16 @@ KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
     out.kappa = std::max(out.kappa, rr.max_variables);
     out.stats += rr.stats;
   }
+  // The merged per-level times are accumulated compute time; the fan-out's
+  // true wall is measured here, around the whole batch.
+  out.stats.wall_ms = MsSince(start);
   return out;
 }
 
 BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
   BddProbeResult out;
+  obs::TraceSpan span("rewrite.probe_bdd");
+  const auto start = std::chrono::steady_clock::now();
   // Probe 1: every rule body. Probe 2: one fresh atom per predicate.
   std::vector<ConjunctiveQuery> probes;
   for (const Rule& r : theory.rules()) probes.push_back(BodyProbe(r));
@@ -422,6 +506,7 @@ BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
     out.queries_generated += rr.queries_generated;
     out.stats += rr.stats;
   }
+  out.stats.wall_ms = MsSince(start);
   out.certified = out.status.ok();
   return out;
 }

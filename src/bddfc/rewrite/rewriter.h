@@ -87,7 +87,11 @@ struct RewriteLevelStats {
   size_t candidates = 0;          ///< raw candidates generated at this level
   size_t key_deduped = 0;         ///< dropped: normalized key already seen
   size_t subsumption_pruned = 0;  ///< dropped: contained in a kept disjunct
-  double wall_ms = 0;             ///< wall time spent on this level
+  /// Compute time spent on this level in milliseconds. For a single run
+  /// this is the level's wall time; merging stats (operator+=) sums it, so
+  /// in aggregated fan-out stats it is *accumulated* (cpu-style) time
+  /// across runs, not elapsed time.
+  double accum_ms = 0;
 };
 
 /// Execution counters of one rewriting run (BFS levels + containment
@@ -99,11 +103,28 @@ struct RewriteStats {
   size_t hom_checks = 0;
   /// Candidate pairs rejected by the signature pre-filter instead.
   size_t hom_checks_skipped = 0;
+  /// True elapsed wall time of the run. operator+= takes the max (runs
+  /// merged into one stats object overlapped or ran back-to-back; the max
+  /// is a sound lower bound either way), and ComputeKappa/ProbeBdd
+  /// overwrite it with the measured wall time of the whole fan-out — so
+  /// unlike the accumulated per-level sums it never exceeds real time.
+  double wall_ms = 0;
 
   size_t TotalCandidates() const;
   size_t TotalKeyDeduped() const;
   size_t TotalSubsumptionPruned() const;
-  double TotalWallMs() const;
+  /// Accumulated compute time over all levels (sums across merged runs;
+  /// can exceed elapsed time under a thread fan-out — compare with
+  /// TotalWallMs to read parallel speedup).
+  double TotalAccumMs() const;
+  /// True elapsed wall time: never exceeds the caller's measured wall
+  /// clock, for any thread count.
+  double TotalWallMs() const { return wall_ms; }
+
+  /// Publishes these counters into the global metrics registry under
+  /// `<prefix>.*` keys ("bddfc.rewrite" for RewriteQuery). No-op when the
+  /// registry is disabled.
+  void PublishTo(const char* prefix) const;
 
   RewriteStats& operator+=(const RewriteStats& o);
 };

@@ -1,5 +1,8 @@
 #include "bddfc/types/conservativity.h"
 
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
+
 namespace bddfc {
 
 ConservativityReport CheckConservativeUpTo(const Structure& c,
@@ -8,6 +11,7 @@ ConservativityReport CheckConservativeUpTo(const Structure& c,
                                            size_t max_positions,
                                            ExecutionContext* context) {
   ConservativityReport out;
+  obs::TraceSpan span("types.conservativity");
   TypeOracleOptions opts;
   opts.num_variables = m;
   opts.predicates = sigma;
@@ -44,6 +48,7 @@ ConservativityProbe ProbeConservativity(const Structure& c, int m, int n,
                                         size_t max_positions,
                                         ExecutionContext* context) {
   ConservativityProbe out;
+  obs::TraceSpan span("types.conservativity_probe");
   Result<Coloring> coloring = NaturalColoring(c, m);
   if (!coloring.ok()) {
     out.status = coloring.status();

@@ -10,6 +10,8 @@
 
 #include "bddfc/chase/skeleton.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 
@@ -173,7 +175,17 @@ TypeOracle::TypeOracle(const Structure& a, const Structure& b,
                        const TypeOracleOptions& options)
     : impl_(std::make_unique<Impl>(a, b, options)) {}
 
-TypeOracle::~TypeOracle() = default;
+TypeOracle::~TypeOracle() {
+  // Bridge the oracle's run-scoped tally into the registry once, at the
+  // end of its life (a moved-from oracle has no impl and publishes nothing).
+  if (impl_ == nullptr) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  if (reg.enabled()) {
+    reg.GetCounter("bddfc.ptype.oracles")->Add(1);
+    reg.GetCounter("bddfc.ptype.patterns_checked")->Add(
+        impl_->patterns_checked);
+  }
+}
 TypeOracle::TypeOracle(TypeOracle&&) noexcept = default;
 TypeOracle& TypeOracle::operator=(TypeOracle&&) noexcept = default;
 
@@ -207,6 +219,7 @@ Result<TypePartition> ExactPtpPartition(const Structure& c, int n,
                                         const std::vector<PredId>& predicates,
                                         size_t max_patterns,
                                         ExecutionContext* context) {
+  obs::TraceSpan span("ptype.exact_partition");
   TypeOracleOptions opts;
   opts.num_variables = n;
   opts.predicates = predicates;

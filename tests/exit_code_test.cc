@@ -8,17 +8,30 @@
 // the process exit status, so it covers argument parsing, the governor
 // wiring and the report printing that unit tests cannot reach.
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <spawn.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
+
+#include "bddfc/base/timescale.h"
+
+extern char** environ;
 
 namespace {
 
 namespace fs = std::filesystem;
+using bddfc::ScaledMs;
 
 /// Executes `binary args...` with stdout/stderr discarded; returns the exit
 /// code (or -1 when the process died abnormally).
@@ -95,6 +108,92 @@ TEST(CliExitCodeTest, ResourceExhaustionIsThree) {
                 "chase " + tc + " 1000000 --mem-budget-mb 1"), 3);
   // Governed pipeline under a deadline.
   EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + tc + " --deadline-ms 1"), 3);
+}
+
+TEST(CliExitCodeTest, SigintCancelsCooperativelyAsExhausted) {
+  // SIGINT mid-run flips the CancelToken: the command must drain at the
+  // next cooperative check and exit 3 (resource exhausted), not die on
+  // the signal. Spawn the diverging chase, interrupt it shortly after,
+  // and bound how long the cooperative drain may take. Both delays scale
+  // under sanitizers (timescale.h).
+  std::string tc = WriteProgram("sigint_tc.dlg", kInfiniteTc);
+  std::string cli = BDDFC_CLI_PATH;
+  std::vector<std::string> arg_strings = {cli, "chase", tc, "1000000"};
+  std::vector<char*> argv;
+  for (std::string& s : arg_strings) argv.push_back(s.data());
+  argv.push_back(nullptr);
+  // Discard the child's output so a full pipe can never block the drain.
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, 1, "/dev/null", O_WRONLY, 0);
+  posix_spawn_file_actions_addopen(&actions, 2, "/dev/null", O_WRONLY, 0);
+  pid_t pid = -1;
+  ASSERT_EQ(posix_spawn(&pid, cli.c_str(), &actions, nullptr, argv.data(),
+                        environ),
+            0);
+  posix_spawn_file_actions_destroy(&actions);
+
+  // Let it get into the chase, then interrupt.
+  std::this_thread::sleep_for(std::chrono::milliseconds(ScaledMs(100)));
+  ASSERT_EQ(kill(pid, SIGINT), 0);
+
+  // The cooperative drain happens at the next round boundary; poll with a
+  // generous scaled timeout rather than blocking forever on a hang.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(ScaledMs(10000));
+  int status = 0;
+  pid_t done = 0;
+  while ((done = waitpid(pid, &status, WNOHANG)) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (done == 0) {
+    kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+    FAIL() << "CLI did not drain within the scaled timeout after SIGINT";
+  }
+  ASSERT_TRUE(WIFEXITED(status))
+      << "CLI died on the signal instead of draining cooperatively";
+  EXPECT_EQ(WEXITSTATUS(status), 3);
+}
+
+TEST(CliExitCodeTest, TraceAndMetricsOutWriteValidatedFiles) {
+  // --trace-out / --metrics-out must not change the exit code, and the
+  // trace must satisfy the checker's contract (well-formed, monotone ts
+  // per tid, balanced B/E) with the eight pipeline stage spans present.
+  std::string prog = WriteProgram("obs_example7.dlg",
+                                  "e(X, Y) -> exists Z: e(Y, Z).\n"
+                                  "e(X, Y), e(X1, Y) -> r(X, X1).\n"
+                                  "e(a, b).\n"
+                                  "?- e(X, X).\n");
+  fs::path dir = fs::current_path() / "exit_code_scratch";
+  std::string trace = (dir / "trace.json").string();
+  std::string metrics = (dir / "metrics.json").string();
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + prog + " --trace-out=" +
+                                          trace + " --metrics-out=" + metrics),
+            0);
+  EXPECT_EQ(RunBinary(BDDFC_TRACE_CHECK_PATH,
+                      trace +
+                          " --require=pipeline.run --require=hide"
+                          " --require=normalize --require=chase.run"
+                          " --require=skeleton --require=color"
+                          " --require=quotient --require=saturate"
+                          " --require=certify"),
+            0);
+  // A required span that never ran must fail the check...
+  EXPECT_EQ(RunBinary(BDDFC_TRACE_CHECK_PATH,
+                      trace + " --require=no.such.span"),
+            1);
+  // ...and non-JSON input must be rejected as malformed.
+  std::string bad = WriteProgram("bad_trace.json", "this is not json\n");
+  EXPECT_EQ(RunBinary(BDDFC_TRACE_CHECK_PATH, bad), 1);
+  EXPECT_EQ(RunBinary(BDDFC_TRACE_CHECK_PATH, ""), 2);
+  // The metrics snapshot is written and non-trivial.
+  std::ifstream in(metrics);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("bddfc.chase.runs"), std::string::npos);
 }
 
 TEST(FuzzExitCodeTest, ContractIsZeroOneTwo) {

@@ -10,6 +10,7 @@
 
 #include "bddfc/base/governor.h"
 #include "bddfc/base/thread_pool.h"
+#include "bddfc/base/timescale.h"
 #include "bddfc/chase/chase.h"
 #include "bddfc/chase/seminaive.h"
 #include "bddfc/finitemodel/pipeline.h"
@@ -436,6 +437,62 @@ TEST(GovernedPtypeTest, OracleReportsGovernorTripAsBudgetExhausted) {
 }
 
 // ---------------------------------------------------------------------------
+// PhaseScope: RAII phase bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST(PhaseScopeTest, ClosesOnEveryExitAndTracksOpenStack) {
+  ExecutionContext ctx;
+  {
+    PhaseScope outer(&ctx, "outer");
+    {
+      PhaseScope inner(&ctx, "inner");
+      inner.set_progress("halfway");
+      ResourceReport mid = ctx.report();
+      ASSERT_EQ(mid.open_phases.size(), 2u);
+      EXPECT_EQ(mid.open_phases[0], "outer");  // outermost first
+      EXPECT_EQ(mid.open_phases[1], "inner");
+      EXPECT_TRUE(mid.phases.empty());
+    }
+    ResourceReport after_inner = ctx.report();
+    ASSERT_EQ(after_inner.open_phases.size(), 1u);
+    EXPECT_EQ(after_inner.open_phases[0], "outer");
+    ASSERT_EQ(after_inner.phases.size(), 1u);
+    EXPECT_EQ(after_inner.phases[0].phase, "inner");
+    EXPECT_EQ(after_inner.phases[0].progress, "halfway");
+  }
+  ResourceReport done = ctx.report();
+  EXPECT_TRUE(done.open_phases.empty());
+  ASSERT_EQ(done.phases.size(), 2u);
+  EXPECT_EQ(done.phases[1].phase, "outer");
+  EXPECT_EQ(done.phases[1].progress, "done");  // default note
+}
+
+TEST(PhaseScopeTest, MidPhaseTripShowsOpenThenNotesAborted) {
+  // A report taken while a tripped phase is still unwinding must list the
+  // phase as open; once the scope closes the note says "aborted" — the
+  // stale/missing-entry failure mode of the old NotePhase-at-end pattern.
+  ExecutionContext ctx;
+  ctx.InjectFaultAfterChecks(InjectedFault::kCancel, 0);
+  {
+    PhaseScope scope(&ctx, "doomed");
+    EXPECT_FALSE(ctx.CheckPoint("test").ok());
+    ResourceReport mid = ctx.report();
+    ASSERT_EQ(mid.open_phases.size(), 1u);
+    EXPECT_EQ(mid.open_phases[0], "doomed");
+  }
+  ResourceReport r = ctx.report();
+  EXPECT_TRUE(r.open_phases.empty());
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_EQ(r.phases[0].phase, "doomed");
+  EXPECT_EQ(r.phases[0].progress, "aborted");
+}
+
+TEST(PhaseScopeTest, NullContextIsSafe) {
+  PhaseScope scope(nullptr, "untracked");  // must not crash
+  scope.set_progress("ignored");
+}
+
+// ---------------------------------------------------------------------------
 // Pipeline under injected faults and a real deadline.
 // ---------------------------------------------------------------------------
 
@@ -463,10 +520,11 @@ TEST(GovernedPipelineTest, InjectedFaultsAbortWithPartialChasePrefix) {
 TEST(GovernedPipelineTest, FiftyMsDeadlineOnNonTerminatingChase) {
   // The acceptance scenario: a 50 ms deadline on a theory whose chase
   // diverges must return ResourceExhausted with a populated report and a
-  // usable partial chase prefix — and must not hang.
+  // usable partial chase prefix — and must not hang. The constants scale
+  // under sanitizers (see timescale.h) where every check is 2-20x slower.
   Program p = MustParse(kInfiniteTc);
   ExecutionContext ctx;
-  ctx.SetDeadlineAfterMs(50);
+  ctx.SetDeadlineAfterMs(ScaledMs(50));
   PipelineOptions opts;
   opts.m_override = 2;
   opts.max_chase_depth = size_t{1} << 40;  // effectively unbounded rounds
@@ -478,7 +536,7 @@ TEST(GovernedPipelineTest, FiftyMsDeadlineOnNonTerminatingChase) {
       << r.status.ToString();
   EXPECT_EQ(r.report.exhausted, ResourceKind::kDeadline);
   EXPECT_GT(r.report.cancel_checks, 0u);
-  EXPECT_LE(r.report.deadline_slack_ms, 1.0);
+  EXPECT_LE(r.report.deadline_slack_ms, 1.0 * TimeScale());
   EXPECT_TRUE(r.report.partial_result);
   EXPECT_GT(r.partial_chase.NumFacts(), 0u);
   EXPECT_FALSE(r.report.phases.empty());

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "bddfc/parser/parser.h"
 #include "bddfc/parser/printer.h"
+#include "bddfc/workload/paper_examples.h"
 
 namespace bddfc {
 namespace {
@@ -185,6 +191,48 @@ TEST(PrinterRoundTripTest, PrintParsePrintIsAFixpoint) {
   for (const char* text : programs) {
     std::string once = Reprint(text);
     EXPECT_EQ(Reprint(once), once) << text;
+  }
+}
+
+TEST(PrinterRoundTripTest, CorpusFilesAreDoubleRoundTripStable) {
+  // Every checked-in fuzz reproducer must survive a *double* round-trip:
+  // print(parse(text)) is canonical, so a second parse-print is the
+  // identity on it. A single round-trip can mask a printer defect that a
+  // drifting canonical form would re-expose on replay.
+  namespace fs = std::filesystem;
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(BDDFC_CORPUS_DIR)) {
+    if (entry.path().extension() != ".dlg") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string once = Reprint(text);
+    ASSERT_FALSE(once.empty());
+    EXPECT_EQ(Reprint(once), once);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(PrinterRoundTripTest, PaperExamplesAreDoubleRoundTripStable) {
+  struct Case {
+    const char* name;
+    Program p;
+  };
+  Case cases[] = {{"Example1", Example1()},
+                  {"RemarkThree", RemarkThreeTheory()},
+                  {"Example7", Example7()},
+                  {"Example9", Example9()},
+                  {"Section54", Section54()},
+                  {"Section55", Section55()},
+                  {"GuardedSample", GuardedSample()}};
+  for (Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    std::string once =
+        ToProgramText(c.p.theory, &c.p.instance, &c.p.queries);
+    EXPECT_EQ(Reprint(once), once);
   }
 }
 

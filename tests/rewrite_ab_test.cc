@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "bddfc/classes/recognizers.h"
@@ -238,6 +239,31 @@ TEST(RewriteAbTest, NonSaturatingTheoryAgreesOnVerdict) {
   EXPECT_FALSE(boolean_pruned.status.ok());
   ASSERT_EQ(boolean_pruned.rewriting.size(), 1u);
   EXPECT_EQ(boolean_pruned.rewriting[0].atoms.size(), 1u);
+}
+
+TEST(RewriteAbTest, KappaWallMsBoundedByMeasuredWallClock) {
+  // The seed bug: RewriteStats::operator+= summed the per-rule wall times,
+  // so a parallel kappa fan-out reported a CPU-style total under a "wall"
+  // label — at 8 threads, several times the clock on the wall. Run the
+  // fan-out bracketed by a steady_clock interval that strictly encloses
+  // it: TotalWallMs() must never exceed the measured elapsed time, at any
+  // thread count. TotalAccumMs() keeps the accumulated (summed) view and
+  // is allowed to exceed wall when workers overlap.
+  for (Program p : {Example7(), Section55()}) {
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      RewriteOptions base = Budget(10, 1500);
+      base.threads = threads;
+      auto t0 = std::chrono::steady_clock::now();
+      KappaResult k = ComputeKappa(p.theory, base);
+      double elapsed_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      EXPECT_GT(k.stats.TotalWallMs(), 0.0);
+      EXPECT_LE(k.stats.TotalWallMs(), elapsed_ms);
+      EXPECT_GE(k.stats.TotalAccumMs(), 0.0);
+    }
+  }
 }
 
 TEST(RewriteAbTest, KappaDeterministicAcrossThreads) {

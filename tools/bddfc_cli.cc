@@ -19,6 +19,12 @@
 // stops at the next round/level/frontier boundary, prints the best
 // partial result plus the resource report, and exits with code 3.
 //
+// Observability (all commands, off by default — see obs/):
+//   --trace-out=FILE    record stage/round/level spans and write Chrome
+//                       trace_event JSON (chrome://tracing, Perfetto)
+//   --metrics-out=FILE  enable the metrics registry and write the final
+//                       snapshot as JSON
+//
 // Exit codes:
 //   0  success (chase/rewrite/classify completed; counter-model found)
 //   1  negative semantic outcome (query certainly true, no model found,
@@ -43,6 +49,8 @@
 #include "bddfc/eval/match.h"
 #include "bddfc/finitemodel/model_search.h"
 #include "bddfc/finitemodel/pipeline.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 #include "bddfc/parser/parser.h"
 #include "bddfc/rewrite/rewriter.h"
 
@@ -63,9 +71,36 @@ int Usage() {
                "usage: bddfc <chase|rewrite|classify|model|search> "
                "<program.dlg> [arg] [--threads N] [--no-prune]\n"
                "             [--deadline-ms N] [--mem-budget-mb N]\n"
+               "             [--trace-out=FILE] [--metrics-out=FILE]\n"
                "exit codes: 0 ok, 1 negative outcome, 2 usage/parse error, "
                "3 resource exhausted\n");
   return kExitUsage;
+}
+
+/// Writes the trace and/or metrics exports requested by --trace-out /
+/// --metrics-out. An unwritable path is reported on stderr; the command's
+/// own exit code stands unless it was 0 (a silent half-success would make
+/// CI consume a missing artifact).
+int WriteObservability(const char* trace_out, const char* metrics_out,
+                       int rc) {
+  if (trace_out != nullptr) {
+    std::ofstream out(trace_out);
+    if (out) out << obs::Tracer::Global().ExportChromeJson() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n", trace_out);
+      if (rc == kExitOk) rc = kExitUsage;
+    }
+  }
+  if (metrics_out != nullptr) {
+    std::ofstream out(metrics_out);
+    if (out) out << obs::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_out);
+      if (rc == kExitOk) rc = kExitUsage;
+    }
+  }
+  return rc;
 }
 
 // SIGINT flips the shared CancelToken; every engine drains at its next
@@ -129,16 +164,17 @@ int CmdChase(Program& p, size_t max_rounds, ExecutionContext* ctx) {
 void PrintRewriteStats(const RewriteStats& stats) {
   std::printf("  stats: candidates=%zu key_deduped=%zu "
               "subsumption_pruned=%zu hom_checks=%zu hom_checks_skipped=%zu "
-              "wall_ms=%.2f\n",
+              "wall_ms=%.2f accum_ms=%.2f\n",
               stats.TotalCandidates(), stats.TotalKeyDeduped(),
               stats.TotalSubsumptionPruned(), stats.hom_checks,
-              stats.hom_checks_skipped, stats.TotalWallMs());
+              stats.hom_checks_skipped, stats.TotalWallMs(),
+              stats.TotalAccumMs());
   for (size_t d = 0; d < stats.levels.size(); ++d) {
     const RewriteLevelStats& l = stats.levels[d];
     std::printf("    level %zu: candidates=%zu key_deduped=%zu "
-                "subsumption_pruned=%zu wall_ms=%.2f\n",
+                "subsumption_pruned=%zu accum_ms=%.2f\n",
                 d + 1, l.candidates, l.key_deduped, l.subsumption_pruned,
-                l.wall_ms);
+                l.accum_ms);
   }
 }
 
@@ -271,11 +307,19 @@ int main(int argc, char** argv) {
   const char* positional = nullptr;
   double deadline_ms = -1;
   double mem_budget_mb = -1;
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       ropts.threads = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       ropts.prune_subsumed = false;
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+      if (*trace_out == '\0') return Usage();
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+      if (*metrics_out == '\0') return Usage();
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       char* end = nullptr;
       deadline_ms = std::strtod(argv[++i], &end);
@@ -300,18 +344,28 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, OnSigInt);
   ropts.context = &ctx;
 
+  // Observability stays off unless asked for: enabling costs a ring
+  // allocation (trace) and per-run publication (metrics).
+  if (trace_out != nullptr) obs::Tracer::Global().Enable();
+  if (metrics_out != nullptr) obs::MetricsRegistry::Global().set_enabled(true);
+
+  int rc;
   if (std::strcmp(cmd, "chase") == 0) {
-    return CmdChase(p, positional != nullptr
-                           ? std::strtoul(positional, nullptr, 10)
-                           : 32,
-                    &ctx);
+    rc = CmdChase(p, positional != nullptr
+                         ? std::strtoul(positional, nullptr, 10)
+                         : 32,
+                  &ctx);
+  } else if (std::strcmp(cmd, "rewrite") == 0) {
+    rc = CmdRewrite(p, ropts);
+  } else if (std::strcmp(cmd, "classify") == 0) {
+    rc = CmdClassify(p, ropts);
+  } else if (std::strcmp(cmd, "model") == 0) {
+    rc = CmdModel(p, &ctx);
+  } else if (std::strcmp(cmd, "search") == 0) {
+    rc = CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1,
+                   &ctx);
+  } else {
+    return Usage();
   }
-  if (std::strcmp(cmd, "rewrite") == 0) return CmdRewrite(p, ropts);
-  if (std::strcmp(cmd, "classify") == 0) return CmdClassify(p, ropts);
-  if (std::strcmp(cmd, "model") == 0) return CmdModel(p, &ctx);
-  if (std::strcmp(cmd, "search") == 0) {
-    return CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1,
-                     &ctx);
-  }
-  return Usage();
+  return WriteObservability(trace_out, metrics_out, rc);
 }

@@ -6,6 +6,7 @@
 //              [--inject-fault=deadline|oom|cancel]
 //              [--corpus-out=DIR] [--no-shrink] [--max-failures=K]
 //              [--replay=FILE-or-DIR] [--list-oracles] [-v]
+//              [--trace-out=FILE] [--metrics-out=FILE]
 //
 // Default mode generates N seeded scenarios and cross-checks each against
 // every registered oracle (see testing/oracles.h). Failures are shrunk to
@@ -33,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
 #include "bddfc/testing/corpus.h"
 #include "bddfc/testing/fuzzer.h"
 
@@ -49,7 +52,8 @@ int Usage() {
       "                  [--inject-fault=deadline|oom|cancel]\n"
       "                  [--corpus-out=DIR] [--no-shrink]\n"
       "                  [--max-failures=K] [--replay=FILE-or-DIR]\n"
-      "                  [--list-oracles] [-v]\n");
+      "                  [--list-oracles] [-v]\n"
+      "                  [--trace-out=FILE] [--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -114,6 +118,8 @@ int main(int argc, char** argv) {
   options.max_failures = 1;
   std::string corpus_out;
   std::string replay_path;
+  std::string trace_out;
+  std::string metrics_out;
   bool list_oracles = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -154,6 +160,12 @@ int main(int argc, char** argv) {
       }
     } else if (const char* v = value("--corpus-out=")) {
       corpus_out = v;
+    } else if (const char* v = value("--trace-out=")) {
+      if (*v == '\0') return Usage();
+      trace_out = v;
+    } else if (const char* v = value("--metrics-out=")) {
+      if (*v == '\0') return Usage();
+      metrics_out = v;
     } else if (const char* v = value("--max-failures=")) {
       options.max_failures = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--replay=")) {
@@ -175,7 +187,26 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (!replay_path.empty()) return Replay(replay_path, options.config);
+  // Observability is off by default; enabling costs a ring allocation
+  // (trace) and per-run publication (metrics).
+  if (!trace_out.empty()) obs::Tracer::Global().Enable();
+  if (!metrics_out.empty()) obs::MetricsRegistry::Global().set_enabled(true);
+  auto write_observability = [&] {
+    if (!trace_out.empty()) {
+      std::ofstream out(trace_out);
+      out << obs::Tracer::Global().ExportChromeJson() << '\n';
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      out << obs::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
+    }
+  };
+
+  if (!replay_path.empty()) {
+    int rc = Replay(replay_path, options.config);
+    write_observability();
+    return rc;
+  }
   if (!options.oracle.empty() && FindOracle(options.oracle) == nullptr) {
     std::fprintf(stderr, "unknown oracle '%s' (--list-oracles)\n",
                  options.oracle.c_str());
@@ -221,5 +252,6 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", path.c_str());
     }
   }
+  write_observability();
   return report.ok() ? 0 : 1;
 }
