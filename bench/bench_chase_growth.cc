@@ -13,6 +13,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bddfc/chase/chase.h"
 #include "bddfc/workload/generators.h"
@@ -114,6 +117,115 @@ void PrintEngineComparison() {
   }
 }
 
+ChaseResult TimedParallelChase(const GeneratorWorkload& w, size_t threads,
+                               double* ms) {
+  ChaseOptions opts;
+  opts.max_rounds = 256;
+  opts.max_facts = 5000000;
+  opts.engine = ChaseEngine::kParallel;
+  opts.threads = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  ChaseResult r = RunChase(w.theory, w.instance, opts);
+  *ms = std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  return r;
+}
+
+/// True iff the two results are byte-identical: same rows in the same
+/// append order with the same raw TermIds (valid because each run chased
+/// a freshly generated workload, so null numbering starts equal).
+bool ByteIdentical(const ChaseResult& a, const ChaseResult& b) {
+  if (a.structure.NumStoredPredicates() != b.structure.NumStoredPredicates())
+    return false;
+  for (PredId p = 0; p < a.structure.NumStoredPredicates(); ++p) {
+    if (a.structure.Rows(p) != b.structure.Rows(p)) return false;
+  }
+  return a.facts_per_round == b.facts_per_round &&
+         a.nulls_created == b.nulls_created && a.rounds_run == b.rounds_run;
+}
+
+/// One measured configuration of E15, also a row of BENCH_chase.json.
+struct ScalingRow {
+  int nodes;
+  int edges;
+  std::string engine;  // "delta" or "parallel"
+  size_t threads;      // 0 for the delta baseline
+  double ms;
+  size_t facts;
+  size_t rounds;
+  bool identical;  // byte-identical to the delta baseline
+};
+
+/// Writes the perf-trajectory artifact consumed by CI. The path defaults
+/// to BENCH_chase.json in the working directory (CI runs from the repo
+/// root); override with BDDFC_BENCH_JSON.
+void WriteBenchJson(const std::vector<ScalingRow>& rows) {
+  const char* path = std::getenv("BDDFC_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_chase.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "E15: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chase\",\n  \"experiment\": \"E15\",\n");
+  std::fprintf(f, "  \"workload\": \"RandomAcyclicBinaryTheory seed=42\",\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %d, \"edges\": %d, \"engine\": \"%s\", "
+                 "\"threads\": %zu, \"ms\": %.3f, \"facts\": %zu, "
+                 "\"rounds\": %zu, \"identical\": %s}%s\n",
+                 r.nodes, r.edges, r.engine.c_str(), r.threads, r.ms,
+                 r.facts, r.rounds, r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+}
+
+void PrintParallelScaling() {
+  bddfc_bench::Banner(
+      "E15", "parallel sharded chase scaling (byte-identical at any "
+             "thread count; speedup needs real cores)");
+  std::printf("%-8s %-8s %-8s %-8s %-10s %-8s %-8s %-8s %-8s %-9s %-9s\n",
+              "nodes", "edges", "facts", "rounds", "delta ms", "t=1", "t=2",
+              "t=4", "t=8", "speedup4", "identical");
+  const int sizes[][2] = {{100, 300}, {200, 600}, {400, 1200}};
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<ScalingRow> json_rows;
+  for (auto [nodes, edges] : sizes) {
+    // Each run chases a freshly generated workload: the chase interns
+    // nulls into the workload's signature, so reusing one instance would
+    // shift the TermIds of the second run and break the byte comparison.
+    double delta_ms = 0;
+    GeneratorWorkload ref_w = MakeGeneratorWorkload(nodes, edges, 42);
+    ChaseResult ref = TimedChase(ref_w, ChaseEngine::kDelta, &delta_ms);
+    json_rows.push_back({nodes, edges, "delta", 0, delta_ms,
+                         ref.structure.NumFacts(), ref.rounds_run, true});
+    double ms[4] = {0, 0, 0, 0};
+    bool all_identical = true;
+    for (int i = 0; i < 4; ++i) {
+      GeneratorWorkload w = MakeGeneratorWorkload(nodes, edges, 42);
+      ChaseResult r = TimedParallelChase(w, thread_counts[i], &ms[i]);
+      const bool identical = ByteIdentical(r, ref);
+      all_identical = all_identical && identical;
+      json_rows.push_back({nodes, edges, "parallel", thread_counts[i],
+                           ms[i], r.structure.NumFacts(), r.rounds_run,
+                           identical});
+    }
+    std::printf(
+        "%-8d %-8d %-8zu %-8zu %-10.2f %-8.2f %-8.2f %-8.2f %-8.2f "
+        "%-9.2f %-9s\n",
+        nodes, edges, ref.structure.NumFacts(), ref.rounds_run, delta_ms,
+        ms[0], ms[1], ms[2], ms[3], ms[0] / std::max(ms[2], 1e-9),
+        all_identical ? "yes" : "NO");
+  }
+  WriteBenchJson(json_rows);
+}
+
 void PrintTable() {
   bddfc_bench::Banner("E1", "chase growth per depth (facts)");
   struct Row {
@@ -197,6 +309,27 @@ void BM_NaiveChaseGenerator(benchmark::State& state) {
 }
 BENCHMARK(BM_NaiveChaseGenerator)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
 
+void BM_ParallelChaseGenerator(benchmark::State& state) {
+  GeneratorWorkload w =
+      MakeGeneratorWorkload(static_cast<int>(state.range(0)),
+                            static_cast<int>(state.range(0)) * 3, 42);
+  ChaseOptions opts;
+  opts.max_rounds = 256;
+  opts.max_facts = 5000000;
+  opts.engine = ChaseEngine::kParallel;
+  opts.threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    ChaseResult r = RunChase(w.theory, w.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+    ExportChaseStats(state, r);
+  }
+}
+BENCHMARK(BM_ParallelChaseGenerator)
+    ->Args({200, 1})
+    ->Args({200, 2})
+    ->Args({200, 4})
+    ->Args({200, 8});
+
 void BM_ObliviousChase(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -237,6 +370,7 @@ BENCHMARK(BM_DatalogSaturation)->Arg(16)->Arg(32)->Arg(64);
 void PrintAllTables() {
   PrintTable();
   PrintEngineComparison();
+  PrintParallelScaling();
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// Striped insert-if-absent tables for parallel deduplication.
+//
+// The parallel chase buffers each round's derivations from many shard
+// tasks at once; the dedup invariants (one buffered copy per datalog atom,
+// one pending witness per canonical head pattern) are cross-shard, so the
+// buffer needs a concurrent insert-if-absent structure. A handful of
+// mutex-striped hash maps is enough: contention is per-stripe, the hot
+// path is one lock + one hash probe, and — unlike a lock-free design —
+// the invariants are trivially TSan-clean.
+//
+// Determinism contract: the *set* of keys after any interleaving of
+// Insert/InsertOrMin calls equals the set a serial run produces, and
+// InsertOrMin keeps the Less-least value per key, so the surviving
+// (key, value) pairs are independent of insertion order. DrainSorted then
+// hands them out in key order — the canonical merge order the parallel
+// engines apply rounds in.
+
+#ifndef BDDFC_BASE_STRIPED_TABLE_H_
+#define BDDFC_BASE_STRIPED_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace bddfc {
+
+/// A concurrent set with insert-if-absent semantics.
+template <typename Key, typename Hash = std::hash<Key>>
+class StripedSet {
+ public:
+  explicit StripedSet(size_t stripes = 16)
+      : num_stripes_(NormalizeStripes(stripes)),
+        stripes_(new Stripe[num_stripes_]) {}
+
+  /// Inserts `key`; returns true iff it was absent.
+  bool Insert(const Key& key) {
+    Stripe& s = StripeFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.set.insert(key).second;
+  }
+
+  /// Total keys across stripes. Not synchronized with concurrent inserts;
+  /// call after the producing tasks have joined.
+  size_t Size() const {
+    size_t n = 0;
+    for (size_t i = 0; i < num_stripes_; ++i) n += stripes_[i].set.size();
+    return n;
+  }
+
+  /// Moves every key out, sorted ascending (requires Key::operator<).
+  std::vector<Key> DrainSorted() {
+    std::vector<Key> out;
+    out.reserve(Size());
+    for (size_t i = 0; i < num_stripes_; ++i) {
+      for (auto it = stripes_[i].set.begin(); it != stripes_[i].set.end();) {
+        out.push_back(std::move(stripes_[i].set.extract(it++).value()));
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_set<Key, Hash> set;
+  };
+
+  static size_t NormalizeStripes(size_t stripes) {
+    size_t n = 1;
+    while (n < stripes && n < 256) n <<= 1;  // power of two for the mask
+    return n;
+  }
+
+  Stripe& StripeFor(const Key& key) const {
+    // Mix the hash before masking: stripes index on different bits than
+    // the per-stripe table so one hot bucket does not pick one hot stripe.
+    size_t h = Hash{}(key);
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ull;
+    return stripes_[(h >> 8) & (num_stripes_ - 1)];
+  }
+
+  const size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+/// A concurrent map whose InsertOrMin keeps the Less-least value per key —
+/// the order-independent generalization of "first writer wins".
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class StripedMap {
+ public:
+  explicit StripedMap(size_t stripes = 16)
+      : num_stripes_(NormalizeStripes(stripes)),
+        stripes_(new Stripe[num_stripes_]) {}
+
+  /// Inserts (key, value); when the key is present, keeps whichever value
+  /// is Less-smaller (existing wins ties). Returns true iff the key was
+  /// absent — the caller's dedup counter, independent of arrival order.
+  template <typename Less>
+  bool InsertOrMin(const Key& key, Value value, const Less& less) {
+    Stripe& s = StripeFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto [it, inserted] = s.map.try_emplace(key, std::move(value));
+    if (!inserted && less(value, it->second)) it->second = std::move(value);
+    return inserted;
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (size_t i = 0; i < num_stripes_; ++i) n += stripes_[i].map.size();
+    return n;
+  }
+
+  /// Moves every entry out, sorted by key — the canonical merge order.
+  std::vector<std::pair<Key, Value>> DrainSorted() {
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(Size());
+    for (size_t i = 0; i < num_stripes_; ++i) {
+      for (auto it = stripes_[i].map.begin(); it != stripes_[i].map.end();) {
+        auto node = stripes_[i].map.extract(it++);
+        out.emplace_back(std::move(node.key()), std::move(node.mapped()));
+      }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<Key, Value, Hash> map;
+  };
+
+  static size_t NormalizeStripes(size_t stripes) {
+    size_t n = 1;
+    while (n < stripes && n < 256) n <<= 1;
+    return n;
+  }
+
+  Stripe& StripeFor(const Key& key) const {
+    size_t h = Hash{}(key);
+    h ^= h >> 17;
+    h *= 0x9e3779b97f4a7c15ull;
+    return stripes_[(h >> 8) & (num_stripes_ - 1)];
+  }
+
+  const size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace bddfc
+
+#endif  // BDDFC_BASE_STRIPED_TABLE_H_

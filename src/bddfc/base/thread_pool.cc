@@ -5,11 +5,12 @@
 namespace bddfc {
 
 ThreadPool::ThreadPool(size_t num_threads)
-    : num_threads_(std::max<size_t>(1, num_threads)) {
+    : num_threads_(std::max<size_t>(1, num_threads)),
+      queues_(num_threads_) {
   if (num_threads_ == 1) return;  // inline mode: no workers
   workers_.reserve(num_threads_);
   for (size_t i = 0; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -19,7 +20,7 @@ ThreadPool::~ThreadPool() {
     // drains the queue exactly like the worker shutdown path below.
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
-    while (RunOneLocked(lock)) {
+    while (RunOneLocked(lock, 0)) {
     }
     return;
   }
@@ -32,20 +33,47 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<Status()> task) {
+  // Round-robin keeps hint-less batches balanced across queues.
+  Submit(round_robin_.fetch_add(1, std::memory_order_relaxed),
+         std::move(task));
+}
+
+void ThreadPool::Submit(size_t shard_hint, std::function<Status()> task) {
   const uint64_t parent = obs::Tracer::CurrentSpanId();
   {
     std::unique_lock<std::mutex> lock(mu_);
-    queue_.push_back({next_index_++, parent, std::move(task)});
+    queues_[shard_hint % num_threads_].push_back(
+        {next_index_++, parent, std::move(task)});
     statuses_.emplace_back();  // slot for this task's Status
+    ++queued_;
     ++in_flight_;
   }
   work_ready_.notify_one();
 }
 
-bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
-  if (queue_.empty()) return false;
-  QueuedTask qt = std::move(queue_.front());
-  queue_.pop_front();
+bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock,
+                              size_t worker) {
+  if (queued_ == 0) return false;
+  QueuedTask qt;
+  if (!queues_[worker].empty()) {
+    qt = std::move(queues_[worker].front());
+    queues_[worker].pop_front();
+  } else {
+    // Steal from the back of the longest victim queue: the victim keeps
+    // its oldest (cache-warm) work, the thief takes the newest backlog.
+    size_t victim = worker;
+    size_t longest = 0;
+    for (size_t i = 0; i < queues_.size(); ++i) {
+      if (queues_[i].size() > longest) {
+        longest = queues_[i].size();
+        victim = i;
+      }
+    }
+    qt = std::move(queues_[victim].back());
+    queues_[victim].pop_back();
+    ++steals_;
+  }
+  --queued_;
   if (cancel_.cancelled()) {
     // Drain without running: the batch unwinds as fast as the in-flight
     // tasks reach their own cooperative check-points.
@@ -66,22 +94,22 @@ bool ThreadPool::RunOneLocked(std::unique_lock<std::mutex>& lock) {
   return true;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_ready_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) {
+    work_ready_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    if (queued_ == 0) {
       if (shutdown_) return;
       continue;
     }
-    RunOneLocked(lock);
+    RunOneLocked(lock, worker);
   }
 }
 
 Status ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   if (workers_.empty()) {
-    while (RunOneLocked(lock)) {
+    while (RunOneLocked(lock, 0)) {
     }
   } else {
     batch_done_.wait(lock, [this] { return in_flight_ == 0; });
@@ -93,6 +121,11 @@ Status ThreadPool::Wait() {
   statuses_.clear();
   next_index_ = 0;
   return first;
+}
+
+size_t ThreadPool::steal_count() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return steals_;
 }
 
 size_t ThreadPool::DefaultThreads() {

@@ -6,10 +6,21 @@
 // outcome does not depend on thread scheduling. A pool constructed with
 // one thread executes tasks inline on Wait(), making `threads = 1` an
 // exact serial baseline with no thread startup cost.
+//
+// Work distribution: each worker owns a deque. Submit(shard_hint, task)
+// pins a task's home queue by hint (e.g. the chase hashes its anchor
+// predicate/chunk, so one relation's scan stays on one worker while it
+// lasts); the hint-less Submit round-robins. A worker drains its own queue
+// first and, when empty, steals from the back of the longest victim queue
+// — so one hot shard's backlog spreads instead of serializing the round.
+// All queue state sits under the single pool mutex: tasks are chase-round
+// scans and rewrite batches, far coarser than the lock, and the simple
+// scheme is trivially TSan-clean.
 
 #ifndef BDDFC_BASE_THREAD_POOL_H_
 #define BDDFC_BASE_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,7 +34,8 @@
 
 namespace bddfc {
 
-/// A fixed set of worker threads draining a FIFO work queue.
+/// A fixed set of worker threads draining per-worker work queues with
+/// stealing.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers (clamped to >= 1). With exactly one
@@ -42,13 +54,20 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. The returned Status is recorded under the task's
-  /// submission index for deterministic aggregation in Wait(). When
-  /// tracing is enabled, the submitting thread's innermost span id is
-  /// captured here and the task runs under a "pool.task" span parented to
-  /// it, so a fan-out's per-task spans nest under the span that submitted
-  /// them even though they execute on worker threads.
+  /// Enqueues a task on the next queue round-robin. The returned Status is
+  /// recorded under the task's submission index for deterministic
+  /// aggregation in Wait(). When tracing is enabled, the submitting
+  /// thread's innermost span id is captured here and the task runs under a
+  /// "pool.task" span parented to it, so a fan-out's per-task spans nest
+  /// under the span that submitted them even though they execute on worker
+  /// threads.
   void Submit(std::function<Status()> task);
+
+  /// Like Submit, but homes the task on queue `shard_hint % num_threads`:
+  /// tasks sharing a hint run in submission order on one worker unless
+  /// stolen, which keeps a shard's scan cache-warm while still letting
+  /// idle workers steal the backlog of a skewed shard.
+  void Submit(size_t shard_hint, std::function<Status()> task);
 
   /// Blocks until every submitted task has finished and returns the first
   /// non-OK Status in submission order (OK when all succeeded). Resets the
@@ -57,17 +76,23 @@ class ThreadPool {
 
   size_t num_threads() const { return num_threads_; }
 
+  /// Tasks executed by stealing (taken from a queue other than the
+  /// runner's own) since construction. For tests and scheduling stats.
+  size_t steal_count() const;
+
   /// A reasonable default worker count: hardware concurrency, at least 1.
   static size_t DefaultThreads();
 
  private:
-  void WorkerLoop();
-  /// Pops and runs one task; returns false when the queue was empty.
-  bool RunOneLocked(std::unique_lock<std::mutex>& lock);
+  void WorkerLoop(size_t worker);
+  /// Pops and runs one task for `worker` (own queue first, then the back
+  /// of the longest victim queue); returns false when all queues are empty.
+  bool RunOneLocked(std::unique_lock<std::mutex>& lock, size_t worker);
 
   const size_t num_threads_;
   CancelToken cancel_;  // drained tasks short-circuit once cancelled
-  std::mutex mu_;
+  std::atomic<size_t> round_robin_{0};  // hint source for hint-less Submit
+  mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable batch_done_;
   struct QueuedTask {
@@ -75,7 +100,9 @@ class ThreadPool {
     uint64_t parent_span;  // submitting thread's span id (0 = none)
     std::function<Status()> fn;
   };
-  std::deque<QueuedTask> queue_;
+  std::vector<std::deque<QueuedTask>> queues_;  // one per worker
+  size_t queued_ = 0;                           // tasks across all queues
+  size_t steals_ = 0;
   std::vector<Status> statuses_;  // indexed by submission order
   size_t next_index_ = 0;
   size_t in_flight_ = 0;  // queued + currently running tasks

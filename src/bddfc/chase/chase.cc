@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <functional>
-#include <map>
+#include <memory>
 #include <unordered_set>
 
+#include "bddfc/base/thread_pool.h"
+#include "bddfc/chase/parallel.h"
+#include "bddfc/chase/round.h"
 #include "bddfc/eval/match.h"
 #include "bddfc/obs/metrics.h"
 #include "bddfc/obs/trace.h"
@@ -57,117 +59,12 @@ void ChaseStats::PublishTo(const char* prefix) const {
   }
 }
 
-namespace {
-
-/// Adds a fact and records its birth round. Returns true when new.
-bool AddFactTracked(ChaseResult* out, PredId pred,
-                    const std::vector<TermId>& args, int round) {
-  uint32_t row = static_cast<uint32_t>(out->structure.NumFacts(pred));
-  if (!out->structure.AddFact(pred, args)) return false;
-  out->fact_round.emplace(FactHandle{pred, row}, round);
-  return true;
-}
-
-/// A pending existential trigger: the rule's head with frontier variables
-/// grounded and existential variables still symbolic. Keyed for per-round
-/// deduplication (one witness per demanded head pattern).
-struct PendingExistential {
-  int rule_index;
-  std::vector<Atom> head_pattern;   // grounded except existential vars
-  std::vector<TermId> existentials; // the symbolic witness variables
-};
-
-/// Serializes `pattern` with variables renumbered by first occurrence.
-std::string SerializeRenumbered(const std::vector<Atom>& pattern) {
-  std::unordered_map<TermId, TermId> ren;
-  int32_t next = 0;
-  std::string s;
-  for (const Atom& a : pattern) {
-    s += std::to_string(a.pred);
-    for (TermId t : a.args) {
-      if (IsVar(t)) {
-        auto it = ren.find(t);
-        if (it == ren.end()) it = ren.emplace(t, MakeVar(next++)).first;
-        t = it->second;
-      }
-      s += "," + std::to_string(t);
-    }
-    s += "|";
-  }
-  return s;
-}
-
-/// Canonical key of a head pattern, invariant under existential-variable
-/// renaming *and* atom reordering: the same demanded pattern gets the same
-/// key no matter which rule (or head-atom order) produced it.
-///
-/// Renumbering variables by first occurrence before sorting (the seed
-/// behavior) bakes the incoming atom order into the variable names, so
-/// logically identical patterns hashed apart and spawned duplicate
-/// witnesses. Instead, atoms are sorted under a name-independent local key
-/// (predicate + per-position constant/within-atom variable shape); among
-/// atoms whose local keys tie, every arrangement is tried and the
-/// lexicographically least renumbered serialization wins. Ties are rare
-/// (heads are small), but a cap falls back to the sorted order — still
-/// deterministic and never merging inequivalent patterns, as the key is the
-/// serialized pattern itself.
-std::string PatternKey(const std::vector<Atom>& pattern) {
-  auto local_key = [](const Atom& a) {
-    std::unordered_map<TermId, int32_t> ren;
-    std::string s = std::to_string(a.pred);
-    for (TermId t : a.args) {
-      if (IsVar(t)) {
-        auto it = ren.emplace(t, static_cast<int32_t>(ren.size())).first;
-        s += ",v" + std::to_string(it->second);
-      } else {
-        s += ",c" + std::to_string(t);
-      }
-    }
-    return s;
-  };
-
-  std::vector<std::pair<std::string, Atom>> keyed;
-  keyed.reserve(pattern.size());
-  for (const Atom& a : pattern) keyed.emplace_back(local_key(a), a);
-  std::sort(keyed.begin(), keyed.end(),
-            [](const auto& x, const auto& y) { return x.first < y.first; });
-
-  // Group atoms with equal local keys and bound the number of arrangements.
-  std::vector<std::vector<Atom>> groups;
-  size_t arrangements = 1;
-  for (size_t i = 0; i < keyed.size(); ++i) {
-    if (i == 0 || keyed[i].first != keyed[i - 1].first) groups.emplace_back();
-    groups.back().push_back(keyed[i].second);
-    arrangements *= groups.back().size();  // running product of factorials
-  }
-
-  std::vector<Atom> cand;
-  cand.reserve(pattern.size());
-  if (arrangements > 5040) {  // cap: fall back to the sorted order
-    for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
-    return SerializeRenumbered(cand);
-  }
-
-  std::string best;
-  std::function<void(size_t)> rec = [&](size_t gi) {
-    if (gi == groups.size()) {
-      cand.clear();
-      for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
-      std::string s = SerializeRenumbered(cand);
-      if (best.empty() || s < best) best = std::move(s);
-      return;
-    }
-    auto& g = groups[gi];
-    std::sort(g.begin(), g.end());
-    do {
-      rec(gi + 1);
-    } while (std::next_permutation(g.begin(), g.end()));
-  };
-  rec(0);
-  return best;
-}
-
-}  // namespace
+using chase_internal::AddFactTracked;
+using chase_internal::ApplyRound;
+using chase_internal::EnumerateRoundParallel;
+using chase_internal::EnumerateRoundSequential;
+using chase_internal::RoundBuffer;
+using chase_internal::RoundInputs;
 
 ChaseResult RunChase(const Theory& theory, const Structure& instance,
                      const ChaseOptions& options) {
@@ -199,6 +96,9 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     out.report = ctx->report();
     out.report.partial_result =
         !out.status.ok() && out.structure.NumFacts() > 0;
+    // Stats carry the run's peak accounted bytes so shard merges (which
+    // max, never sum — one accountant is shared) have a single source.
+    out.stats.peak_bytes = out.report.peak_bytes;
     out.stats.PublishTo("bddfc.chase");
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
     if (reg.enabled()) {
@@ -233,7 +133,13 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   // one witness per trigger, not one per round).
   std::unordered_set<std::string> fired;
 
-  const bool delta_engine = options.engine == ChaseEngine::kDelta;
+  const bool parallel = options.engine == ChaseEngine::kParallel;
+  std::unique_ptr<ThreadPool> pool;
+  if (parallel) {
+    pool = std::make_unique<ThreadPool>(
+        options.threads != 0 ? options.threads : ThreadPool::DefaultThreads());
+    pool->SetCancelToken(ctx->cancel_token());
+  }
 
   for (size_t round = 1; round <= options.max_rounds; ++round) {
     // Round boundary: the structure holds exactly Chase^{round-1}, so a
@@ -247,114 +153,18 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
 
     const auto round_start = std::chrono::steady_clock::now();
     obs::TraceSpan round_span("chase.round");
-    Matcher matcher(out.structure, &out.stats.match);
-    // Witness-existence probes go through a stats-less matcher so
-    // bindings_tried counts rule-body bindings only.
-    Matcher witness(out.structure);
 
-    // Buffered additions, evaluated against the Chase^{i} snapshot.
-    std::vector<Atom> datalog_additions;
-    std::unordered_set<Atom, AtomHash> datalog_buffered;
-    std::map<std::string, PendingExistential> existential_triggers;
-
-    for (size_t ri = 0; ri < theory.rules().size(); ++ri) {
-      if (ctx->Exhausted()) break;  // a trip mid-rule skips the rest
-      const Rule& rule = theory.rules()[ri];
-      const bool existential = rule.IsExistential();
-      if (existential && options.datalog_only) continue;
-
-      auto on_binding = [&](const Binding& b) {
-        // Strided governor probe: aborts this rule's enumeration on a
-        // trip; the post-enumeration check discards the buffered round.
-        if (ctx->ShouldStop("chase enumerate")) return false;
-        auto ground = [&](const Atom& a) {
-          Atom g = a;
-          for (TermId& t : g.args) {
-            if (IsVar(t)) {
-              auto it = b.find(t);
-              if (it != b.end()) t = it->second;
-            }
-          }
-          return g;
-        };
-        if (!existential) {
-          for (const Atom& h : rule.head) {
-            Atom g = ground(h);
-            assert(g.IsGround() && "datalog rule with unbound head variable");
-            if (out.structure.Contains(g)) continue;
-            if (datalog_buffered.insert(g).second) {
-              datalog_additions.push_back(std::move(g));
-            } else {
-              ++out.stats.datalog_deduped;
-            }
-          }
-          return true;
-        }
-        // Existential TGD: the non-oblivious check — is the head already
-        // witnessed in Chase^i under this frontier binding?
-        std::vector<Atom> pattern;
-        pattern.reserve(rule.head.size());
-        for (const Atom& h : rule.head) pattern.push_back(ground(h));
-        std::string key;
-        if (options.oblivious) {
-          // Blind chase: one witness per (rule, body binding), ever.
-          key = std::to_string(ri);
-          for (const Atom& a : rule.body) {
-            Atom g = ground(a);
-            key += "|" + std::to_string(g.pred);
-            for (TermId t : g.args) key += "," + std::to_string(t);
-          }
-          if (!fired.insert(key).second) return true;
-        } else {
-          if (witness.Exists(pattern, {})) return true;
-          key = PatternKey(pattern);
-          if (options.fault == ChaseFault::kSkipTriggerDedup) {
-            // Injected bug: make every key unique so same-pattern triggers
-            // stop collapsing to one witness.
-            key += "#" + std::to_string(existential_triggers.size());
-          }
-        }
-        PendingExistential pe;
-        pe.rule_index = static_cast<int>(ri);
-        pe.head_pattern = pattern;
-        pe.existentials = rule.ExistentialVariables();
-        if (!existential_triggers.emplace(std::move(key), std::move(pe))
-                 .second) {
-          ++out.stats.triggers_deduped;
-        }
-        return true;
-      };
-
-      if (delta_engine) {
-        // Semi-naive: rotate a delta anchor over the body. Atoms before the
-        // anchor stay on pre-round rows, the anchor ranges over the last
-        // round's delta, atoms after it over the full relation — each
-        // binding that touches the delta is enumerated exactly once, with
-        // the anchor at its first delta atom. Before the first
-        // MarkRoundBoundary (round 1) all watermarks are 0, so only anchor
-        // 0 fires and it performs one full enumeration.
-        const size_t k = rule.body.size();
-        std::vector<RowBand> bands(k);
-        for (size_t di = 0; di < k; ++di) {
-          const PredId anchor_pred = rule.body[di].pred;
-          const uint32_t wm = out.structure.WatermarkRows(anchor_pred);
-          if (wm >= out.structure.NumFacts(anchor_pred)) {
-            continue;  // this relation gained nothing last round
-          }
-          for (size_t j = 0; j < k; ++j) {
-            if (j < di) {
-              bands[j] = {0, out.structure.WatermarkRows(rule.body[j].pred)};
-            } else if (j == di) {
-              bands[j] = {wm, UINT32_MAX};
-            } else {
-              bands[j] = RowBand::All();
-            }
-          }
-          matcher.EnumerateBanded(rule.body, bands, {}, on_binding);
-        }
-      } else {
-        matcher.Enumerate(rule.body, {}, on_binding);
-      }
+    // Enumerate this round's derivations against the Chase^{round-1}
+    // snapshot into a buffer; the structure is not touched until the
+    // buffer is applied, so every engine sees one frozen instance.
+    RoundBuffer buf;
+    RoundInputs inputs{theory, out.structure, options, ctx, &fired};
+    Status barrier = Status::OK();
+    if (parallel) {
+      barrier = EnumerateRoundParallel(inputs, pool.get(), &buf);
+    } else {
+      EnumerateRoundSequential(inputs, options.engine == ChaseEngine::kDelta,
+                               &buf);
     }
 
     auto elapsed_ms = [&round_start] {
@@ -362,24 +172,36 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
                  std::chrono::steady_clock::now() - round_start)
           .count();
     };
+    // Fold the round's counters into the run stats. Per-task wall times
+    // were already max-merged inside the buffer (shards overlap; summing
+    // them would report more time than the wall clock shows); the run
+    // records the measured barrier-to-barrier round time below instead.
+    buf.stats.round_ms.clear();
+    out.stats += buf.stats;
 
-    if (ctx->Exhausted()) {
+    // A non-OK barrier means queued shard tasks were drained unrun
+    // (cancellation raced the round): the buffer is incomplete even if no
+    // probe latched the trip yet, so the round must be discarded too.
+    if (ctx->Exhausted() || !barrier.ok()) {
       // The governor tripped mid-enumeration: the buffered additions are
       // an incomplete round. Discard them so the structure stays the
       // Chase^{round-1} prefix (unless the torn-exhaust fault is injected,
       // which applies them to give the prefix oracle a bug to catch).
       if (options.fault == ChaseFault::kTornExhaust) {
-        for (const Atom& g : datalog_additions) {
+        std::sort(buf.datalog.begin(), buf.datalog.end());
+        for (const Atom& g : buf.datalog) {
           AddFactTracked(&out, g.pred, g.args, static_cast<int>(round));
         }
       }
-      out.status = ctx->CheckPoint("chase round abort");
+      Status abort_status = ctx->CheckPoint("chase round abort");
+      out.status = !abort_status.ok() ? std::move(abort_status)
+                                      : std::move(barrier);
       out.stats.round_ms.push_back(elapsed_ms());
       finalize();
       return out;
     }
 
-    if (datalog_additions.empty() && existential_triggers.empty()) {
+    if (buf.empty()) {
       out.stats.round_ms.push_back(elapsed_ms());
       out.fixpoint_reached = true;
       break;
@@ -388,43 +210,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     // Record the round boundary *before* applying this round's additions:
     // the rows inserted below form the delta of the next round.
     out.structure.MarkRoundBoundary();
-
-    size_t added = 0;
-    for (const Atom& g : datalog_additions) {
-      if (AddFactTracked(&out, g.pred, g.args, static_cast<int>(round))) {
-        ++added;
-      }
-    }
-    for (auto& [key, pe] : existential_triggers) {
-      (void)key;
-      // Invent one null per existential variable of this trigger.
-      std::unordered_map<TermId, TermId> witness;
-      for (TermId v : pe.existentials) {
-        TermId null_id = out.structure.mutable_sig().AddNull();
-        witness.emplace(v, null_id);
-        ++out.nulls_created;
-      }
-      for (Atom g : pe.head_pattern) {
-        for (TermId& t : g.args) {
-          if (IsVar(t)) t = witness.at(t);
-        }
-        if (AddFactTracked(&out, g.pred, g.args, static_cast<int>(round))) {
-          ++added;
-        }
-        // Record provenance on each fresh null (one shared head atom each).
-        for (auto [v, null_id] : witness) {
-          (void)v;
-          auto it = out.null_provenance.find(null_id);
-          if (it == out.null_provenance.end()) {
-            NullProvenance np;
-            np.birth_round = static_cast<int>(round);
-            np.rule_index = pe.rule_index;
-            np.head_atom = g;
-            out.null_provenance.emplace(null_id, std::move(np));
-          }
-        }
-      }
-    }
+    const size_t added = ApplyRound(&buf, round, &out);
 
     out.rounds_run = round;
     out.facts_per_round.push_back(out.structure.NumFacts());

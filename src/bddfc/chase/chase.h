@@ -45,6 +45,12 @@ namespace bddfc {
 enum class ChaseEngine {
   kDelta,  ///< semi-naive delta evaluation (default)
   kNaive,  ///< full re-enumeration every round (the seed loop; baseline)
+  /// Sharded delta evaluation on a thread pool: each round's anchor scans
+  /// split into fixed-size row chunks buffered through striped dedup
+  /// tables and merged in canonical order at the round barrier, so the
+  /// result — including row order and null naming — is byte-identical to
+  /// kDelta at any ChaseOptions::threads (see chase/parallel.h).
+  kParallel,
 };
 
 /// Deliberate engine faults for the differential fuzzer's self-test
@@ -78,6 +84,10 @@ struct ChaseOptions {
   bool datalog_only = false;
   /// Round-loop implementation (results are identical; speed is not).
   ChaseEngine engine = ChaseEngine::kDelta;
+  /// Worker threads for ChaseEngine::kParallel (ignored otherwise);
+  /// 0 = ThreadPool::DefaultThreads(). The result does not depend on this
+  /// value, only the wall time does.
+  size_t threads = 0;
   /// Fault injection for fuzzer self-tests; kNone in all production paths.
   ChaseFault fault = ChaseFault::kNone;
   /// Resource governor (not owned; may be null). When set, the run checks
@@ -102,6 +112,31 @@ struct ChaseStats {
   size_t datalog_deduped = 0;
   /// Wall time per round in milliseconds (entry 0 = round 1).
   std::vector<double> round_ms;
+  /// Peak accounted bytes of the run (0 when ungoverned — accounting runs
+  /// only with an attached ExecutionContext).
+  size_t peak_bytes = 0;
+
+  /// Merges stats from a concurrent shard of the same run: counters are
+  /// additive across shards, but wall times and peak memory are *not* —
+  /// shards overlap in time and share one accountant, so round_ms merges
+  /// element-wise max (the round is as slow as its slowest shard) and
+  /// peak_bytes takes the max. Summing those two double-counts overlap:
+  /// the reported per-round time would exceed the measured wall clock.
+  ChaseStats& operator+=(const ChaseStats& o) {
+    match.bindings_tried += o.match.bindings_tried;
+    match.postings_hits += o.match.postings_hits;
+    match.postings_misses += o.match.postings_misses;
+    triggers_deduped += o.triggers_deduped;
+    datalog_deduped += o.datalog_deduped;
+    if (o.round_ms.size() > round_ms.size()) {
+      round_ms.resize(o.round_ms.size(), 0.0);
+    }
+    for (size_t i = 0; i < o.round_ms.size(); ++i) {
+      round_ms[i] = round_ms[i] > o.round_ms[i] ? round_ms[i] : o.round_ms[i];
+    }
+    peak_bytes = peak_bytes > o.peak_bytes ? peak_bytes : o.peak_bytes;
+    return *this;
+  }
 
   /// Publishes these counters into the global metrics registry under
   /// `<prefix>.*` keys ("bddfc.chase" for RunChase). Called once at the

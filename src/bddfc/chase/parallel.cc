@@ -1,0 +1,151 @@
+#include "bddfc/chase/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bddfc/base/striped_table.h"
+#include "bddfc/obs/trace.h"
+
+namespace bddfc {
+namespace chase_internal {
+
+namespace {
+
+/// Shared round state every shard task buffers into. The striped tables
+/// carry the dedup invariants across shards; the counters are atomics so
+/// tasks never serialize on a stats mutex inside the enumeration loop.
+struct SharedBuffers {
+  StripedSet<Atom, AtomHash> datalog;
+  StripedMap<std::string, PendingExistential> triggers;
+  std::atomic<size_t> datalog_deduped{0};
+  std::atomic<size_t> triggers_deduped{0};
+  std::atomic<size_t> fault_seq{0};
+};
+
+/// Per-task view of the shared buffers, implementing the Sink interface of
+/// HandleBinding.
+struct StripedSink {
+  const RoundInputs& in;
+  SharedBuffers* shared;
+
+  bool BufferDatalog(Atom g) {
+    if (!shared->datalog.Insert(g)) {
+      shared->datalog_deduped.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  /// The run-global oblivious `fired` set is not thread-safe; filtering
+  /// moves to the merge barrier. Equivalent: a delta round enumerates each
+  /// (rule, binding) at most once, so within-round keys are unique and a
+  /// previously-fired key is simply dropped at the barrier instead of here.
+  bool ObliviousPreFilter(const std::string& key) {
+    (void)key;
+    return false;
+  }
+  void BufferTrigger(std::string key, PendingExistential pe) {
+    auto less = [](const PendingExistential& a, const PendingExistential& b) {
+      return TriggerLess(a, b);
+    };
+    if (!shared->triggers.InsertOrMin(key, std::move(pe), less)) {
+      shared->triggers_deduped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  size_t FaultSeq() {
+    return shared->fault_seq.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace
+
+Status EnumerateRoundParallel(const RoundInputs& in, ThreadPool* pool,
+                              RoundBuffer* buf) {
+  SharedBuffers shared;
+  std::mutex stats_mu;
+  ChaseStats merged;
+
+  for (size_t ri = 0; ri < in.theory.rules().size(); ++ri) {
+    const Rule& rule = in.theory.rules()[ri];
+    if (rule.IsExistential() && in.options.datalog_only) continue;
+    for (size_t di = 0; di < rule.body.size(); ++di) {
+      // An anchor whose old/new split is vacuous contributes no bindings:
+      // skip it by inspecting the structure only, so the task set stays a
+      // pure function of the workload. (In round 1 every watermark is 0,
+      // which kills all anchors but the first — the full enumeration.)
+      bool empty_prefix = false;
+      for (size_t j = 0; j < di; ++j) {
+        if (in.frozen.WatermarkRows(rule.body[j].pred) == 0) {
+          empty_prefix = true;
+          break;
+        }
+      }
+      if (empty_prefix) continue;
+      const PredId anchor_pred = rule.body[di].pred;
+      for (const RowRange& chunk :
+           in.frozen.DeltaChunks(anchor_pred, kChunkRows)) {
+        // Shard by anchor predicate: one relation's scan homes on one
+        // worker (cache-warm postings) and a skewed relation's chunk
+        // backlog spreads by stealing.
+        pool->Submit(
+            static_cast<size_t>(anchor_pred), [&, ri, di, chunk]() -> Status {
+              const auto start = std::chrono::steady_clock::now();
+              obs::TraceSpan span("chase.shard");
+              ChaseStats local;
+              Matcher matcher(in.frozen, &local.match);
+              Matcher witness(in.frozen);
+              StripedSink sink{in, &shared};
+              const Rule& r = in.theory.rules()[ri];
+              matcher.EnumerateBanded(
+                  r.body,
+                  AnchorBands(in.frozen, r, di, chunk.begin, chunk.end), {},
+                  [&](const Binding& b) {
+                    return HandleBinding(in, ri, b, witness, sink);
+                  });
+              span.set_detail("r" + std::to_string(ri) + " a" +
+                              std::to_string(di) + " +" +
+                              std::to_string(chunk.size()) + "@" +
+                              std::to_string(chunk.begin));
+              local.round_ms.push_back(
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+              std::lock_guard<std::mutex> lock(stats_mu);
+              merged += local;  // counters sum; round_ms takes the max
+              return Status::OK();
+            });
+      }
+    }
+  }
+
+  Status barrier = pool->Wait();
+
+  // Canonical merge: drained in key order; arrival order is gone.
+  buf->datalog = shared.datalog.DrainSorted();
+  auto drained = shared.triggers.DrainSorted();
+  if (in.options.oblivious) {
+    // Deferred oblivious filter (see StripedSink::ObliviousPreFilter):
+    // keys fired in an earlier round are dropped, new ones recorded.
+    buf->triggers.reserve(drained.size());
+    for (auto& kv : drained) {
+      if (in.fired->insert(kv.first).second) {
+        buf->triggers.push_back(std::move(kv));
+      }
+    }
+  } else {
+    buf->triggers = std::move(drained);
+  }
+
+  buf->stats = std::move(merged);
+  buf->stats.datalog_deduped =
+      shared.datalog_deduped.load(std::memory_order_relaxed);
+  buf->stats.triggers_deduped =
+      shared.triggers_deduped.load(std::memory_order_relaxed);
+  return barrier;
+}
+
+}  // namespace chase_internal
+}  // namespace bddfc

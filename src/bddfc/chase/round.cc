@@ -1,0 +1,274 @@
+#include "bddfc/chase/round.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+namespace bddfc {
+namespace chase_internal {
+
+namespace {
+
+/// Serializes `pattern` with variables renumbered by first occurrence.
+std::string SerializeRenumbered(const std::vector<Atom>& pattern) {
+  std::unordered_map<TermId, TermId> ren;
+  int32_t next = 0;
+  std::string s;
+  for (const Atom& a : pattern) {
+    s += std::to_string(a.pred);
+    for (TermId t : a.args) {
+      if (IsVar(t)) {
+        auto it = ren.find(t);
+        if (it == ren.end()) it = ren.emplace(t, MakeVar(next++)).first;
+        t = it->second;
+      }
+      s += "," + std::to_string(t);
+    }
+    s += "|";
+  }
+  return s;
+}
+
+}  // namespace
+
+/// Canonical key of a head pattern, invariant under existential-variable
+/// renaming *and* atom reordering: the same demanded pattern gets the same
+/// key no matter which rule (or head-atom order) produced it.
+///
+/// Renumbering variables by first occurrence before sorting (the seed
+/// behavior) bakes the incoming atom order into the variable names, so
+/// logically identical patterns hashed apart and spawned duplicate
+/// witnesses. Instead, atoms are sorted under a name-independent local key
+/// (predicate + per-position constant/within-atom variable shape); among
+/// atoms whose local keys tie, every arrangement is tried and the
+/// lexicographically least renumbered serialization wins. Ties are rare
+/// (heads are small), but a cap falls back to the sorted order — still
+/// deterministic and never merging inequivalent patterns, as the key is the
+/// serialized pattern itself.
+std::string PatternKey(const std::vector<Atom>& pattern) {
+  auto local_key = [](const Atom& a) {
+    std::unordered_map<TermId, int32_t> ren;
+    std::string s = std::to_string(a.pred);
+    for (TermId t : a.args) {
+      if (IsVar(t)) {
+        auto it = ren.emplace(t, static_cast<int32_t>(ren.size())).first;
+        s += ",v" + std::to_string(it->second);
+      } else {
+        s += ",c" + std::to_string(t);
+      }
+    }
+    return s;
+  };
+
+  std::vector<std::pair<std::string, Atom>> keyed;
+  keyed.reserve(pattern.size());
+  for (const Atom& a : pattern) keyed.emplace_back(local_key(a), a);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  // Group atoms with equal local keys and bound the number of arrangements.
+  std::vector<std::vector<Atom>> groups;
+  size_t arrangements = 1;
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i == 0 || keyed[i].first != keyed[i - 1].first) groups.emplace_back();
+    groups.back().push_back(keyed[i].second);
+    arrangements *= groups.back().size();  // running product of factorials
+  }
+
+  std::vector<Atom> cand;
+  cand.reserve(pattern.size());
+  if (arrangements > 5040) {  // cap: fall back to the sorted order
+    for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
+    return SerializeRenumbered(cand);
+  }
+
+  std::string best;
+  std::function<void(size_t)> rec = [&](size_t gi) {
+    if (gi == groups.size()) {
+      cand.clear();
+      for (const auto& g : groups) cand.insert(cand.end(), g.begin(), g.end());
+      std::string s = SerializeRenumbered(cand);
+      if (best.empty() || s < best) best = std::move(s);
+      return;
+    }
+    auto& g = groups[gi];
+    std::sort(g.begin(), g.end());
+    do {
+      rec(gi + 1);
+    } while (std::next_permutation(g.begin(), g.end()));
+  };
+  rec(0);
+  return best;
+}
+
+bool AddFactTracked(ChaseResult* out, PredId pred,
+                    const std::vector<TermId>& args, int round) {
+  uint32_t row = static_cast<uint32_t>(out->structure.NumFacts(pred));
+  if (!out->structure.AddFact(pred, args)) return false;
+  out->fact_round.emplace(FactHandle{pred, row}, round);
+  return true;
+}
+
+std::string ObliviousKey(size_t ri, const Rule& rule, const Binding& b) {
+  std::string key = std::to_string(ri);
+  for (const Atom& a : rule.body) {
+    Atom g = a;
+    for (TermId& t : g.args) {
+      if (IsVar(t)) {
+        auto it = b.find(t);
+        if (it != b.end()) t = it->second;
+      }
+    }
+    key += "|" + std::to_string(g.pred);
+    for (TermId t : g.args) key += "," + std::to_string(t);
+  }
+  return key;
+}
+
+std::vector<RowBand> AnchorBands(const Structure& s, const Rule& rule,
+                                 size_t di, uint32_t begin, uint32_t end) {
+  const size_t k = rule.body.size();
+  std::vector<RowBand> bands(k);
+  for (size_t j = 0; j < k; ++j) {
+    if (j < di) {
+      bands[j] = {0, s.WatermarkRows(rule.body[j].pred)};
+    } else if (j == di) {
+      bands[j] = {begin, end};
+    } else {
+      bands[j] = RowBand::All();
+    }
+  }
+  return bands;
+}
+
+namespace {
+
+/// The sequential engines' buffer operations: plain containers, dedup
+/// counted on the way in.
+struct SerialSink {
+  const RoundInputs& in;
+  RoundBuffer* buf;
+  std::unordered_set<Atom, AtomHash> datalog_seen;
+  std::map<std::string, PendingExistential> triggers;
+  size_t fault_seq = 0;
+
+  bool BufferDatalog(Atom g) {
+    if (!datalog_seen.insert(g).second) {
+      ++buf->stats.datalog_deduped;
+      return false;
+    }
+    buf->datalog.push_back(std::move(g));
+    return true;
+  }
+  bool ObliviousPreFilter(const std::string& key) {
+    return !in.fired->insert(key).second;
+  }
+  void BufferTrigger(std::string key, PendingExistential pe) {
+    auto [it, inserted] = triggers.try_emplace(std::move(key), std::move(pe));
+    if (!inserted) {
+      ++buf->stats.triggers_deduped;
+      if (TriggerLess(pe, it->second)) it->second = std::move(pe);
+    }
+  }
+  size_t FaultSeq() { return fault_seq++; }
+};
+
+}  // namespace
+
+void EnumerateRoundSequential(const RoundInputs& in, bool delta,
+                              RoundBuffer* buf) {
+  Matcher matcher(in.frozen, &buf->stats.match);
+  // Witness-existence probes go through a stats-less matcher so
+  // bindings_tried counts rule-body bindings only.
+  Matcher witness(in.frozen);
+  SerialSink sink{in, buf, {}, {}, 0};
+
+  for (size_t ri = 0; ri < in.theory.rules().size(); ++ri) {
+    if (in.ctx->Exhausted()) break;  // a trip mid-rule skips the rest
+    const Rule& rule = in.theory.rules()[ri];
+    if (rule.IsExistential() && in.options.datalog_only) continue;
+
+    auto on_binding = [&](const Binding& b) {
+      return HandleBinding(in, ri, b, witness, sink);
+    };
+
+    if (delta) {
+      // Semi-naive: rotate a delta anchor over the body; each binding that
+      // touches the delta is enumerated exactly once, with the anchor at
+      // its first delta atom. Before the first MarkRoundBoundary (round 1)
+      // all watermarks are 0, so only anchor 0 fires and it performs one
+      // full enumeration.
+      for (size_t di = 0; di < rule.body.size(); ++di) {
+        const PredId anchor_pred = rule.body[di].pred;
+        const uint32_t wm = in.frozen.WatermarkRows(anchor_pred);
+        if (wm >= in.frozen.NumFacts(anchor_pred)) {
+          continue;  // this relation gained nothing last round
+        }
+        matcher.EnumerateBanded(rule.body,
+                                AnchorBands(in.frozen, rule, di, wm,
+                                            UINT32_MAX),
+                                {}, on_binding);
+      }
+    } else {
+      matcher.Enumerate(rule.body, {}, on_binding);
+    }
+  }
+
+  // The sink's keep-min map already holds unique keys; move it out.
+  buf->triggers.reserve(sink.triggers.size());
+  for (auto& [key, pe] : sink.triggers) {
+    buf->triggers.emplace_back(key, std::move(pe));
+  }
+}
+
+size_t ApplyRound(RoundBuffer* buf, size_t round, ChaseResult* out) {
+  // Canonical application order (see the header): sorted datalog atoms
+  // first, then triggers in key order. Every engine funnels through this,
+  // so row order and null naming are functions of the round's derivation
+  // set alone.
+  std::sort(buf->datalog.begin(), buf->datalog.end());
+  std::sort(buf->triggers.begin(), buf->triggers.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  size_t added = 0;
+  for (const Atom& g : buf->datalog) {
+    if (AddFactTracked(out, g.pred, g.args, static_cast<int>(round))) {
+      ++added;
+    }
+  }
+  for (auto& [key, pe] : buf->triggers) {
+    (void)key;
+    // Invent one null per existential variable of this trigger.
+    std::unordered_map<TermId, TermId> witness;
+    for (TermId v : pe.existentials) {
+      TermId null_id = out->structure.mutable_sig().AddNull();
+      witness.emplace(v, null_id);
+      ++out->nulls_created;
+    }
+    for (Atom g : pe.head_pattern) {
+      for (TermId& t : g.args) {
+        if (IsVar(t)) t = witness.at(t);
+      }
+      if (AddFactTracked(out, g.pred, g.args, static_cast<int>(round))) {
+        ++added;
+      }
+      // Record provenance on each fresh null (one shared head atom each).
+      for (auto [v, null_id] : witness) {
+        (void)v;
+        auto it = out->null_provenance.find(null_id);
+        if (it == out->null_provenance.end()) {
+          NullProvenance np;
+          np.birth_round = static_cast<int>(round);
+          np.rule_index = pe.rule_index;
+          np.head_atom = g;
+          out->null_provenance.emplace(null_id, std::move(np));
+        }
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace chase_internal
+}  // namespace bddfc

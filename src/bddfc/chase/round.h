@@ -1,0 +1,183 @@
+// Internal round machinery shared by the chase engines (chase.cc,
+// parallel.cc): trigger canonicalization, per-binding buffering, and the
+// canonical round application that makes every engine's output
+// byte-identical.
+//
+// Determinism design. Within a round, body bindings may be enumerated in
+// any order — the sequential engines follow the join order the matcher
+// picks, the parallel engine additionally splits delta anchors into row
+// chunks, which changes the matcher's dynamic atom selection and hence the
+// discovery order. Byte-identical results therefore cannot rely on
+// discovery order anywhere. Instead:
+//
+//   * buffered datalog additions are a *set*; ApplyRound inserts them
+//     sorted by (predicate, argument tuple);
+//   * pending existential triggers are keyed by the canonical PatternKey;
+//     per key the TriggerLess-least candidate wins (not the first
+//     discovered), and ApplyRound fires keys in sorted order — so null
+//     invention order, null provenance, and row order are all functions of
+//     the round's *set* of derivations;
+//   * the dedup counters are occurrence counts minus distinct counts,
+//     which are order-independent too.
+//
+// The headers under chase/ expose this as an implementation detail, not
+// API: only chase.cc and parallel.cc include it.
+
+#ifndef BDDFC_CHASE_ROUND_H_
+#define BDDFC_CHASE_ROUND_H_
+
+#include <cassert>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/eval/match.h"
+
+namespace bddfc {
+namespace chase_internal {
+
+/// A pending existential trigger: the rule's head with frontier variables
+/// grounded and existential variables still symbolic. Keyed for per-round
+/// deduplication (one witness per demanded head pattern).
+struct PendingExistential {
+  int rule_index;
+  std::vector<Atom> head_pattern;    // grounded except existential vars
+  std::vector<TermId> existentials;  // the symbolic witness variables
+};
+
+/// Canonical "which same-key trigger wins" order: least (rule index, head
+/// pattern, existential list). Any total order works for correctness —
+/// same-key triggers demand the same witnesses up to renaming — but a
+/// *value* order makes the winner independent of enumeration order, which
+/// keep-first was not.
+inline bool TriggerLess(const PendingExistential& a,
+                        const PendingExistential& b) {
+  if (a.rule_index != b.rule_index) return a.rule_index < b.rule_index;
+  if (a.head_pattern != b.head_pattern) return a.head_pattern < b.head_pattern;
+  return a.existentials < b.existentials;
+}
+
+/// Canonical key of a head pattern, invariant under existential-variable
+/// renaming and atom reordering. Defined in round.cc.
+std::string PatternKey(const std::vector<Atom>& pattern);
+
+/// Adds a fact to `out` and records its birth round. Returns true when new.
+bool AddFactTracked(ChaseResult* out, PredId pred,
+                    const std::vector<TermId>& args, int round);
+
+/// One round's buffered derivations, evaluated against the frozen
+/// Chase^{i-1} snapshot. Engines fill it (sequentially or from shard
+/// tasks); ApplyRound consumes it in canonical order.
+struct RoundBuffer {
+  /// Distinct head atoms not present in the frozen structure (unsorted).
+  std::vector<Atom> datalog;
+  /// Unique-key pending triggers, each key's TriggerLess-least candidate.
+  std::vector<std::pair<std::string, PendingExistential>> triggers;
+  /// Counters and per-round timing merged across the producing tasks.
+  ChaseStats stats;
+
+  bool empty() const { return datalog.empty() && triggers.empty(); }
+};
+
+/// The read-only inputs one round's enumeration runs against.
+struct RoundInputs {
+  const Theory& theory;
+  const Structure& frozen;  ///< Chase^{i-1}; not mutated until ApplyRound
+  const ChaseOptions& options;
+  ExecutionContext* ctx;  ///< never null (RunChase installs a local one)
+  /// Oblivious-mode run-global (rule, body-binding) dedup. The sequential
+  /// engines filter against it during enumeration; the parallel engine at
+  /// the merge barrier (equivalent: a delta-driven round enumerates each
+  /// binding at most once, so within-round keys are unique).
+  std::unordered_set<std::string>* fired;
+};
+
+/// Serializes the oblivious-chase firing key of (rule `ri`, binding `b`).
+std::string ObliviousKey(size_t ri, const Rule& rule, const Binding& b);
+
+/// Per-binding buffering logic, shared verbatim by the sequential and
+/// parallel engines; `Sink` supplies the buffer operations:
+///
+///   bool BufferDatalog(Atom g);            // false = duplicate (counted)
+///   bool ObliviousPreFilter(const std::string& key);  // true = skip now
+///   void BufferTrigger(std::string key, PendingExistential pe);
+///   size_t FaultSeq();                     // kSkipTriggerDedup suffixes
+///
+/// Returns false to stop the enumeration (governor trip).
+template <typename Sink>
+bool HandleBinding(const RoundInputs& in, size_t ri, const Binding& b,
+                   const Matcher& witness, Sink& sink) {
+  // Strided governor probe: aborts this task's enumeration on a trip; the
+  // post-enumeration check discards the buffered round.
+  if (in.ctx->ShouldStop("chase enumerate")) return false;
+  const Rule& rule = in.theory.rules()[ri];
+  auto ground = [&b](const Atom& a) {
+    Atom g = a;
+    for (TermId& t : g.args) {
+      if (IsVar(t)) {
+        auto it = b.find(t);
+        if (it != b.end()) t = it->second;
+      }
+    }
+    return g;
+  };
+  if (!rule.IsExistential()) {
+    for (const Atom& h : rule.head) {
+      Atom g = ground(h);
+      assert(g.IsGround() && "datalog rule with unbound head variable");
+      if (in.frozen.Contains(g)) continue;
+      sink.BufferDatalog(std::move(g));
+    }
+    return true;
+  }
+  // Existential TGD: the non-oblivious check — is the head already
+  // witnessed in Chase^i under this frontier binding?
+  std::vector<Atom> pattern;
+  pattern.reserve(rule.head.size());
+  for (const Atom& h : rule.head) pattern.push_back(ground(h));
+  std::string key;
+  if (in.options.oblivious) {
+    // Blind chase: one witness per (rule, body binding), ever.
+    key = ObliviousKey(ri, rule, b);
+    if (sink.ObliviousPreFilter(key)) return true;
+  } else {
+    if (witness.Exists(pattern, {})) return true;
+    key = PatternKey(pattern);
+    if (in.options.fault == ChaseFault::kSkipTriggerDedup) {
+      // Injected bug: make every key unique so same-pattern triggers stop
+      // collapsing to one witness.
+      key += "#" + std::to_string(sink.FaultSeq());
+    }
+  }
+  PendingExistential pe;
+  pe.rule_index = static_cast<int>(ri);
+  pe.head_pattern = std::move(pattern);
+  pe.existentials = rule.ExistentialVariables();
+  sink.BufferTrigger(std::move(key), std::move(pe));
+  return true;
+}
+
+/// Bands for evaluating `rule`'s body with delta anchor `di` confined to
+/// rows [begin, end) of its relation: atoms before the anchor stay on
+/// pre-round rows, atoms after it range over the full relation — the
+/// standard old/new split, with the anchor band narrowed to one chunk for
+/// sharded scans (the sequential engines pass the whole delta).
+std::vector<RowBand> AnchorBands(const Structure& s, const Rule& rule,
+                                 size_t di, uint32_t begin, uint32_t end);
+
+/// Sequential enumeration of one round into `buf`: delta-anchored
+/// (ChaseEngine::kDelta) or full re-enumeration (kNaive).
+void EnumerateRoundSequential(const RoundInputs& in, bool delta,
+                              RoundBuffer* buf);
+
+/// Applies a completed round's buffer in canonical order: datalog
+/// additions sorted by (pred, args), then triggers in key order, inventing
+/// nulls and recording provenance. Returns the number of facts added.
+size_t ApplyRound(RoundBuffer* buf, size_t round, ChaseResult* out);
+
+}  // namespace chase_internal
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_ROUND_H_

@@ -1,8 +1,15 @@
 #include "bddfc/chase/seminaive.h"
 
+#include <algorithm>
+#include <atomic>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "bddfc/base/striped_table.h"
+#include "bddfc/base/thread_pool.h"
+#include "bddfc/chase/parallel.h"
+#include "bddfc/chase/round.h"
 #include "bddfc/eval/match.h"
 #include "bddfc/obs/metrics.h"
 #include "bddfc/obs/trace.h"
@@ -52,6 +59,14 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
     if (r.IsDatalog()) rules.push_back(&r);
   }
 
+  const size_t threads = options.threads != 0 ? options.threads
+                                              : ThreadPool::DefaultThreads();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    pool->SetCancelToken(ctx->cancel_token());
+  }
+
   instance.ForEachFact([&](PredId p, const std::vector<TermId>& row) {
     out.structure.AddFact(p, row);
   });
@@ -78,61 +93,112 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
     }
     obs::TraceSpan round_span("saturate.round");
     std::vector<Atom> additions;
-    std::unordered_set<Atom, AtomHash> buffered;
-    Matcher matcher(out.structure);
+    Status barrier = Status::OK();
 
-    for (const Rule* rule : rules) {
-      const size_t k = rule->body.size();
-      std::vector<RowBand> bands(k);
-      for (size_t di = 0; di < k; ++di) {
-        const Atom& anchor = rule->body[di];
-        const uint32_t wm = out.structure.WatermarkRows(anchor.pred);
-        if (wm >= out.structure.NumFacts(anchor.pred)) {
-          continue;  // empty delta for this anchor
-        }
-        // Old/new split: atoms before the anchor are confined to pre-round
-        // rows, the anchor to the delta, atoms after it range over the full
-        // relation. Each binding is derived once, at its first delta atom
-        // — not once per delta anchor it happens to touch.
-        for (size_t j = 0; j < k; ++j) {
-          if (j < di) {
-            bands[j] = {0, out.structure.WatermarkRows(rule->body[j].pred)};
-          } else if (j == di) {
-            bands[j] = {wm, UINT32_MAX};
-          } else {
-            bands[j] = RowBand::All();
+    if (pool == nullptr) {
+      std::unordered_set<Atom, AtomHash> buffered;
+      Matcher matcher(out.structure);
+      for (const Rule* rule : rules) {
+        for (size_t di = 0; di < rule->body.size(); ++di) {
+          const Atom& anchor = rule->body[di];
+          const uint32_t wm = out.structure.WatermarkRows(anchor.pred);
+          if (wm >= out.structure.NumFacts(anchor.pred)) {
+            continue;  // empty delta for this anchor
           }
+          // Old/new split (chase_internal::AnchorBands): atoms before the
+          // anchor are confined to pre-round rows, the anchor to the
+          // delta, atoms after it range over the full relation. Each
+          // binding is derived once, at its first delta atom — not once
+          // per delta anchor it happens to touch.
+          matcher.EnumerateBanded(
+              rule->body,
+              chase_internal::AnchorBands(out.structure, *rule, di, wm,
+                                          UINT32_MAX),
+              {}, [&](const Binding& b) {
+                if (ctx->ShouldStop("saturate enumerate")) return false;
+                ++out.bindings_tried;
+                for (const Atom& h : rule->head) {
+                  Atom g = h;
+                  for (TermId& t : g.args) {
+                    if (IsVar(t)) t = b.at(t);
+                  }
+                  if (!out.structure.Contains(g) && buffered.insert(g).second) {
+                    additions.push_back(std::move(g));
+                  }
+                }
+                return true;
+              });
         }
-        matcher.EnumerateBanded(rule->body, bands, {}, [&](const Binding& b) {
-          if (ctx->ShouldStop("saturate enumerate")) return false;
-          ++out.bindings_tried;
-          for (const Atom& h : rule->head) {
-            Atom g = h;
-            for (TermId& t : g.args) {
-              if (IsVar(t)) t = b.at(t);
-            }
-            if (!out.structure.Contains(g) && buffered.insert(g).second) {
-              additions.push_back(std::move(g));
-            }
-          }
-          return true;
-        });
       }
+    } else {
+      // Sharded round: every (rule, anchor, delta-chunk) is one pool task
+      // buffering into a striped set. Chunks partition the round's
+      // bindings exactly and the merge below is sorted, so the closure —
+      // and bindings_tried — match the serial loop at any thread count.
+      StripedSet<Atom, AtomHash> buffered;
+      std::atomic<size_t> bindings{0};
+      const Structure& frozen = out.structure;
+      for (const Rule* rule : rules) {
+        for (size_t di = 0; di < rule->body.size(); ++di) {
+          const PredId anchor_pred = rule->body[di].pred;
+          for (const RowRange& chunk : frozen.DeltaChunks(
+                   anchor_pred, chase_internal::kChunkRows)) {
+            pool->Submit(
+                static_cast<size_t>(anchor_pred),
+                [&, rule, di, chunk]() -> Status {
+                  obs::TraceSpan span("saturate.shard");
+                  size_t local_bindings = 0;
+                  Matcher matcher(frozen);
+                  matcher.EnumerateBanded(
+                      rule->body,
+                      chase_internal::AnchorBands(frozen, *rule, di,
+                                                  chunk.begin, chunk.end),
+                      {}, [&](const Binding& b) {
+                        if (ctx->ShouldStop("saturate enumerate")) {
+                          return false;
+                        }
+                        ++local_bindings;
+                        for (const Atom& h : rule->head) {
+                          Atom g = h;
+                          for (TermId& t : g.args) {
+                            if (IsVar(t)) t = b.at(t);
+                          }
+                          if (!frozen.Contains(g)) buffered.Insert(g);
+                        }
+                        return true;
+                      });
+                  bindings.fetch_add(local_bindings,
+                                     std::memory_order_relaxed);
+                  return Status::OK();
+                });
+          }
+        }
+      }
+      barrier = pool->Wait();
+      out.bindings_tried += bindings.load(std::memory_order_relaxed);
+      additions = buffered.DrainSorted();
     }
 
-    if (ctx->Exhausted()) {
-      // Tripped mid-enumeration: discard the buffered (incomplete) round
-      // so the structure is the closure prefix of complete rounds, and
-      // roll the counter back — rounds_run only counts completed rounds,
-      // so a replay bounded by it reproduces this exact structure.
+    if (ctx->Exhausted() || !barrier.ok()) {
+      // Tripped mid-enumeration (or queued shard tasks were drained unrun
+      // by cancellation): discard the buffered (incomplete) round so the
+      // structure is the closure prefix of complete rounds, and roll the
+      // counter back — rounds_run only counts completed rounds, so a
+      // replay bounded by it reproduces this exact structure.
       --out.rounds_run;
-      out.status = ctx->CheckPoint("saturate round abort");
+      Status abort_status = ctx->CheckPoint("saturate round abort");
+      out.status =
+          !abort_status.ok() ? std::move(abort_status) : std::move(barrier);
       finalize();
       return out;
     }
 
     facts_at_mark = out.structure.NumFacts();
     out.structure.MarkRoundBoundary();
+    // Canonical apply order: row order of the closure is a function of the
+    // round's derivation *set*, so serial and sharded runs (and any thread
+    // count) build byte-identical structures.
+    std::sort(additions.begin(), additions.end());
     for (const Atom& g : additions) {
       if (out.structure.AddFact(g)) ++out.facts_derived;
     }

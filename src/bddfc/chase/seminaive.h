@@ -29,6 +29,12 @@ namespace bddfc {
 struct SaturateOptions {
   size_t max_rounds = 100000;
   size_t max_facts = 10000000;
+  /// Worker threads: 1 (default) runs the serial loop, >1 shards each
+  /// round's delta scans over a thread pool, 0 = ThreadPool::
+  /// DefaultThreads(). The closure is byte-identical at any value —
+  /// additions are merged and applied in canonical sorted order either
+  /// way.
+  size_t threads = 1;
   /// Resource governor (not owned; may be null): deadline / memory /
   /// cancellation checks at round boundaries and strided probes inside
   /// enumeration; on a trip the result is the closure prefix up to the

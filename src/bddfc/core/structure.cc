@@ -102,6 +102,20 @@ void Structure::MarkRoundBoundary() {
   facts_at_watermark_ = num_facts_;
 }
 
+std::vector<RowRange> Structure::DeltaChunks(PredId pred,
+                                             uint32_t max_chunk_rows) const {
+  std::vector<RowRange> chunks;
+  const uint32_t begin = WatermarkRows(pred);
+  const uint32_t end = static_cast<uint32_t>(NumFacts(pred));
+  if (begin >= end) return chunks;
+  if (max_chunk_rows == 0) max_chunk_rows = end - begin;
+  chunks.reserve((end - begin + max_chunk_rows - 1) / max_chunk_rows);
+  for (uint32_t at = begin; at < end; at += max_chunk_rows) {
+    chunks.push_back({at, std::min(end, at + max_chunk_rows)});
+  }
+  return chunks;
+}
+
 void Structure::ForEachFact(
     const std::function<void(PredId, const std::vector<TermId>&)>& fn) const {
   for (PredId p = 0; p < static_cast<PredId>(relations_.size()); ++p) {

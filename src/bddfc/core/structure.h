@@ -24,6 +24,18 @@
 
 namespace bddfc {
 
+/// A contiguous row range [begin, end) of one relation — the unit the
+/// parallel chase shards delta scans by.
+struct RowRange {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool operator==(const RowRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
 /// Identifies one stored fact: predicate plus row index within it.
 struct FactHandle {
   PredId pred = -1;
@@ -143,6 +155,17 @@ class Structure {
 
   /// Total facts present at the last MarkRoundBoundary() (0 before it).
   size_t NumFactsAtWatermark() const { return facts_at_watermark_; }
+
+  /// Splits the delta of `pred` — rows in [WatermarkRows(pred),
+  /// NumFacts(pred)) — into contiguous chunks of at most `max_chunk_rows`
+  /// rows, for sharded anchor scans. Chunk boundaries depend only on the
+  /// watermark and the row count, never on the reader's thread count, so a
+  /// parallel scan enumerates the same row partition at any parallelism
+  /// (the determinism anchor of the parallel chase). Empty when the delta
+  /// is. A skewed relation whose delta dwarfs the others simply yields
+  /// more chunks — load balancing falls out of chunking plus stealing.
+  std::vector<RowRange> DeltaChunks(PredId pred,
+                                    uint32_t max_chunk_rows) const;
 
   /// Calls fn(pred, tuple) for every stored fact.
   void ForEachFact(

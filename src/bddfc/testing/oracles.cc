@@ -39,8 +39,9 @@ std::map<PredId, std::vector<int>> BirthRoundsByPredicate(
 }
 
 // ---------------------------------------------------------------------------
-// chase-agreement: delta vs naive round loops (restricted and oblivious)
-// must produce identical chases; fixpoints must satisfy the theory.
+// chase-agreement: the delta and parallel round loops (restricted and
+// oblivious) must produce chases identical to the naive baseline; fixpoints
+// must satisfy the theory.
 // ---------------------------------------------------------------------------
 
 class ChaseAgreementOracle : public Oracle {
@@ -55,53 +56,63 @@ class ChaseAgreementOracle : public Oracle {
       opts.max_facts = config.max_facts;
       opts.oblivious = oblivious;
 
-      opts.engine = ChaseEngine::kDelta;
-      opts.fault = config.chase_fault;
-      ChaseResult delta = RunChase(s.theory, s.instance, opts);
       opts.engine = ChaseEngine::kNaive;
       opts.fault = ChaseFault::kNone;
       ChaseResult naive = RunChase(s.theory, s.instance, opts);
 
-      const char* mode = oblivious ? "[oblivious] " : "[restricted] ";
-      if (delta.status.code() != naive.status.code()) {
-        return OracleOutcome::Fail(mode + Mismatch("status",
-                                                   delta.status.ToString(),
-                                                   naive.status.ToString()));
-      }
-      if (delta.structure.NumFacts() != naive.structure.NumFacts()) {
-        return OracleOutcome::Fail(mode + Mismatch("facts",
-                                                   delta.structure.NumFacts(),
-                                                   naive.structure.NumFacts()));
-      }
-      if (delta.nulls_created != naive.nulls_created) {
-        return OracleOutcome::Fail(
-            mode + Mismatch("nulls", delta.nulls_created,
-                            naive.nulls_created));
-      }
-      if (delta.rounds_run != naive.rounds_run) {
-        return OracleOutcome::Fail(
-            mode + Mismatch("rounds", delta.rounds_run, naive.rounds_run));
-      }
-      if (delta.fixpoint_reached != naive.fixpoint_reached) {
-        return OracleOutcome::Fail(mode + Mismatch("fixpoint",
-                                                   delta.fixpoint_reached,
-                                                   naive.fixpoint_reached));
-      }
-      if (delta.facts_per_round != naive.facts_per_round) {
-        return OracleOutcome::Fail(mode +
-                                   std::string("facts_per_round diverged"));
-      }
-      if (BirthRoundsByPredicate(delta) != BirthRoundsByPredicate(naive)) {
-        return OracleOutcome::Fail(
-            mode + std::string("per-predicate birth rounds diverged"));
-      }
-      // A reached fixpoint must actually be a model of the theory.
-      if (!oblivious && delta.fixpoint_reached) {
-        for (const ChaseResult* r : {&delta, &naive}) {
-          if (auto v = CheckModel(r->structure, s.theory)) {
-            return OracleOutcome::Fail(
-                mode + std::string("fixpoint is not a model: ") +
-                v->ToString(*s.sig));
+      // The injected fault (the fuzzer's self-test) rides on the engines
+      // under test, never on the baseline.
+      for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
+        opts.engine = engine;
+        opts.fault = config.chase_fault;
+        opts.threads =
+            engine == ChaseEngine::kParallel ? size_t{4} : size_t{0};
+        ChaseResult run = RunChase(s.theory, s.instance, opts);
+
+        std::string mode = std::string(oblivious ? "[oblivious " :
+                                                   "[restricted ") +
+                           (engine == ChaseEngine::kDelta ? "delta] "
+                                                          : "parallel] ");
+        if (run.status.code() != naive.status.code()) {
+          return OracleOutcome::Fail(mode + Mismatch("status",
+                                                     run.status.ToString(),
+                                                     naive.status.ToString()));
+        }
+        if (run.structure.NumFacts() != naive.structure.NumFacts()) {
+          return OracleOutcome::Fail(
+              mode + Mismatch("facts", run.structure.NumFacts(),
+                              naive.structure.NumFacts()));
+        }
+        if (run.nulls_created != naive.nulls_created) {
+          return OracleOutcome::Fail(
+              mode + Mismatch("nulls", run.nulls_created,
+                              naive.nulls_created));
+        }
+        if (run.rounds_run != naive.rounds_run) {
+          return OracleOutcome::Fail(
+              mode + Mismatch("rounds", run.rounds_run, naive.rounds_run));
+        }
+        if (run.fixpoint_reached != naive.fixpoint_reached) {
+          return OracleOutcome::Fail(mode + Mismatch("fixpoint",
+                                                     run.fixpoint_reached,
+                                                     naive.fixpoint_reached));
+        }
+        if (run.facts_per_round != naive.facts_per_round) {
+          return OracleOutcome::Fail(mode +
+                                     std::string("facts_per_round diverged"));
+        }
+        if (BirthRoundsByPredicate(run) != BirthRoundsByPredicate(naive)) {
+          return OracleOutcome::Fail(
+              mode + std::string("per-predicate birth rounds diverged"));
+        }
+        // A reached fixpoint must actually be a model of the theory.
+        if (!oblivious && run.fixpoint_reached) {
+          for (const ChaseResult* r : {&run, &naive}) {
+            if (auto v = CheckModel(r->structure, s.theory)) {
+              return OracleOutcome::Fail(
+                  mode + std::string("fixpoint is not a model: ") +
+                  v->ToString(*s.sig));
+            }
           }
         }
       }
@@ -400,15 +411,21 @@ class GovernorPrefixOracle : public Oracle {
     ChaseResult baseline = RunChase(s.theory, s.instance, base);
 
     bool tripped_any = false;
+    for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
     for (size_t after : {size_t{1}, size_t{3}, size_t{7}}) {
       ExecutionContext ctx;
       ctx.InjectFaultAfterChecks(config.inject_fault, after);
       ChaseOptions opts = base;
       opts.context = &ctx;
+      opts.engine = engine;
+      opts.threads = engine == ChaseEngine::kParallel ? size_t{4} : size_t{0};
       // kTornExhaust rides along so the torn-prefix path has a detector.
       opts.fault = config.chase_fault;
       ChaseResult run = RunChase(s.theory, s.instance, opts);
-      std::string t = "after " + std::to_string(after) + " checks: ";
+      std::string t =
+          std::string(engine == ChaseEngine::kParallel ? "[parallel] "
+                                                       : "[delta] ") +
+          "after " + std::to_string(after) + " checks: ";
 
       if (run.status.ok() ||
           run.status.code() != StatusCode::kResourceExhausted ||
@@ -468,6 +485,7 @@ class GovernorPrefixOracle : public Oracle {
         return OracleOutcome::Fail(
             t + "per-predicate birth rounds diverge on the completed prefix");
       }
+    }
     }
     if (!tripped_any) {
       return OracleOutcome::Skip("chase finished before any injected fault");

@@ -1,11 +1,18 @@
-// A/B equivalence suite: the delta-driven chase engine must produce the
-// same result as the seed naive full-re-enumeration loop — same facts,
-// same per-round growth, same nulls, same fixpoint verdict — on every
-// workload generator family and every paper-example program.
+// A/B equivalence suite: the delta-driven and parallel sharded chase
+// engines must produce the same result as the seed naive
+// full-re-enumeration loop — same facts, same per-round growth, same
+// nulls, same fixpoint verdict — on every workload generator family and
+// every paper-example program. The parallel engine is additionally held
+// to *byte identity* with kDelta (row order, raw TermIds, provenance) at
+// 1, 2, 4 and 8 threads.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
 #include <map>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "bddfc/chase/chase.h"
@@ -32,27 +39,101 @@ std::map<PredId, std::vector<int>> BirthRoundsByPredicate(
   return out;
 }
 
-/// Runs both engines with identical options and asserts equivalence.
+/// Runs the delta and parallel engines against the naive baseline with
+/// identical options and asserts equivalence for each.
 /// `check_isomorphism` additionally requires homomorphisms both ways
 /// (exact up to null renaming); keep it off for large random structures
 /// where the whole-structure CQ gets expensive.
 void ExpectEnginesAgree(const Theory& theory, const Structure& instance,
                         ChaseOptions options, bool check_isomorphism = true) {
-  options.engine = ChaseEngine::kDelta;
-  ChaseResult delta = RunChase(theory, instance, options);
   options.engine = ChaseEngine::kNaive;
   ChaseResult naive = RunChase(theory, instance, options);
 
-  EXPECT_EQ(delta.structure.NumFacts(), naive.structure.NumFacts());
-  EXPECT_EQ(delta.facts_per_round, naive.facts_per_round);
-  EXPECT_EQ(delta.nulls_created, naive.nulls_created);
-  EXPECT_EQ(delta.fixpoint_reached, naive.fixpoint_reached);
-  EXPECT_EQ(delta.rounds_run, naive.rounds_run);
-  EXPECT_EQ(delta.status.code(), naive.status.code());
-  EXPECT_EQ(BirthRoundsByPredicate(delta), BirthRoundsByPredicate(naive));
-  if (check_isomorphism) {
-    EXPECT_TRUE(HasHomomorphism(delta.structure, naive.structure));
-    EXPECT_TRUE(HasHomomorphism(naive.structure, delta.structure));
+  for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
+    options.engine = engine;
+    options.threads = engine == ChaseEngine::kParallel ? 4 : 0;
+    ChaseResult got = RunChase(theory, instance, options);
+    const char* label =
+        engine == ChaseEngine::kParallel ? "parallel" : "delta";
+
+    EXPECT_EQ(got.structure.NumFacts(), naive.structure.NumFacts()) << label;
+    EXPECT_EQ(got.facts_per_round, naive.facts_per_round) << label;
+    EXPECT_EQ(got.nulls_created, naive.nulls_created) << label;
+    EXPECT_EQ(got.fixpoint_reached, naive.fixpoint_reached) << label;
+    EXPECT_EQ(got.rounds_run, naive.rounds_run) << label;
+    EXPECT_EQ(got.status.code(), naive.status.code()) << label;
+    EXPECT_EQ(BirthRoundsByPredicate(got), BirthRoundsByPredicate(naive))
+        << label;
+    if (check_isomorphism) {
+      EXPECT_TRUE(HasHomomorphism(got.structure, naive.structure)) << label;
+      EXPECT_TRUE(HasHomomorphism(naive.structure, got.structure)) << label;
+    }
+  }
+}
+
+/// Serializes everything the determinism contract covers: rows in append
+/// order with raw TermIds, per-round growth, null provenance and fact
+/// birth rounds. Two runs with equal dumps are byte-identical — same row
+/// order, same null *names*, not just isomorphic.
+std::string ExactDump(const ChaseResult& r) {
+  std::string s;
+  s += "status=" + r.status.ToString() + " fixpoint=";
+  s += r.fixpoint_reached ? '1' : '0';
+  s += " rounds=" + std::to_string(r.rounds_run);
+  s += " nulls=" + std::to_string(r.nulls_created);
+  s += " bindings=" + std::to_string(r.stats.match.bindings_tried);
+  s += " tdedup=" + std::to_string(r.stats.triggers_deduped);
+  s += " ddedup=" + std::to_string(r.stats.datalog_deduped);
+  s += "\nfacts_per_round:";
+  for (size_t n : r.facts_per_round) s += " " + std::to_string(n);
+  s += "\n";
+  for (PredId p = 0; p < r.structure.NumStoredPredicates(); ++p) {
+    s += "pred " + std::to_string(p) + ":";
+    for (const auto& row : r.structure.Rows(p)) {
+      s += " (";
+      for (TermId t : row) s += std::to_string(t) + ",";
+      s += ")";
+    }
+    s += "\n";
+  }
+  std::map<TermId, NullProvenance> prov(r.null_provenance.begin(),
+                                        r.null_provenance.end());
+  for (const auto& [null_id, np] : prov) {
+    s += "null " + std::to_string(null_id) + ": r" +
+         std::to_string(np.birth_round) + " rule" +
+         std::to_string(np.rule_index) + " head p" +
+         std::to_string(np.head_atom.pred) + "(";
+    for (TermId t : np.head_atom.args) s += std::to_string(t) + ",";
+    s += ")\n";
+  }
+  std::map<std::pair<PredId, uint32_t>, int> births;
+  for (const auto& [handle, round] : r.fact_round) {
+    births[{handle.pred, handle.row}] = round;
+  }
+  for (const auto& [key, round] : births) {
+    s += "fact p" + std::to_string(key.first) + "#" +
+         std::to_string(key.second) + "=r" + std::to_string(round) + "\n";
+  }
+  return s;
+}
+
+/// The parallel engine's core contract: byte-identical output to kDelta
+/// at every thread count. `make` must build a fresh Program per call —
+/// runs share a Signature otherwise, and the nulls the first run interns
+/// would shift the TermIds of the second.
+void ExpectByteIdentical(const std::function<Program()>& make,
+                         ChaseOptions options) {
+  options.engine = ChaseEngine::kDelta;
+  Program ref_program = make();
+  const std::string ref =
+      ExactDump(RunChase(ref_program.theory, ref_program.instance, options));
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    Program p = make();
+    ChaseOptions o = options;
+    o.engine = ChaseEngine::kParallel;
+    o.threads = threads;
+    EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
+        << "threads=" << threads;
   }
 }
 
@@ -199,6 +280,130 @@ TEST_P(ChaseAbGenerators, RandomAcyclicBinaryTheoryDatalogOnly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaseAbGenerators,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------------------------
+// Parallel engine byte-identity: not just isomorphic — identical row
+// order, identical null TermIds, identical provenance at every thread
+// count (the determinism contract of chase/parallel.h).
+// ---------------------------------------------------------------------------
+
+TEST(ChaseParallelIdentity, PaperExamples) {
+  ExpectByteIdentical([] { return Example1(); }, Depth(6));
+  ExpectByteIdentical([] { return Example9(); }, Depth(5));
+  ExpectByteIdentical([] { return GuardedSample(); }, Depth(8));
+  ExpectByteIdentical([] { return Section54(); }, Depth(5));
+}
+
+TEST(ChaseParallelIdentity, ObliviousMode) {
+  ChaseOptions o = Depth(4);
+  o.oblivious = true;
+  ExpectByteIdentical([] { return Example7(); }, o);
+  ExpectByteIdentical([] { return Example1(); }, o);
+}
+
+TEST(ChaseParallelIdentity, DatalogTransitiveClosure) {
+  // Large enough that one relation spans multiple 1024-row chunks is
+  // impractical here; instead exercise many rounds and heavy dedup.
+  auto make = [] {
+    std::string text = "e(X, Y), e(Y, Z) -> e(X, Z).\n";
+    for (int i = 0; i < 24; ++i) {
+      text += "e(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
+              ").\n";
+    }
+    auto r = ParseProgram(text);
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  };
+  ExpectByteIdentical(make, Depth(64));
+}
+
+TEST(ChaseParallelIdentity, GeneratorWorkloads) {
+  for (uint64_t seed : {3u, 7u, 11u}) {
+    ExpectByteIdentical(
+        [seed] {
+          auto sig = std::make_shared<Signature>();
+          Structure d = RandomGraph(sig, /*nodes=*/14, /*edges=*/30, seed);
+          PredId e0 = std::move(sig->FindPredicate("e0")).ValueOrDie();
+          Program p(sig);
+          TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
+          EXPECT_TRUE(
+              p.theory
+                  .AddRule(Rule({Atom(e0, {x, y}), Atom(e0, {y, z})},
+                                {Atom(e0, {x, z})}))
+                  .ok());
+          p.instance = std::move(d);
+          return p;
+        },
+        Depth(64));
+    ExpectByteIdentical(
+        [seed] {
+          auto sig = std::make_shared<Signature>();
+          Program p(sig);
+          p.theory = RandomGuardedTheory(sig, /*max_arity=*/3, /*rules=*/5,
+                                         seed);
+          PredId g2 = std::move(sig->FindPredicate("g2_0")).ValueOrDie();
+          PredId g3 = std::move(sig->FindPredicate("g3_0")).ValueOrDie();
+          TermId a = sig->AddConstant("a"), b = sig->AddConstant("b");
+          p.instance.AddFact(g2, {a, b});
+          p.instance.AddFact(g3, {b, a, a});
+          return p;
+        },
+        Depth(5));
+  }
+}
+
+TEST(ChaseParallelIdentity, DivergentRunCutByRoundBudget) {
+  // A budget-cut (non-fixpoint) run must be byte-identical too: the
+  // parallel engine's round barriers make the prefix deterministic.
+  ChaseOptions o = Depth(8);
+  ExpectByteIdentical([] { return Example1(); }, o);
+  ChaseOptions facts = Depth(64);
+  facts.max_facts = 100;
+  ExpectByteIdentical([] { return Example9(); }, facts);
+}
+
+// ---------------------------------------------------------------------------
+// Stats-merge regression (the parallel ChaseStats bugfix): per-round
+// times must merge max across shards, so the reported round times can
+// never exceed the measured wall clock of the whole run.
+// ---------------------------------------------------------------------------
+
+TEST(ChaseParallelStats, ReportedRoundTimesStayUnderMeasuredWallClock) {
+  for (size_t threads : {1u, 4u, 8u}) {
+    auto sig = std::make_shared<Signature>();
+    Structure d = RandomGraph(sig, /*nodes=*/18, /*edges=*/48, /*seed=*/5);
+    PredId e0 = std::move(sig->FindPredicate("e0")).ValueOrDie();
+    Theory t(sig);
+    TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
+    ASSERT_TRUE(t.AddRule(Rule({Atom(e0, {x, y}), Atom(e0, {y, z})},
+                               {Atom(e0, {x, z})}))
+                    .ok());
+    ChaseOptions o;
+    o.max_rounds = 64;
+    o.engine = ChaseEngine::kParallel;
+    o.threads = threads;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    ChaseResult r = RunChase(t, d, o);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.fixpoint_reached);
+    // Same stats shape as the sequential engines: one entry per executed
+    // round plus the final (empty) fixpoint round.
+    EXPECT_EQ(r.stats.round_ms.size(), r.rounds_run + 1)
+        << "threads=" << threads;
+    // Rounds are disjoint sub-intervals of the run: with shard times
+    // max-merged their sum is bounded by the wall clock. A sum-merge
+    // would overshoot on any multi-core box. Small slack for clock
+    // granularity.
+    const double reported = std::accumulate(r.stats.round_ms.begin(),
+                                            r.stats.round_ms.end(), 0.0);
+    EXPECT_LE(reported, wall_ms + 0.5) << "threads=" << threads;
+  }
+}
 
 }  // namespace
 }  // namespace bddfc

@@ -243,6 +243,68 @@ TEST(SeminaiveTest, DeltaBindingsAreNotDoubleCounted) {
   EXPECT_EQ(r.bindings_tried, 1u);  // the seed engine counted 2
 }
 
+TEST(ChaseStatsTest, ShardMergeSumsCountersButMaxesTimesAndPeaks) {
+  // Shards of one round overlap in time and share one memory accountant:
+  // counters are additive, round_ms merges element-wise max and
+  // peak_bytes takes the max. The pre-fix merge summed all three, so a
+  // 4-shard round reported ~4x its wall time.
+  ChaseStats a;
+  a.match.bindings_tried = 10;
+  a.match.postings_hits = 100;
+  a.match.postings_misses = 7;
+  a.triggers_deduped = 1;
+  a.datalog_deduped = 3;
+  a.round_ms = {2.0, 8.0};
+  a.peak_bytes = 100;
+
+  ChaseStats b;
+  b.match.bindings_tried = 5;
+  b.match.postings_hits = 50;
+  b.match.postings_misses = 2;
+  b.triggers_deduped = 2;
+  b.datalog_deduped = 4;
+  b.round_ms = {5.0, 1.0, 7.0};
+  b.peak_bytes = 250;
+
+  a += b;
+  EXPECT_EQ(a.match.bindings_tried, 15u);
+  EXPECT_EQ(a.match.postings_hits, 150u);
+  EXPECT_EQ(a.match.postings_misses, 9u);
+  EXPECT_EQ(a.triggers_deduped, 3u);
+  EXPECT_EQ(a.datalog_deduped, 7u);
+  EXPECT_EQ(a.round_ms, (std::vector<double>{5.0, 8.0, 7.0}));
+  EXPECT_EQ(a.peak_bytes, 250u);
+}
+
+TEST(ChaseTest, ParallelEngineDedupsTriggersAndHonorsFaultInjection) {
+  // The striped trigger table must preserve the head-pattern dedup
+  // invariant, and the kSkipTriggerDedup fault must still break it (the
+  // fuzzer self-test depends on the fault reaching the parallel path).
+  const char* text = R"(
+    e(X, Y) -> exists U, V: p(Y, U), q(Y, V).
+    f(X, Y) -> exists U, V: q(Y, V), p(Y, U).
+    e(a, b).
+    f(a, b).
+  )";
+  ChaseOptions opts;
+  opts.engine = ChaseEngine::kParallel;
+  opts.threads = 4;
+  {
+    Program p = MustParse(text);
+    ChaseResult res = RunChase(p.theory, p.instance, opts);
+    EXPECT_TRUE(res.fixpoint_reached);
+    EXPECT_EQ(res.nulls_created, 2u);
+    EXPECT_EQ(res.stats.triggers_deduped, 1u);
+  }
+  {
+    Program p = MustParse(text);
+    ChaseOptions faulty = opts;
+    faulty.fault = ChaseFault::kSkipTriggerDedup;
+    ChaseResult res = RunChase(p.theory, p.instance, faulty);
+    EXPECT_EQ(res.nulls_created, 4u);  // one witness pair per trigger
+  }
+}
+
 TEST(SeminaiveTest, ClosureMatchesNaiveChase) {
   std::string text = "e(X, Y), e(Y, Z) -> e(X, Z).\n";
   for (int i = 0; i < 6; ++i) {
@@ -258,6 +320,38 @@ TEST(SeminaiveTest, ClosureMatchesNaiveChase) {
   EXPECT_EQ(sn.structure.NumFacts(), nr.structure.NumFacts());
   EXPECT_TRUE(sn.structure.ContainsAllFactsOf(nr.structure));
   EXPECT_TRUE(nr.structure.ContainsAllFactsOf(sn.structure));
+}
+
+TEST(SeminaiveTest, ShardedSaturationMatchesSerialByteForByte) {
+  // The pool path buffers through a striped set and applies in sorted
+  // order — the closure must match the serial loop row-for-row (same
+  // append order, same counters) at every thread count.
+  std::string text = "e(X, Y), e(Y, Z) -> e(X, Z).\ne(h, c0).\n";
+  for (int i = 0; i < 10; ++i) {
+    text += "e(c" + std::to_string(i) + ", c" + std::to_string(i + 1) +
+            ").\n";
+  }
+  Program p = MustParse(text.c_str());
+  SaturateOptions serial_opts;  // threads = 1
+  SaturateResult serial = SaturateDatalog(p.theory, p.instance, serial_opts);
+  ASSERT_TRUE(serial.status.ok());
+
+  for (size_t threads : {2u, 4u, 8u}) {
+    SaturateOptions opts;
+    opts.threads = threads;
+    SaturateResult sharded = SaturateDatalog(p.theory, p.instance, opts);
+    ASSERT_TRUE(sharded.status.ok()) << "threads " << threads;
+    EXPECT_EQ(sharded.rounds_run, serial.rounds_run) << threads;
+    EXPECT_EQ(sharded.facts_derived, serial.facts_derived) << threads;
+    EXPECT_EQ(sharded.bindings_tried, serial.bindings_tried) << threads;
+    ASSERT_EQ(sharded.structure.NumStoredPredicates(),
+              serial.structure.NumStoredPredicates());
+    for (PredId pred = 0; pred < serial.structure.NumStoredPredicates();
+         ++pred) {
+      EXPECT_EQ(sharded.structure.Rows(pred), serial.structure.Rows(pred))
+          << "pred " << pred << " threads " << threads;
+    }
+  }
 }
 
 TEST(ChaseTest, Example7DerivesReflexiveRAtoms) {

@@ -1,12 +1,16 @@
 // bddfc command-line tool.
 //
 // Usage:
-//   bddfc chase    <program.dlg> [max_rounds]
+//   bddfc chase    <program.dlg> [max_rounds] [--chase-engine=delta|naive|
+//                  parallel] [--threads N]
 //   bddfc rewrite  <program.dlg> [--threads N] [--no-prune]
 //   bddfc classify <program.dlg> [--threads N] [--no-prune]
 //   bddfc model    <program.dlg>            (Theorem 2 counter-model per query)
 //   bddfc search   <program.dlg> [extra]    (brute-force counter-model)
 //
+// chase runs the selected round engine; --chase-engine=parallel shards
+// each round's delta scans over --threads N workers (default: hardware
+// concurrency) with byte-identical output at any N.
 // rewrite rewrites each ?- query and prints the per-level RewriteStats;
 // classify prints class membership + the BDD probe. --threads N fans the
 // independent rewritings of the BDD probe over N workers (the output is
@@ -70,6 +74,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: bddfc <chase|rewrite|classify|model|search> "
                "<program.dlg> [arg] [--threads N] [--no-prune]\n"
+               "             [--chase-engine=delta|naive|parallel]\n"
                "             [--deadline-ms N] [--mem-budget-mb N]\n"
                "             [--trace-out=FILE] [--metrics-out=FILE]\n"
                "exit codes: 0 ok, 1 negative outcome, 2 usage/parse error, "
@@ -135,9 +140,12 @@ int ExitFor(const Status& status, int ok_code = kExitOk) {
                                                          : kExitNegative;
 }
 
-int CmdChase(Program& p, size_t max_rounds, ExecutionContext* ctx) {
+int CmdChase(Program& p, size_t max_rounds, ChaseEngine engine,
+             size_t threads, ExecutionContext* ctx) {
   ChaseOptions opts;
   opts.max_rounds = max_rounds;
+  opts.engine = engine;
+  opts.threads = threads;
   opts.context = ctx;
   ChaseResult r = RunChase(p.theory, p.instance, opts);
   std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
@@ -304,6 +312,8 @@ int main(int argc, char** argv) {
   const char* cmd = argv[1];
   // Flags shared by rewrite/classify; positional extras stay for the rest.
   RewriteOptions ropts;
+  ChaseEngine chase_engine = ChaseEngine::kDelta;
+  size_t chase_threads = 0;
   const char* positional = nullptr;
   double deadline_ms = -1;
   double mem_budget_mb = -1;
@@ -312,6 +322,18 @@ int main(int argc, char** argv) {
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       ropts.threads = std::strtoul(argv[++i], nullptr, 10);
+      chase_threads = ropts.threads;
+    } else if (std::strncmp(argv[i], "--chase-engine=", 15) == 0) {
+      const char* name = argv[i] + 15;
+      if (std::strcmp(name, "delta") == 0) {
+        chase_engine = ChaseEngine::kDelta;
+      } else if (std::strcmp(name, "naive") == 0) {
+        chase_engine = ChaseEngine::kNaive;
+      } else if (std::strcmp(name, "parallel") == 0) {
+        chase_engine = ChaseEngine::kParallel;
+      } else {
+        return Usage();
+      }
     } else if (std::strcmp(argv[i], "--no-prune") == 0) {
       ropts.prune_subsumed = false;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
@@ -351,10 +373,10 @@ int main(int argc, char** argv) {
 
   int rc;
   if (std::strcmp(cmd, "chase") == 0) {
-    rc = CmdChase(p, positional != nullptr
-                         ? std::strtoul(positional, nullptr, 10)
-                         : 32,
-                  &ctx);
+    rc = CmdChase(p,
+                  positional != nullptr ? std::strtoul(positional, nullptr, 10)
+                                        : 32,
+                  chase_engine, chase_threads, &ctx);
   } else if (std::strcmp(cmd, "rewrite") == 0) {
     rc = CmdRewrite(p, ropts);
   } else if (std::strcmp(cmd, "classify") == 0) {
