@@ -79,11 +79,12 @@ GeneratorWorkload MakeGeneratorWorkload(int nodes, int edges, uint64_t seed) {
 }
 
 ChaseResult TimedChase(const GeneratorWorkload& w, ChaseEngine engine,
-                       double* ms) {
+                       double* ms, bool plans = true) {
   ChaseOptions opts;
   opts.max_rounds = 256;
   opts.max_facts = 5000000;
   opts.engine = engine;
+  opts.compiled_plans = plans;
   auto t0 = std::chrono::steady_clock::now();
   ChaseResult r = RunChase(w.theory, w.instance, opts);
   *ms = std::chrono::duration<double, std::milli>(
@@ -118,12 +119,13 @@ void PrintEngineComparison() {
 }
 
 ChaseResult TimedParallelChase(const GeneratorWorkload& w, size_t threads,
-                               double* ms) {
+                               double* ms, bool plans = true) {
   ChaseOptions opts;
   opts.max_rounds = 256;
   opts.max_facts = 5000000;
   opts.engine = ChaseEngine::kParallel;
   opts.threads = threads;
+  opts.compiled_plans = plans;
   auto t0 = std::chrono::steady_clock::now();
   ChaseResult r = RunChase(w.theory, w.instance, opts);
   *ms = std::chrono::duration<double, std::milli>(
@@ -147,15 +149,25 @@ bool ByteIdentical(const ChaseResult& a, const ChaseResult& b) {
 
 /// One measured configuration of E15, also a row of BENCH_chase.json.
 struct ScalingRow {
+  const char* family;  // "scaling" (generator) or "tc-saturation"
   int nodes;
   int edges;
   std::string engine;  // "delta" or "parallel"
   size_t threads;      // 0 for the delta baseline
+  bool plans;          // compiled query plans vs the interpretive matcher
   double ms;
   size_t facts;
   size_t rounds;
-  bool identical;  // byte-identical to the delta baseline
+  bool identical;  // byte-identical to the delta interpreter baseline
 };
+
+/// Order-independent execution counters two equivalent runs must agree on
+/// (the parallel-at-one-thread parity contract rides on this too).
+bool StatsParity(const ChaseResult& a, const ChaseResult& b) {
+  return a.stats.match.bindings_tried == b.stats.match.bindings_tried &&
+         a.stats.triggers_deduped == b.stats.triggers_deduped &&
+         a.stats.datalog_deduped == b.stats.datalog_deduped;
+}
 
 /// Writes the perf-trajectory artifact consumed by CI. The path defaults
 /// to BENCH_chase.json in the working directory (CI runs from the repo
@@ -174,11 +186,13 @@ void WriteBenchJson(const std::vector<ScalingRow>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const ScalingRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"nodes\": %d, \"edges\": %d, \"engine\": \"%s\", "
-                 "\"threads\": %zu, \"ms\": %.3f, \"facts\": %zu, "
-                 "\"rounds\": %zu, \"identical\": %s}%s\n",
-                 r.nodes, r.edges, r.engine.c_str(), r.threads, r.ms,
-                 r.facts, r.rounds, r.identical ? "true" : "false",
+                 "    {\"family\": \"%s\", \"nodes\": %d, \"edges\": %d, "
+                 "\"engine\": \"%s\", "
+                 "\"threads\": %zu, \"plans\": %s, \"ms\": %.3f, "
+                 "\"facts\": %zu, \"rounds\": %zu, \"identical\": %s}%s\n",
+                 r.family, r.nodes, r.edges, r.engine.c_str(), r.threads,
+                 r.plans ? "true" : "false", r.ms, r.facts, r.rounds,
+                 r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -186,13 +200,70 @@ void WriteBenchJson(const std::vector<ScalingRow>& rows) {
   std::printf("wrote %s (%zu rows)\n", path, rows.size());
 }
 
-void PrintParallelScaling() {
+/// Transitive closure of a c0 -> c1 -> ... -> c(n-1) path under the
+/// composition rule e(X,Y), e(Y,Z) -> e(X,Z): the join-dominated datalog
+/// saturation load (O(n^2) facts, O(n^3) bindings over ~log n rounds)
+/// where per-binding evaluation cost, not sink cost, decides the wall
+/// clock — the workload the compiled executor exists for.
+GeneratorWorkload MakeTcWorkload(int n) {
+  Program p = ParseProgram("e(X, Y), e(Y, Z) -> e(X, Z).").ValueOrDie();
+  PredId e = std::move(p.theory.sig().FindPredicate("e")).ValueOrDie();
+  TermId prev = p.theory.mutable_sig().AddConstant("c0");
+  for (int i = 1; i < n; ++i) {
+    std::string name = "c";
+    name += std::to_string(i);
+    TermId next = p.theory.mutable_sig().AddConstant(name);
+    p.instance.AddFact(e, {prev, next});
+    prev = next;
+  }
+  return {nullptr, std::move(p.theory), std::move(p.instance)};
+}
+
+void PrintPlanSaturation(std::vector<ScalingRow>* json_rows) {
   bddfc_bench::Banner(
-      "E15", "parallel sharded chase scaling (byte-identical at any "
-             "thread count; speedup needs real cores)");
-  std::printf("%-8s %-8s %-8s %-8s %-10s %-8s %-8s %-8s %-8s %-9s %-9s\n",
-              "nodes", "edges", "facts", "rounds", "delta ms", "t=1", "t=2",
-              "t=4", "t=8", "speedup4", "identical");
+      "E15b", "compiled plans vs interpretive matcher on datalog "
+              "saturation (path transitive closure, byte-identical "
+              "output required)");
+  std::printf("%-8s %-8s %-8s %-10s %-10s %-9s %-10s %-9s\n", "n", "facts",
+              "rounds", "interp ms", "plans ms", "planspd", "t=4 plans",
+              "identical");
+  for (int n : {48, 96, 144}) {
+    double interp_ms = 0, plans_ms = 0, t4_ms = 0;
+    GeneratorWorkload ref_w = MakeTcWorkload(n);
+    ChaseResult ref = TimedChase(ref_w, ChaseEngine::kDelta, &interp_ms,
+                                 /*plans=*/false);
+    GeneratorWorkload plan_w = MakeTcWorkload(n);
+    ChaseResult pr = TimedChase(plan_w, ChaseEngine::kDelta, &plans_ms);
+    GeneratorWorkload par_w = MakeTcWorkload(n);
+    ChaseResult t4 = TimedParallelChase(par_w, 4, &t4_ms);
+    const bool plans_ok = ByteIdentical(pr, ref) && StatsParity(pr, ref);
+    const bool t4_ok = ByteIdentical(t4, ref);
+    json_rows->push_back({"tc-saturation", n, n - 1, "delta", 0, false,
+                          interp_ms, ref.structure.NumFacts(),
+                          ref.rounds_run, true});
+    json_rows->push_back({"tc-saturation", n, n - 1, "delta", 0, true,
+                          plans_ms, pr.structure.NumFacts(), pr.rounds_run,
+                          plans_ok});
+    json_rows->push_back({"tc-saturation", n, n - 1, "parallel", 4, true,
+                          t4_ms, t4.structure.NumFacts(), t4.rounds_run,
+                          t4_ok});
+    std::printf("%-8d %-8zu %-8zu %-10.2f %-10.2f %-9.2f %-10.2f %-9s\n", n,
+                ref.structure.NumFacts(), ref.rounds_run, interp_ms,
+                plans_ms, interp_ms / std::max(plans_ms, 1e-9), t4_ms,
+                plans_ok && t4_ok ? "yes" : "NO");
+  }
+}
+
+void PrintParallelScaling(std::vector<ScalingRow>* out_rows) {
+  bddfc_bench::Banner(
+      "E15", "parallel sharded chase scaling and compiled-plan speedup "
+             "(byte-identical across engines, thread counts and plans "
+             "on/off; thread scaling needs real cores)");
+  std::printf("%-8s %-8s %-8s %-8s %-9s %-9s %-8s %-8s %-8s %-8s %-8s "
+              "%-9s %-9s\n",
+              "nodes", "edges", "facts", "rounds", "interp", "plans",
+              "planspd", "t=1", "t=2", "t=4", "t=8", "speedup4",
+              "identical");
   const int sizes[][2] = {{100, 300}, {200, 600}, {400, 1200}};
   const size_t thread_counts[] = {1, 2, 4, 8};
   std::vector<ScalingRow> json_rows;
@@ -200,30 +271,58 @@ void PrintParallelScaling() {
     // Each run chases a freshly generated workload: the chase interns
     // nulls into the workload's signature, so reusing one instance would
     // shift the TermIds of the second run and break the byte comparison.
-    double delta_ms = 0;
+    // Reference: the delta engine on the interpretive matcher.
+    double interp_ms = 0;
     GeneratorWorkload ref_w = MakeGeneratorWorkload(nodes, edges, 42);
-    ChaseResult ref = TimedChase(ref_w, ChaseEngine::kDelta, &delta_ms);
-    json_rows.push_back({nodes, edges, "delta", 0, delta_ms,
+    ChaseResult ref = TimedChase(ref_w, ChaseEngine::kDelta, &interp_ms,
+                                 /*plans=*/false);
+    json_rows.push_back({"scaling", nodes, edges, "delta", 0, false,
+                         interp_ms,
                          ref.structure.NumFacts(), ref.rounds_run, true});
+    double plans_ms = 0;
+    {
+      GeneratorWorkload w = MakeGeneratorWorkload(nodes, edges, 42);
+      ChaseResult r = TimedChase(w, ChaseEngine::kDelta, &plans_ms);
+      json_rows.push_back({"scaling", nodes, edges, "delta", 0, true,
+                           plans_ms,
+                           r.structure.NumFacts(), r.rounds_run,
+                           ByteIdentical(r, ref) && StatsParity(r, ref)});
+    }
     double ms[4] = {0, 0, 0, 0};
     bool all_identical = true;
     for (int i = 0; i < 4; ++i) {
       GeneratorWorkload w = MakeGeneratorWorkload(nodes, edges, 42);
       ChaseResult r = TimedParallelChase(w, thread_counts[i], &ms[i]);
-      const bool identical = ByteIdentical(r, ref);
+      // The t=1 row is the serial-route parity contract: kParallel at one
+      // thread takes the sequential round path, so bytes *and* stats must
+      // match the delta engine exactly.
+      bool identical = ByteIdentical(r, ref);
+      if (thread_counts[i] == 1) identical = identical && StatsParity(r, ref);
       all_identical = all_identical && identical;
-      json_rows.push_back({nodes, edges, "parallel", thread_counts[i],
+      json_rows.push_back({"scaling", nodes, edges, "parallel",
+                           thread_counts[i], true,
                            ms[i], r.structure.NumFacts(), r.rounds_run,
                            identical});
     }
+    {
+      // Interpreter parity of the serial route as well (plans off).
+      GeneratorWorkload w = MakeGeneratorWorkload(nodes, edges, 42);
+      double t1_interp_ms = 0;
+      ChaseResult r = TimedParallelChase(w, 1, &t1_interp_ms,
+                                         /*plans=*/false);
+      json_rows.push_back({"scaling", nodes, edges, "parallel", 1, false,
+                           t1_interp_ms,
+                           r.structure.NumFacts(), r.rounds_run,
+                           ByteIdentical(r, ref) && StatsParity(r, ref)});
+    }
     std::printf(
-        "%-8d %-8d %-8zu %-8zu %-10.2f %-8.2f %-8.2f %-8.2f %-8.2f "
-        "%-9.2f %-9s\n",
-        nodes, edges, ref.structure.NumFacts(), ref.rounds_run, delta_ms,
-        ms[0], ms[1], ms[2], ms[3], ms[0] / std::max(ms[2], 1e-9),
-        all_identical ? "yes" : "NO");
+        "%-8d %-8d %-8zu %-8zu %-9.2f %-9.2f %-8.2f %-8.2f %-8.2f %-8.2f "
+        "%-8.2f %-9.2f %-9s\n",
+        nodes, edges, ref.structure.NumFacts(), ref.rounds_run, interp_ms,
+        plans_ms, interp_ms / std::max(plans_ms, 1e-9), ms[0], ms[1], ms[2],
+        ms[3], ms[0] / std::max(ms[2], 1e-9), all_identical ? "yes" : "NO");
   }
-  WriteBenchJson(json_rows);
+  out_rows->insert(out_rows->end(), json_rows.begin(), json_rows.end());
 }
 
 void PrintTable() {
@@ -370,7 +469,10 @@ BENCHMARK(BM_DatalogSaturation)->Arg(16)->Arg(32)->Arg(64);
 void PrintAllTables() {
   PrintTable();
   PrintEngineComparison();
-  PrintParallelScaling();
+  std::vector<ScalingRow> json_rows;
+  PrintParallelScaling(&json_rows);
+  PrintPlanSaturation(&json_rows);
+  WriteBenchJson(json_rows);
 }
 
 }  // namespace

@@ -27,6 +27,7 @@ void ChaseStats::PublishTo(const char* prefix) const {
     obs::Counter* bindings_tried;
     obs::Counter* postings_hits;
     obs::Counter* postings_misses;
+    obs::Counter* rows_scanned;
     obs::Counter* triggers_deduped;
     obs::Counter* datalog_deduped;
     obs::Histogram* round_us;
@@ -37,6 +38,7 @@ void ChaseStats::PublishTo(const char* prefix) const {
                    reg.GetCounter(p + ".bindings_tried"),
                    reg.GetCounter(p + ".postings_hits"),
                    reg.GetCounter(p + ".postings_misses"),
+                   reg.GetCounter(p + ".rows_scanned"),
                    reg.GetCounter(p + ".triggers_deduped"),
                    reg.GetCounter(p + ".datalog_deduped"),
                    reg.GetHistogram(p + ".round_us")};
@@ -45,6 +47,7 @@ void ChaseStats::PublishTo(const char* prefix) const {
     h.bindings_tried->Add(match.bindings_tried);
     h.postings_hits->Add(match.postings_hits);
     h.postings_misses->Add(match.postings_misses);
+    h.rows_scanned->Add(match.rows_scanned);
     h.triggers_deduped->Add(triggers_deduped);
     h.datalog_deduped->Add(datalog_deduped);
     for (double ms : round_ms) {
@@ -133,13 +136,26 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   // one witness per trigger, not one per round).
   std::unordered_set<std::string> fired;
 
-  const bool parallel = options.engine == ChaseEngine::kParallel;
+  // kParallel with one resolved worker thread routes through the serial
+  // delta round path: a pool plus striped tables buys nothing at
+  // parallelism 1 and used to cost up to 2x against kDelta. Same bytes
+  // (both funnel through ApplyRound's canonical order), same stats.
+  const size_t pool_threads =
+      options.threads != 0 ? options.threads : ThreadPool::DefaultThreads();
+  const bool parallel =
+      options.engine == ChaseEngine::kParallel && pool_threads > 1;
   std::unique_ptr<ThreadPool> pool;
   if (parallel) {
-    pool = std::make_unique<ThreadPool>(
-        options.threads != 0 ? options.threads : ThreadPool::DefaultThreads());
+    pool = std::make_unique<ThreadPool>(pool_threads);
     pool->SetCancelToken(ctx->cancel_token());
   }
+
+  // Compiled query plans: one cache per run, shared by every round (and
+  // every shard task — PlanCache is thread-safe). kNaive stays on the
+  // interpretive Matcher as the independent A/B reference.
+  const bool use_plans =
+      options.compiled_plans && options.engine != ChaseEngine::kNaive;
+  PlanCache plan_cache;
 
   for (size_t round = 1; round <= options.max_rounds; ++round) {
     // Round boundary: the structure holds exactly Chase^{round-1}, so a
@@ -154,16 +170,26 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     const auto round_start = std::chrono::steady_clock::now();
     obs::TraceSpan round_span("chase.round");
 
+    // Round boundaries are the single-threaded point of the run: extend
+    // the sorted per-position indexes over the previous round's additions
+    // before any (possibly parallel) scan starts reading them.
+    if (use_plans) out.structure.RefreshIndexes();
+
     // Enumerate this round's derivations against the Chase^{round-1}
     // snapshot into a buffer; the structure is not touched until the
     // buffer is applied, so every engine sees one frozen instance.
     RoundBuffer buf;
-    RoundInputs inputs{theory, out.structure, options, ctx, &fired};
+    RoundInputs inputs{theory,
+                       out.structure,
+                       options,
+                       ctx,
+                       &fired,
+                       use_plans ? &plan_cache : nullptr};
     Status barrier = Status::OK();
     if (parallel) {
       barrier = EnumerateRoundParallel(inputs, pool.get(), &buf);
     } else {
-      EnumerateRoundSequential(inputs, options.engine == ChaseEngine::kDelta,
+      EnumerateRoundSequential(inputs, options.engine != ChaseEngine::kNaive,
                                &buf);
     }
 

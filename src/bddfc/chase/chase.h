@@ -86,8 +86,17 @@ struct ChaseOptions {
   ChaseEngine engine = ChaseEngine::kDelta;
   /// Worker threads for ChaseEngine::kParallel (ignored otherwise);
   /// 0 = ThreadPool::DefaultThreads(). The result does not depend on this
-  /// value, only the wall time does.
+  /// value, only the wall time does. A resolved value <= 1 routes through
+  /// the serial round path inside the parallel engine — same bytes, same
+  /// stats, none of the pool/striped-table overhead.
   size_t threads = 0;
+  /// Evaluate rule bodies through compiled query plans (eval/plan.h) with
+  /// vectorized block execution (eval/exec.h) instead of the interpretive
+  /// Matcher. Applies to kDelta and kParallel; kNaive always runs the
+  /// interpreter so an independent A/B reference survives. The result is
+  /// byte-identical either way — only postings_hits/_misses/rows_scanned
+  /// may differ (the two backends probe indexes in different orders).
+  bool compiled_plans = true;
   /// Fault injection for fuzzer self-tests; kNone in all production paths.
   ChaseFault fault = ChaseFault::kNone;
   /// Resource governor (not owned; may be null). When set, the run checks
@@ -126,6 +135,7 @@ struct ChaseStats {
     match.bindings_tried += o.match.bindings_tried;
     match.postings_hits += o.match.postings_hits;
     match.postings_misses += o.match.postings_misses;
+    match.rows_scanned += o.match.rows_scanned;
     triggers_deduped += o.triggers_deduped;
     datalog_deduped += o.datalog_deduped;
     if (o.round_ms.size() > round_ms.size()) {

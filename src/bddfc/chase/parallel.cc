@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bddfc/base/striped_table.h"
+#include "bddfc/eval/exec.h"
 #include "bddfc/obs/trace.h"
 
 namespace bddfc {
@@ -95,16 +96,28 @@ Status EnumerateRoundParallel(const RoundInputs& in, ThreadPool* pool,
               const auto start = std::chrono::steady_clock::now();
               obs::TraceSpan span("chase.shard");
               ChaseStats local;
-              Matcher matcher(in.frozen, &local.match);
               Matcher witness(in.frozen);
               StripedSink sink{in, &shared};
               const Rule& r = in.theory.rules()[ri];
-              matcher.EnumerateBanded(
-                  r.body,
-                  AnchorBands(in.frozen, r, di, chunk.begin, chunk.end), {},
+              const std::vector<RowBand> bands =
+                  AnchorBands(in.frozen, r, di, chunk.begin, chunk.end);
+              const std::function<bool(const Binding&)> on_binding =
                   [&](const Binding& b) {
                     return HandleBinding(in, ri, b, witness, sink);
-                  });
+                  };
+              if (in.plans != nullptr) {
+                // Shared thread-safe plan cache; the sorted indexes were
+                // refreshed at the round boundary, so shard reads race
+                // nothing.
+                const std::function<bool()> block_stop = [&in] {
+                  return in.ctx->ShouldStop("plan block");
+                };
+                ExecuteBandedPlan(in.frozen, *in.plans, r.body, di, bands,
+                                  on_binding, &local.match, &block_stop);
+              } else {
+                Matcher matcher(in.frozen, &local.match);
+                matcher.EnumerateBanded(r.body, bands, {}, on_binding);
+              }
               span.set_detail("r" + std::to_string(ri) + " a" +
                               std::to_string(di) + " +" +
                               std::to_string(chunk.size()) + "@" +

@@ -5,6 +5,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "bddfc/eval/exec.h"
+
 namespace bddfc {
 namespace chase_internal {
 
@@ -205,10 +207,36 @@ void EnumerateRoundSequential(const RoundInputs& in, bool delta,
         if (wm >= in.frozen.NumFacts(anchor_pred)) {
           continue;  // this relation gained nothing last round
         }
-        matcher.EnumerateBanded(rule.body,
-                                AnchorBands(in.frozen, rule, di, wm,
-                                            UINT32_MAX),
-                                {}, on_binding);
+        // An anchor whose pre-watermark prefix is vacuous (some earlier
+        // body atom has watermark 0) contributes no bindings. The matcher
+        // discovers this for free — it enumerates in body order and the
+        // empty band kills the walk before reaching the anchor — but the
+        // plan executor pins the anchor first and would scan its whole
+        // delta before probing the empty band. Skip it up front, matching
+        // the parallel engine's shard-submission filter, so the effort
+        // counters agree across all three paths.
+        bool empty_prefix = false;
+        for (size_t j = 0; j < di; ++j) {
+          if (in.frozen.WatermarkRows(rule.body[j].pred) == 0) {
+            empty_prefix = true;
+            break;
+          }
+        }
+        if (empty_prefix) continue;
+        const std::vector<RowBand> bands =
+            AnchorBands(in.frozen, rule, di, wm, UINT32_MAX);
+        if (in.plans != nullptr) {
+          // Compiled path: per-(body, anchor) plan from the run cache,
+          // vectorized banded execution. The binding *set* matches the
+          // interpreter's, which is all ApplyRound depends on.
+          const std::function<bool()> block_stop = [&in] {
+            return in.ctx->ShouldStop("plan block");
+          };
+          ExecuteBandedPlan(in.frozen, *in.plans, rule.body, di, bands,
+                            on_binding, &buf->stats.match, &block_stop);
+        } else {
+          matcher.EnumerateBanded(rule.body, bands, {}, on_binding);
+        }
       }
     } else {
       matcher.Enumerate(rule.body, {}, on_binding);

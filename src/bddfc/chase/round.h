@@ -34,6 +34,7 @@
 
 #include "bddfc/chase/chase.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/eval/plan.h"
 
 namespace bddfc {
 namespace chase_internal {
@@ -92,6 +93,11 @@ struct RoundInputs {
   /// the merge barrier (equivalent: a delta-driven round enumerates each
   /// binding at most once, so within-round keys are unique).
   std::unordered_set<std::string>* fired;
+  /// Per-run compiled-plan cache (thread-safe); nullptr = evaluate rule
+  /// bodies through the interpretive Matcher instead. Witness-existence
+  /// probes always stay on the Matcher: their patterns are grounded per
+  /// binding (caching would never hit) and dominated by point lookups.
+  PlanCache* plans = nullptr;
 };
 
 /// Serializes the oblivious-chase firing key of (rule `ri`, binding `b`).

@@ -10,7 +10,9 @@
 #include "bddfc/base/thread_pool.h"
 #include "bddfc/chase/parallel.h"
 #include "bddfc/chase/round.h"
+#include "bddfc/eval/exec.h"
 #include "bddfc/eval/match.h"
+#include "bddfc/eval/plan.h"
 #include "bddfc/obs/metrics.h"
 #include "bddfc/obs/trace.h"
 
@@ -72,6 +74,14 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
   });
   for (TermId e : instance.Domain()) out.structure.AddDomainElement(e);
 
+  // Compiled query plans: one cache per run (thread-safe — shard tasks
+  // share it). The sorted indexes refresh at round starts, the run's only
+  // single-threaded points.
+  PlanCache plan_cache;
+  const std::function<bool()> block_stop = [ctx] {
+    return ctx->ShouldStop("plan block");
+  };
+
   // The delta of each round is the row range above the last watermark — no
   // copied structures. Before the first MarkRoundBoundary all watermarks
   // are 0, so round 1 sees the whole input as its delta.
@@ -83,6 +93,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       finalize();
       return out;
     }
+    if (options.compiled_plans) out.structure.RefreshIndexes();
     if (++out.rounds_run > options.max_rounds) {
       out.status =
           ctx->RecordExhaustion(ResourceKind::kRounds,
@@ -110,11 +121,10 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
           // delta, atoms after it range over the full relation. Each
           // binding is derived once, at its first delta atom — not once
           // per delta anchor it happens to touch.
-          matcher.EnumerateBanded(
-              rule->body,
-              chase_internal::AnchorBands(out.structure, *rule, di, wm,
-                                          UINT32_MAX),
-              {}, [&](const Binding& b) {
+          const std::vector<RowBand> bands = chase_internal::AnchorBands(
+              out.structure, *rule, di, wm, UINT32_MAX);
+          const std::function<bool(const Binding&)> on_binding =
+              [&](const Binding& b) {
                 if (ctx->ShouldStop("saturate enumerate")) return false;
                 ++out.bindings_tried;
                 for (const Atom& h : rule->head) {
@@ -127,7 +137,13 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                   }
                 }
                 return true;
-              });
+              };
+          if (options.compiled_plans) {
+            ExecuteBandedPlan(out.structure, plan_cache, rule->body, di,
+                              bands, on_binding, nullptr, &block_stop);
+          } else {
+            matcher.EnumerateBanded(rule->body, bands, {}, on_binding);
+          }
         }
       }
     } else {
@@ -148,12 +164,11 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                 [&, rule, di, chunk]() -> Status {
                   obs::TraceSpan span("saturate.shard");
                   size_t local_bindings = 0;
-                  Matcher matcher(frozen);
-                  matcher.EnumerateBanded(
-                      rule->body,
+                  const std::vector<RowBand> bands =
                       chase_internal::AnchorBands(frozen, *rule, di,
-                                                  chunk.begin, chunk.end),
-                      {}, [&](const Binding& b) {
+                                                  chunk.begin, chunk.end);
+                  const std::function<bool(const Binding&)> on_binding =
+                      [&](const Binding& b) {
                         if (ctx->ShouldStop("saturate enumerate")) {
                           return false;
                         }
@@ -166,7 +181,16 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                           if (!frozen.Contains(g)) buffered.Insert(g);
                         }
                         return true;
-                      });
+                      };
+                  if (options.compiled_plans) {
+                    ExecuteBandedPlan(frozen, plan_cache, rule->body, di,
+                                      bands, on_binding, nullptr,
+                                      &block_stop);
+                  } else {
+                    Matcher matcher(frozen);
+                    matcher.EnumerateBanded(rule->body, bands, {},
+                                            on_binding);
+                  }
                   bindings.fetch_add(local_bindings,
                                      std::memory_order_relaxed);
                   return Status::OK();

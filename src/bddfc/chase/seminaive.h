@@ -35,6 +35,10 @@ struct SaturateOptions {
   /// additions are merged and applied in canonical sorted order either
   /// way.
   size_t threads = 1;
+  /// Evaluate rule bodies through compiled query plans with vectorized
+  /// block execution (see ChaseOptions::compiled_plans). The closure is
+  /// byte-identical either way.
+  bool compiled_plans = true;
   /// Resource governor (not owned; may be null): deadline / memory /
   /// cancellation checks at round boundaries and strided probes inside
   /// enumeration; on a trip the result is the closure prefix up to the

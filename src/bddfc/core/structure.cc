@@ -17,6 +17,7 @@ Structure::Relation& Structure::GetRelation(PredId pred) {
   if (rel.by_pos.empty()) {
     rel.arity = sig_->arity(pred);
     rel.by_pos.resize(std::max(rel.arity, 1));
+    rel.cols.resize(std::max(rel.arity, 1));
   }
   return rel;
 }
@@ -40,6 +41,7 @@ bool Structure::AddFact(PredId pred, const std::vector<TermId>& args) {
   for (int pos = 0; pos < rel.arity; ++pos) {
     assert(IsConst(args[pos]));
     rel.by_pos[pos][args[pos]].push_back(row);
+    rel.cols[pos].push_back(args[pos]);
     AddDomainElement(args[pos]);
   }
   ++num_facts_;
@@ -75,6 +77,14 @@ bool Structure::Contains(PredId pred, const std::vector<TermId>& args) const {
   return rel->lookup.find(args) != rel->lookup.end();
 }
 
+uint32_t Structure::FindRow(PredId pred,
+                            const std::vector<TermId>& args) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr) return kNoRow;
+  auto it = rel->lookup.find(args);
+  return it == rel->lookup.end() ? kNoRow : it->second;
+}
+
 const std::vector<std::vector<TermId>>& Structure::Rows(PredId pred) const {
   const Relation* rel = FindRelation(pred);
   return rel == nullptr ? kEmptyRows : rel->rows;
@@ -92,6 +102,68 @@ const std::vector<uint32_t>* Structure::Postings(PredId pred, int pos,
   }
   auto it = rel->by_pos[pos].find(value);
   return it == rel->by_pos[pos].end() ? nullptr : &it->second;
+}
+
+const std::vector<TermId>* Structure::Column(PredId pred, int pos) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr || pos < 0 || pos >= static_cast<int>(rel->cols.size())) {
+    return nullptr;
+  }
+  return &rel->cols[pos];
+}
+
+uint32_t Structure::IndexedRows(PredId pred) const {
+  const Relation* rel = FindRelation(pred);
+  return rel == nullptr ? 0 : rel->sorted_rows;
+}
+
+std::pair<const uint32_t*, const uint32_t*> Structure::SortedEqualRange(
+    PredId pred, int pos, TermId value) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr || pos < 0 ||
+      pos >= static_cast<int>(rel->sorted.size())) {
+    return {nullptr, nullptr};
+  }
+  const std::vector<uint32_t>& idx = rel->sorted[pos];
+  const std::vector<TermId>& col = rel->cols[pos];
+  auto lo = std::lower_bound(
+      idx.begin(), idx.end(), value,
+      [&col](uint32_t r, TermId v) { return col[r] < v; });
+  auto hi = std::upper_bound(
+      lo, idx.end(), value,
+      [&col](TermId v, uint32_t r) { return v < col[r]; });
+  return {idx.data() + (lo - idx.begin()), idx.data() + (hi - idx.begin())};
+}
+
+size_t Structure::DistinctValues(PredId pred, int pos) const {
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr || pos < 0 ||
+      pos >= static_cast<int>(rel->by_pos.size())) {
+    return 0;
+  }
+  return rel->by_pos[pos].size();
+}
+
+void Structure::RefreshIndexes() {
+  for (Relation& rel : relations_) {
+    const uint32_t n = static_cast<uint32_t>(rel.rows.size());
+    if (rel.sorted_rows == n) continue;
+    if (rel.sorted.empty()) rel.sorted.resize(std::max(rel.arity, 1));
+    for (int pos = 0; pos < rel.arity; ++pos) {
+      std::vector<uint32_t>& idx = rel.sorted[pos];
+      const std::vector<TermId>& col = rel.cols[pos];
+      const size_t old = idx.size();
+      idx.reserve(n);
+      for (uint32_t r = rel.sorted_rows; r < n; ++r) idx.push_back(r);
+      auto by_value_then_row = [&col](uint32_t a, uint32_t b) {
+        return col[a] != col[b] ? col[a] < col[b] : a < b;
+      };
+      std::sort(idx.begin() + old, idx.end(), by_value_then_row);
+      std::inplace_merge(idx.begin(), idx.begin() + old, idx.end(),
+                         by_value_then_row);
+    }
+    rel.sorted_rows = n;
+  }
 }
 
 void Structure::MarkRoundBoundary() {

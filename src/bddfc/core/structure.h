@@ -5,6 +5,20 @@
 // join in eval/ and by the chase. Insertion is incremental and rows are
 // append-only, which matches the chase's access pattern (facts are never
 // deleted; new rounds only add).
+//
+// Two index families serve the two evaluation backends:
+//
+//   * hash postings (by_pos) — maintained eagerly inside AddFact, always
+//     current, used by the interpretive Matcher and as the plan executor's
+//     fallback;
+//   * columnar storage plus per-(predicate, position) sorted row indexes —
+//     the column mirror is appended eagerly (contiguous per-position value
+//     arrays for block-at-a-time scans), the sorted indexes are built on
+//     the first RefreshIndexes() call and extended incrementally by
+//     subsequent calls. RefreshIndexes is NOT thread-safe against readers:
+//     engines call it only at round boundaries, the single-threaded point
+//     of a chase, and the executor falls back to hash postings whenever
+//     IndexedRows lags the row count.
 
 #ifndef BDDFC_CORE_STRUCTURE_H_
 #define BDDFC_CORE_STRUCTURE_H_
@@ -14,6 +28,7 @@
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bddfc/base/governor.h"
@@ -85,10 +100,11 @@ class Structure {
   MemoryAccountant* accountant() const { return accountant_; }
 
   /// Estimated heap footprint of one stored fact of the given arity: the
-  /// row vector, the dedup-map entry (key copy + node), and one posting
-  /// per position. An accounting estimate, not an allocator measurement.
+  /// row vector, the dedup-map entry (key copy + node), one posting per
+  /// position, the columnar mirror, and one sorted-index entry per
+  /// position. An accounting estimate, not an allocator measurement.
   static size_t ApproxFactBytes(size_t arity) {
-    return 96 + arity * (2 * sizeof(TermId) + sizeof(uint32_t) + 16);
+    return 96 + arity * (3 * sizeof(TermId) + 2 * sizeof(uint32_t) + 16);
   }
 
   /// Sum of ApproxFactBytes over every stored fact — exactly what an
@@ -103,6 +119,14 @@ class Structure {
     return Contains(ground_atom.pred, ground_atom.args);
   }
 
+  /// Row id of the exact ground tuple, or kNoRow when absent. One hash
+  /// lookup — the plan executor's fast path for fully-bound steps (e.g.
+  /// closing a cycle), where probing per-position postings would be wasted
+  /// work. The id is also the tuple's position in Rows()/Column(), so
+  /// band checks are a comparison.
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+  uint32_t FindRow(PredId pred, const std::vector<TermId>& args) const;
+
   /// All rows of `pred` (each row is one ground tuple), append-ordered.
   ///
   /// The returned reference is invalidated by AddFact on a predicate not
@@ -115,6 +139,39 @@ class Structure {
   /// or nullptr when empty.
   const std::vector<uint32_t>* Postings(PredId pred, int pos,
                                         TermId value) const;
+
+  /// Columnar view of argument position `pos` of `pred`: element r equals
+  /// Rows(pred)[r][pos], stored contiguously so block-at-a-time scans read
+  /// one flat array per position instead of chasing a heap pointer per
+  /// row. Returns nullptr when the relation is absent or `pos` is out of
+  /// range. Invalidation matches Rows().
+  const std::vector<TermId>* Column(PredId pred, int pos) const;
+
+  /// Number of rows of `pred` covered by the sorted per-position indexes —
+  /// equal to NumFacts(pred) right after RefreshIndexes(), smaller (stale)
+  /// once facts were added since. 0 before the first refresh.
+  uint32_t IndexedRows(PredId pred) const;
+
+  /// Rows of `pred` whose argument `pos` equals `value`, as a [begin, end)
+  /// slice of the sorted index, ascending by row id. Covers only the first
+  /// IndexedRows(pred) rows; callers must check IndexedRows against their
+  /// band's upper bound and fall back to Postings() when the index is
+  /// stale. Returns an empty slice when no indexed row matches.
+  std::pair<const uint32_t*, const uint32_t*> SortedEqualRange(
+      PredId pred, int pos, TermId value) const;
+
+  /// Number of distinct values at (pred, pos) — the selectivity estimate
+  /// plan compilation divides row counts by.
+  size_t DistinctValues(PredId pred, int pos) const;
+
+  /// Builds (first call) or incrementally extends (later calls) the sorted
+  /// per-(predicate, position) row indexes: new rows are sorted by
+  /// (value, row) and merged into the existing runs. Not thread-safe
+  /// against concurrent readers — call only at round boundaries or before
+  /// handing the structure to parallel scans. Structures that are only
+  /// ever read through the interpretive Matcher never need to call this
+  /// (the executor falls back to hash postings).
+  void RefreshIndexes();
 
   /// The tuple of a fact handle.
   const std::vector<TermId>& Tuple(FactHandle h) const {
@@ -198,6 +255,12 @@ class Structure {
     std::unordered_map<std::vector<TermId>, uint32_t, TupleHash> lookup;
     /// by_pos[pos][value] -> row indexes.
     std::vector<std::unordered_map<TermId, std::vector<uint32_t>>> by_pos;
+    /// Columnar mirror: cols[pos][row] == rows[row][pos].
+    std::vector<std::vector<TermId>> cols;
+    /// Per-position row ids sorted by (value, row); covers rows
+    /// [0, sorted_rows). Built/extended by RefreshIndexes only.
+    std::vector<std::vector<uint32_t>> sorted;
+    uint32_t sorted_rows = 0;
   };
 
   Relation& GetRelation(PredId pred);

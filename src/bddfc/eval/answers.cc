@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "bddfc/eval/exec.h"
 #include "bddfc/eval/match.h"
 
 namespace bddfc {
@@ -10,11 +11,11 @@ namespace bddfc {
 namespace {
 
 /// Collects answer tuples of `query` over `s`, skipping tuples that bind a
-/// labeled null.
+/// labeled null. Plan-backed: the answer set is sorted and deduplicated by
+/// the callers, so the executor's enumeration order is immaterial.
 void CollectAnswers(const Structure& s, const ConjunctiveQuery& query,
                     std::vector<std::vector<TermId>>* out) {
-  Matcher matcher(s);
-  matcher.Enumerate(query.atoms, {}, [&](const Binding& b) {
+  PlanEnumerate(s, query.atoms, {}, [&](const Binding& b) {
     std::vector<TermId> tuple;
     tuple.reserve(query.answer_vars.size());
     for (TermId v : query.answer_vars) {

@@ -1,0 +1,411 @@
+#include "bddfc/eval/exec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "bddfc/obs/trace.h"
+
+namespace bddfc {
+
+namespace {
+
+/// Soft budget on TermIds per block: wide slot layouts get fewer rows per
+/// block so one block stays around a cache-friendly 64 KiB.
+constexpr size_t kBlockBudgetTerms = 16384;
+
+/// Per-step execution context resolved once per ExecutePlan call: column
+/// pointers, the clamped band, and whether the sorted index covers it.
+struct StepCtx {
+  std::vector<const TermId*> cols;
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  /// Band covers the whole relation: candidate slices need no clamping.
+  bool full_band = false;
+  /// Every position is already known (no kNew slot): the step is a pure
+  /// existence check, answered by one exact-tuple FindRow lookup instead
+  /// of a postings probe (the cycle-closing case).
+  bool exists_check = false;
+  /// Per position: a kBound arg whose slot is filled by *this* step (a
+  /// within-atom repeat), so verification reads the scratch row, not the
+  /// input slots.
+  std::vector<char> bound_local;
+  /// Slots this step fills, in position order.
+  std::vector<uint16_t> new_slots;
+  /// Count-mode shortcuts: the single probe is this step's only
+  /// constraint, so every candidate row matches (count += range size) —
+  /// or the step has no constraints at all (count += band size).
+  bool count_range_ok = false;
+  bool count_all_rows = false;
+};
+
+struct Executor {
+  const Structure& s;
+  const QueryPlan& plan;
+  const std::function<bool(const Binding&)>& on_match;
+  MatchStats* stats;
+  const std::function<bool()>* abort;
+  size_t* count;  // non-null: count matches, skip Binding materialization
+
+  std::vector<TermId> slot_vars;
+  size_t width = 0;
+  size_t block_rows = 0;
+  std::vector<StepCtx> steps;
+  std::vector<std::vector<TermId>> blocks;  // output buffer per step
+  std::vector<TermId> scratch;  // this step's fresh slot values, one row
+  std::vector<TermId> key_buf;  // exists-check tuple, reused per row
+  Binding emit_b;               // reused across Emit rows
+  std::vector<TermId*> emit_vals;  // slot -> &emit_b[slot_vars[slot]]
+  bool stopped = false;  // callback ended enumeration
+  bool aborted = false;  // abort hook tripped
+
+  Executor(const Structure& s_, const QueryPlan& plan_,
+           const std::function<bool(const Binding&)>& cb, MatchStats* st,
+           const std::function<bool()>* ab, size_t* cnt = nullptr)
+      : s(s_), plan(plan_), on_match(cb), stats(st), abort(ab), count(cnt) {}
+
+  void Init(const std::vector<Atom>& atoms, const std::vector<RowBand>* bands,
+            const std::vector<TermId>& prebound) {
+    slot_vars = PlanSlotVars(plan, atoms, prebound);
+    width = plan.num_slots;
+    block_rows = std::max<size_t>(
+        1, std::min(kExecBlockRows,
+                    kBlockBudgetTerms / std::max<size_t>(width, 1)));
+    steps.resize(plan.steps.size());
+    blocks.resize(plan.steps.size());
+    scratch.resize(width, 0);
+    std::vector<char> is_local(width, 0);
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const PlanStep& st = plan.steps[i];
+      StepCtx& sc = steps[i];
+      const uint32_t n = static_cast<uint32_t>(s.NumFacts(st.pred));
+      const RowBand band =
+          bands != nullptr ? (*bands)[st.atom_index] : RowBand::All();
+      sc.lo = band.begin;
+      sc.hi = std::min<uint32_t>(band.end, n);
+      sc.full_band = sc.lo == 0 && sc.hi == n;
+      sc.cols.resize(st.args.size(), nullptr);
+      sc.bound_local.assign(st.args.size(), 0);
+      for (size_t pos = 0; pos < st.args.size(); ++pos) {
+        const std::vector<TermId>* col = s.Column(st.pred, static_cast<int>(pos));
+        sc.cols[pos] = col != nullptr ? col->data() : nullptr;
+        const PlanArg& a = st.args[pos];
+        if (a.kind == PlanArg::kNew) {
+          sc.new_slots.push_back(a.slot);
+          is_local[a.slot] = 1;
+        } else if (a.kind == PlanArg::kBound) {
+          sc.bound_local[pos] = is_local[a.slot];
+        }
+      }
+      for (uint16_t slot : sc.new_slots) is_local[slot] = 0;
+      sc.exists_check = sc.new_slots.empty() && !st.args.empty();
+      // Count-mode shortcuts: valid when nothing beyond the probe (or
+      // nothing at all) constrains a candidate row.
+      bool only_probe_constrains = st.probe_positions.size() == 1;
+      bool nothing_constrains = st.probe_positions.empty();
+      for (size_t pos = 0; pos < st.args.size(); ++pos) {
+        if (st.args[pos].kind == PlanArg::kNew) continue;
+        nothing_constrains = false;
+        if (st.probe_positions.size() != 1 ||
+            pos != st.probe_positions.front()) {
+          only_probe_constrains = false;
+        }
+      }
+      sc.count_range_ok = only_probe_constrains;
+      sc.count_all_rows = nothing_constrains;
+    }
+    if (count == nullptr) {
+      emit_b.reserve(width);
+      emit_vals.resize(width, nullptr);
+      for (size_t i = 0; i < width; ++i) {
+        emit_vals[i] = &emit_b[slot_vars[i]];
+      }
+    }
+  }
+
+  bool CheckAbort() {
+    if (!aborted && abort != nullptr && (*abort)()) aborted = true;
+    return aborted;
+  }
+
+  void Emit(const TermId* rows, size_t n) {
+    if (count != nullptr) {
+      if (stats != nullptr) stats->bindings_tried += n;
+      *count += n;
+      return;
+    }
+    // emit_b holds every slot variable as a key already; per row only the
+    // mapped values are patched through stable element pointers — no hash
+    // operations in the loop.
+    for (size_t r = 0; r < n && !stopped; ++r) {
+      const TermId* slots = rows + r * width;
+      if (stats != nullptr) ++stats->bindings_tried;
+      for (size_t i = 0; i < width; ++i) *emit_vals[i] = slots[i];
+      if (!on_match(emit_b)) stopped = true;
+    }
+  }
+
+  /// Verifies one candidate row against the input slots without touching
+  /// the output block. Constants and already-bound slots compare; fresh
+  /// slots fill `scratch` — in position order, so a later within-atom
+  /// occurrence of a just-filled slot compares correctly (bound_local).
+  bool VerifyRow(const PlanStep& st, const StepCtx& sc, const TermId* slots,
+                 uint32_t row) {
+    if (stats != nullptr) ++stats->rows_scanned;
+    for (size_t pos = 0; pos < st.args.size(); ++pos) {
+      const PlanArg& a = st.args[pos];
+      const TermId rv = sc.cols[pos][row];
+      switch (a.kind) {
+        case PlanArg::kConst:
+          if (a.value != rv) return false;
+          break;
+        case PlanArg::kBound: {
+          const TermId bv =
+              sc.bound_local[pos] ? scratch[a.slot] : slots[a.slot];
+          if (bv != rv) return false;
+          break;
+        }
+        case PlanArg::kNew:
+          scratch[a.slot] = rv;
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// Appends the input slots extended with the verified row's fresh slot
+  /// values (left in `scratch` by VerifyRow). Failed rows never touch the
+  /// block, so there is no copy-and-roll-back on the reject path.
+  void AppendRow(const StepCtx& sc, const TermId* slots,
+                 std::vector<TermId>* out) {
+    const size_t base = out->size();
+    out->insert(out->end(), slots, slots + width);
+    TermId* dst = out->data() + base;
+    for (uint16_t slot : sc.new_slots) dst[slot] = scratch[slot];
+  }
+
+  void RunStep(size_t si, const TermId* in, size_t in_rows) {
+    if (stopped || CheckAbort()) return;
+    if (si == plan.steps.size()) {
+      Emit(in, in_rows);
+      return;
+    }
+    const PlanStep& st = plan.steps[si];
+    const StepCtx& sc = steps[si];
+    if (sc.lo >= sc.hi) return;  // empty band: nothing can match
+    std::vector<TermId>& out = blocks[si];
+    out.clear();
+    size_t out_rows = 0;
+    auto flush = [&] {
+      if (out_rows == 0) return;
+      RunStep(si + 1, out.data(), out_rows);
+      out.clear();
+      out_rows = 0;
+    };
+
+    for (size_t r = 0; r < in_rows; ++r) {
+      if (stopped || aborted) return;
+      const TermId* slots = in + r * width;
+
+      // Fully-bound step: one exact-tuple lookup decides it. The found
+      // row id is its position in the columns, so the band check is a
+      // comparison — no postings probe, no scan.
+      if (sc.exists_check) {
+        key_buf.clear();
+        for (const PlanArg& a : st.args) {
+          key_buf.push_back(a.kind == PlanArg::kConst ? a.value
+                                                      : slots[a.slot]);
+        }
+        const uint32_t row = s.FindRow(st.pred, key_buf);
+        if (row == Structure::kNoRow || row < sc.lo || row >= sc.hi) {
+          if (stats != nullptr) ++stats->postings_misses;
+          continue;
+        }
+        if (stats != nullptr) {
+          ++stats->postings_hits;
+          ++stats->rows_scanned;
+        }
+        if (count != nullptr && stats == nullptr &&
+            si + 1 == plan.steps.size()) {
+          ++*count;
+          continue;
+        }
+        AppendRow(sc, slots, &out);
+        if (++out_rows == block_rows) {
+          flush();
+          if (stopped || aborted) return;
+        }
+        continue;
+      }
+
+      // Probe every known position through the always-current hash
+      // postings (measured faster than sorted-index binary search for
+      // point probes); keep the smallest candidate slice.
+      const uint32_t* cand_b = nullptr;
+      const uint32_t* cand_e = nullptr;
+      size_t best = SIZE_MAX;
+      bool pruned = false;
+      for (uint8_t pos : st.probe_positions) {
+        const PlanArg& a = st.args[pos];
+        const TermId v = a.kind == PlanArg::kConst ? a.value : slots[a.slot];
+        const std::vector<uint32_t>* p = s.Postings(st.pred, pos, v);
+        if (p == nullptr) {
+          pruned = true;
+          break;
+        }
+        const uint32_t* b = p->data();
+        const uint32_t* e = b + p->size();
+        if (!sc.full_band) {
+          // Postings list rows ascending: the band is a slice.
+          b = std::lower_bound(b, e, sc.lo);
+          e = std::lower_bound(b, e, sc.hi);
+        }
+        if (b == e) {
+          pruned = true;
+          break;
+        }
+        if (static_cast<size_t>(e - b) < best) {
+          best = static_cast<size_t>(e - b);
+          cand_b = b;
+          cand_e = e;
+        }
+      }
+      if (pruned) {
+        if (stats != nullptr) ++stats->postings_misses;
+        continue;
+      }
+      if (stats != nullptr && cand_b != nullptr) ++stats->postings_hits;
+
+      // Count pushdown on the final step: matches are counted straight
+      // from the candidate range — by size when the probe is the only
+      // constraint, by constraint checks (no block writes) otherwise.
+      // Exact counters need rows_scanned/bindings_tried per candidate, so
+      // a stats sink routes through the regular block path instead.
+      if (count != nullptr && stats == nullptr &&
+          si + 1 == plan.steps.size()) {
+        if (cand_b != nullptr) {
+          if (sc.count_range_ok) {
+            *count += static_cast<size_t>(cand_e - cand_b);
+          } else {
+            for (const uint32_t* p = cand_b; p != cand_e; ++p) {
+              if (VerifyRow(st, sc, slots, *p)) ++*count;
+            }
+          }
+        } else if (sc.count_all_rows) {
+          *count += sc.hi - sc.lo;
+        } else {
+          for (uint32_t row = sc.lo; row < sc.hi; ++row) {
+            if (VerifyRow(st, sc, slots, row)) ++*count;
+          }
+        }
+        continue;
+      }
+
+      if (cand_b != nullptr) {
+        for (const uint32_t* p = cand_b; p != cand_e; ++p) {
+          if (VerifyRow(st, sc, slots, *p)) {
+            AppendRow(sc, slots, &out);
+            if (++out_rows == block_rows) {
+              flush();
+              if (stopped || aborted) return;
+            }
+          }
+        }
+      } else {
+        // No probe positions: scan the band.
+        for (uint32_t row = sc.lo; row < sc.hi; ++row) {
+          if (VerifyRow(st, sc, slots, row)) {
+            AppendRow(sc, slots, &out);
+            if (++out_rows == block_rows) {
+              flush();
+              if (stopped || aborted) return;
+            }
+          }
+        }
+      }
+    }
+    flush();
+  }
+
+  bool Run(const Binding& partial, const std::vector<TermId>& prebound) {
+    std::vector<TermId> seed(width, 0);
+    for (size_t i = 0; i < prebound.size(); ++i) {
+      auto it = partial.find(prebound[i]);
+      assert(it != partial.end() && "prebound variable missing from partial");
+      seed[i] = it->second;
+    }
+    RunStep(0, seed.data(), 1);
+    return !aborted;
+  }
+};
+
+std::vector<TermId> SortedKeys(const Binding& partial) {
+  std::vector<TermId> keys;
+  keys.reserve(partial.size());
+  for (const auto& [v, c] : partial) keys.push_back(v);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+bool ExecutePlan(const Structure& s, const QueryPlan& plan,
+                 const std::vector<Atom>& atoms,
+                 const std::vector<RowBand>* bands, const Binding& partial,
+                 const std::vector<TermId>& prebound,
+                 const std::function<bool(const Binding&)>& on_match,
+                 MatchStats* stats, const std::function<bool()>* abort) {
+  obs::TraceSpan span("plan.exec");
+  Executor ex(s, plan, on_match, stats, abort);
+  ex.Init(atoms, bands, prebound);
+  return ex.Run(partial, prebound);
+}
+
+bool ExecuteBandedPlan(const Structure& s, PlanCache& cache,
+                       const std::vector<Atom>& atoms, size_t anchor,
+                       const std::vector<RowBand>& bands,
+                       const std::function<bool(const Binding&)>& on_match,
+                       MatchStats* stats, const std::function<bool()>* abort) {
+  std::shared_ptr<const QueryPlan> plan = cache.Get(s, atoms, anchor);
+  return ExecutePlan(s, *plan, atoms, &bands, {}, {}, on_match, stats, abort);
+}
+
+bool PlanExists(const Structure& s, const std::vector<Atom>& atoms,
+                const Binding& partial) {
+  const std::vector<TermId> prebound = SortedKeys(partial);
+  QueryPlan plan = CompilePlan(s, atoms, kNoAnchor, prebound);
+  bool found = false;
+  ExecutePlan(s, plan, atoms, nullptr, partial, prebound,
+              [&found](const Binding&) {
+                found = true;
+                return false;  // stop at first match
+              });
+  return found;
+}
+
+void PlanEnumerate(const Structure& s, const std::vector<Atom>& atoms,
+                   const Binding& partial,
+                   const std::function<bool(const Binding&)>& on_match,
+                   MatchStats* stats) {
+  const std::vector<TermId> prebound = SortedKeys(partial);
+  QueryPlan plan = CompilePlan(s, atoms, kNoAnchor, prebound);
+  ExecutePlan(s, plan, atoms, nullptr, partial, prebound, on_match, stats);
+}
+
+size_t PlanCountMatches(const Structure& s, const std::vector<Atom>& atoms,
+                        const Binding& partial) {
+  // Counting mode: no Binding is ever materialized, and the final step
+  // counts matches directly from its candidate ranges (aggregate
+  // pushdown). The count still equals the number of bindings Enumerate
+  // would deliver — PlanTest pins this against the Matcher.
+  const std::vector<TermId> prebound = SortedKeys(partial);
+  QueryPlan plan = CompilePlan(s, atoms, kNoAnchor, prebound);
+  size_t n = 0;
+  static const std::function<bool(const Binding&)> kUnused;
+  Executor ex(s, plan, kUnused, nullptr, nullptr, &n);
+  ex.Init(atoms, nullptr, prebound);
+  ex.Run(partial, prebound);
+  return n;
+}
+
+}  // namespace bddfc

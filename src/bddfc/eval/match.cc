@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "bddfc/eval/exec.h"
+
 namespace bddfc {
 
 namespace {
@@ -111,7 +113,10 @@ struct SearchState {
     if (lo >= hi) return;  // empty band: nothing can match
 
     // Choose candidate rows: the posting list of the most selective bound
-    // position, else the band of the relation.
+    // position, else the band of the relation. This instantiation counts
+    // as at most ONE hit or ONE miss no matter how many positions are
+    // probed while picking the smallest list (the counter contract shared
+    // with the plan executor — see MatchStats).
     const std::vector<uint32_t>* postings = nullptr;
     for (size_t i = 0; i < a.args.size(); ++i) {
       TermId t = ResolveTerm(a.args[i]);
@@ -122,7 +127,6 @@ struct SearchState {
           if (stats != nullptr) ++stats->postings_misses;
           return;  // no row matches this constant
         }
-        if (stats != nullptr) ++stats->postings_hits;
         if (postings == nullptr || p->size() < postings->size()) postings = p;
       }
     }
@@ -131,7 +135,13 @@ struct SearchState {
     if (postings != nullptr) {
       // Posting lists are append-ordered, so the band is a contiguous slice.
       auto it = std::lower_bound(postings->begin(), postings->end(), lo);
+      if (it == postings->end() || *it >= hi) {
+        if (stats != nullptr) ++stats->postings_misses;
+        return;  // the probe found no candidate rows inside the band
+      }
+      if (stats != nullptr) ++stats->postings_hits;
       for (; it != postings->end() && *it < hi; ++it) {
+        if (stats != nullptr) ++stats->rows_scanned;
         newly_bound.clear();
         if (TryRow(a, rows[*it], &newly_bound)) Search(depth + 1);
         UndoBindings(newly_bound);
@@ -139,6 +149,7 @@ struct SearchState {
       }
     } else {
       for (uint32_t r = lo; r < hi; ++r) {
+        if (stats != nullptr) ++stats->rows_scanned;
         newly_bound.clear();
         if (TryRow(a, rows[r], &newly_bound)) Search(depth + 1);
         UndoBindings(newly_bound);
@@ -192,7 +203,10 @@ size_t Matcher::CountMatches(const std::vector<Atom>& atoms,
 }
 
 bool Satisfies(const Structure& s, const ConjunctiveQuery& q) {
-  return Matcher(s).Exists(q.atoms);
+  // Plan-backed since the compiled join backend landed: a Boolean result
+  // is enumeration-order-independent, so the rewriter's certain-answer
+  // path and every other caller gets the vectorized executor for free.
+  return PlanExists(s, q.atoms);
 }
 
 bool SatisfiesUcq(const Structure& s, const UnionOfCQs& ucq) {
@@ -205,7 +219,7 @@ bool SatisfiesAt(const Structure& s, const ConjunctiveQuery& q, TermId e) {
   assert(!q.answer_vars.empty());
   Binding partial;
   partial.emplace(q.answer_vars[0], e);
-  return Matcher(s).Exists(q.atoms, partial);
+  return PlanExists(s, q.atoms, partial);
 }
 
 ConjunctiveQuery StructureToQuery(const Structure& s) {

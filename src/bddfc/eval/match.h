@@ -15,12 +15,22 @@ namespace bddfc {
 /// A variable binding produced by matching: variable id → constant id.
 using Binding = std::unordered_map<TermId, TermId>;
 
-/// Execution counters a Matcher accumulates across calls when one is
-/// attached. The chase aggregates these into its ChaseStats.
+/// Execution counters a Matcher (or the plan executor — both backends
+/// share these semantics so A/B stats comparisons are meaningful)
+/// accumulates across calls when one is attached. The chase aggregates
+/// these into its ChaseStats.
+///
+/// Counting contract: each *atom instantiation* (one attempt to extend a
+/// partial binding through one atom) contributes at most one hit or one
+/// miss — a hit when it proceeded through a chosen index probe, a miss
+/// when a probe pruned it with no candidate rows in the atom's band.
+/// Probing several positions for one instantiation and keeping the
+/// smallest list is still ONE hit, never one per lookup.
 struct MatchStats {
   size_t bindings_tried = 0;   ///< complete bindings delivered to callbacks
-  size_t postings_hits = 0;    ///< posting-list lookups that found rows
-  size_t postings_misses = 0;  ///< lookups that pruned the search branch
+  size_t postings_hits = 0;    ///< instantiations that used an index probe
+  size_t postings_misses = 0;  ///< instantiations pruned by an index probe
+  size_t rows_scanned = 0;     ///< candidate rows examined (probe or scan)
 };
 
 /// Restricts one atom of a conjunction to a row range [begin, end) of its

@@ -40,9 +40,39 @@ std::map<PredId, std::vector<int>> BirthRoundsByPredicate(
 
 // ---------------------------------------------------------------------------
 // chase-agreement: the delta and parallel round loops (restricted and
-// oblivious) must produce chases identical to the naive baseline; fixpoints
-// must satisfy the theory.
+// oblivious, compiled plans on and off, every thread count) must produce
+// chases identical to the naive baseline; fixpoints must satisfy the
+// theory.
 // ---------------------------------------------------------------------------
+
+/// Engine configurations under test against the kNaive baseline: the delta
+/// loop plus the parallel engine at each thread count of interest
+/// (threads=1 exercises the serial-route fallback), each with compiled
+/// plans on and off.
+struct EngineConfig {
+  ChaseEngine engine;
+  size_t threads;
+  bool plans;
+};
+
+std::vector<EngineConfig> DeltaFamilyConfigs() {
+  std::vector<EngineConfig> out;
+  for (bool plans : {true, false}) {
+    out.push_back({ChaseEngine::kDelta, 0, plans});
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      out.push_back({ChaseEngine::kParallel, threads, plans});
+    }
+  }
+  return out;
+}
+
+std::string ConfigLabel(const EngineConfig& ec) {
+  std::string s = ec.engine == ChaseEngine::kDelta
+                      ? std::string("delta")
+                      : "parallel t" + std::to_string(ec.threads);
+  s += ec.plans ? " plans" : " interp";
+  return s;
+}
 
 class ChaseAgreementOracle : public Oracle {
  public:
@@ -62,17 +92,16 @@ class ChaseAgreementOracle : public Oracle {
 
       // The injected fault (the fuzzer's self-test) rides on the engines
       // under test, never on the baseline.
-      for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
-        opts.engine = engine;
+      for (const EngineConfig& ec : DeltaFamilyConfigs()) {
+        opts.engine = ec.engine;
         opts.fault = config.chase_fault;
-        opts.threads =
-            engine == ChaseEngine::kParallel ? size_t{4} : size_t{0};
+        opts.threads = ec.threads;
+        opts.compiled_plans = ec.plans;
         ChaseResult run = RunChase(s.theory, s.instance, opts);
 
         std::string mode = std::string(oblivious ? "[oblivious " :
                                                    "[restricted ") +
-                           (engine == ChaseEngine::kDelta ? "delta] "
-                                                          : "parallel] ");
+                           ConfigLabel(ec) + "] ";
         if (run.status.code() != naive.status.code()) {
           return OracleOutcome::Fail(mode + Mismatch("status",
                                                      run.status.ToString(),
@@ -410,22 +439,27 @@ class GovernorPrefixOracle : public Oracle {
     base.max_facts = config.max_facts;
     ChaseResult baseline = RunChase(s.theory, s.instance, base);
 
+    // Plans on/off changes where cooperative checks land (plan blocks vs
+    // interpreter strides), so the prefix contract is probed for both.
     bool tripped_any = false;
-    for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
+    for (const EngineConfig& ec :
+         {EngineConfig{ChaseEngine::kDelta, 0, true},
+          EngineConfig{ChaseEngine::kDelta, 0, false},
+          EngineConfig{ChaseEngine::kParallel, 4, true},
+          EngineConfig{ChaseEngine::kParallel, 4, false}}) {
     for (size_t after : {size_t{1}, size_t{3}, size_t{7}}) {
       ExecutionContext ctx;
       ctx.InjectFaultAfterChecks(config.inject_fault, after);
       ChaseOptions opts = base;
       opts.context = &ctx;
-      opts.engine = engine;
-      opts.threads = engine == ChaseEngine::kParallel ? size_t{4} : size_t{0};
+      opts.engine = ec.engine;
+      opts.threads = ec.threads;
+      opts.compiled_plans = ec.plans;
       // kTornExhaust rides along so the torn-prefix path has a detector.
       opts.fault = config.chase_fault;
       ChaseResult run = RunChase(s.theory, s.instance, opts);
-      std::string t =
-          std::string(engine == ChaseEngine::kParallel ? "[parallel] "
-                                                       : "[delta] ") +
-          "after " + std::to_string(after) + " checks: ";
+      std::string t = "[" + ConfigLabel(ec) + "] after " +
+                      std::to_string(after) + " checks: ";
 
       if (run.status.ok() ||
           run.status.code() != StatusCode::kResourceExhausted ||

@@ -4,7 +4,10 @@
 // nulls, same fixpoint verdict — on every workload generator family and
 // every paper-example program. The parallel engine is additionally held
 // to *byte identity* with kDelta (row order, raw TermIds, provenance) at
-// 1, 2, 4 and 8 threads.
+// 1, 2, 4 and 8 threads — and, since the compiled join backend landed,
+// with query plans on and off: the interpretive Matcher (plans off) is
+// the reference, so the identity sweep cross-validates the plan executor
+// against it on every workload here.
 
 #include <gtest/gtest.h>
 
@@ -117,23 +120,37 @@ std::string ExactDump(const ChaseResult& r) {
   return s;
 }
 
-/// The parallel engine's core contract: byte-identical output to kDelta
-/// at every thread count. `make` must build a fresh Program per call —
-/// runs share a Signature otherwise, and the nulls the first run interns
-/// would shift the TermIds of the second.
+/// The delta-family engines' core contract: byte-identical output across
+/// kDelta/kParallel, every thread count, and compiled plans on/off. The
+/// reference run is kDelta on the interpretive Matcher (plans off), so
+/// every comparison against a plans-on run doubles as an A/B check of the
+/// plan executor. `make` must build a fresh Program per call — runs share
+/// a Signature otherwise, and the nulls the first run interns would shift
+/// the TermIds of the second.
 void ExpectByteIdentical(const std::function<Program()>& make,
                          ChaseOptions options) {
   options.engine = ChaseEngine::kDelta;
+  options.compiled_plans = false;
   Program ref_program = make();
   const std::string ref =
       ExactDump(RunChase(ref_program.theory, ref_program.instance, options));
-  for (size_t threads : {1u, 2u, 4u, 8u}) {
-    Program p = make();
-    ChaseOptions o = options;
-    o.engine = ChaseEngine::kParallel;
-    o.threads = threads;
-    EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
-        << "threads=" << threads;
+  for (bool plans : {true, false}) {
+    {
+      Program p = make();
+      ChaseOptions o = options;
+      o.compiled_plans = plans;
+      EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
+          << "delta plans=" << plans;
+    }
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      Program p = make();
+      ChaseOptions o = options;
+      o.engine = ChaseEngine::kParallel;
+      o.threads = threads;
+      o.compiled_plans = plans;
+      EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
+          << "threads=" << threads << " plans=" << plans;
+    }
   }
 }
 
