@@ -79,12 +79,13 @@ GeneratorWorkload MakeGeneratorWorkload(int nodes, int edges, uint64_t seed) {
 }
 
 ChaseResult TimedChase(const GeneratorWorkload& w, ChaseEngine engine,
-                       double* ms, bool plans = true) {
+                       double* ms, bool plans = true, bool vsink = true) {
   ChaseOptions opts;
   opts.max_rounds = 256;
   opts.max_facts = 5000000;
   opts.engine = engine;
   opts.compiled_plans = plans;
+  opts.vectorized_sink = vsink;
   auto t0 = std::chrono::steady_clock::now();
   ChaseResult r = RunChase(w.theory, w.instance, opts);
   *ms = std::chrono::duration<double, std::milli>(
@@ -119,13 +120,15 @@ void PrintEngineComparison() {
 }
 
 ChaseResult TimedParallelChase(const GeneratorWorkload& w, size_t threads,
-                               double* ms, bool plans = true) {
+                               double* ms, bool plans = true,
+                               bool vsink = true) {
   ChaseOptions opts;
   opts.max_rounds = 256;
   opts.max_facts = 5000000;
   opts.engine = ChaseEngine::kParallel;
   opts.threads = threads;
   opts.compiled_plans = plans;
+  opts.vectorized_sink = vsink;
   auto t0 = std::chrono::steady_clock::now();
   ChaseResult r = RunChase(w.theory, w.instance, opts);
   *ms = std::chrono::duration<double, std::milli>(
@@ -159,6 +162,7 @@ struct ScalingRow {
   size_t facts;
   size_t rounds;
   bool identical;  // byte-identical to the delta interpreter baseline
+  bool vsink = true;  // vectorized round sink vs the per-binding hash sink
 };
 
 /// Order-independent execution counters two equivalent runs must agree on
@@ -188,10 +192,12 @@ void WriteBenchJson(const std::vector<ScalingRow>& rows) {
     std::fprintf(f,
                  "    {\"family\": \"%s\", \"nodes\": %d, \"edges\": %d, "
                  "\"engine\": \"%s\", "
-                 "\"threads\": %zu, \"plans\": %s, \"ms\": %.3f, "
+                 "\"threads\": %zu, \"plans\": %s, \"vsink\": %s, "
+                 "\"ms\": %.3f, "
                  "\"facts\": %zu, \"rounds\": %zu, \"identical\": %s}%s\n",
                  r.family, r.nodes, r.edges, r.engine.c_str(), r.threads,
-                 r.plans ? "true" : "false", r.ms, r.facts, r.rounds,
+                 r.plans ? "true" : "false", r.vsink ? "true" : "false",
+                 r.ms, r.facts, r.rounds,
                  r.identical ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
@@ -251,6 +257,45 @@ void PrintPlanSaturation(std::vector<ScalingRow>* json_rows) {
                 ref.structure.NumFacts(), ref.rounds_run, interp_ms,
                 plans_ms, interp_ms / std::max(plans_ms, 1e-9), t4_ms,
                 plans_ok && t4_ok ? "yes" : "NO");
+  }
+}
+
+void PrintSinkSaturation(std::vector<ScalingRow>* json_rows) {
+  bddfc_bench::Banner(
+      "E15c", "vectorized round sink vs per-binding hash sink on datalog "
+              "saturation (path transitive closure; byte-identical output "
+              "and dedup counters required)");
+  std::printf("%-8s %-8s %-8s %-11s %-10s %-9s %-10s %-11s %-10s %-9s\n",
+              "n", "facts", "rounds", "hashsink", "vsink ms", "sinkspd",
+              "t=4 vsink", "candidates", "contained", "identical");
+  for (int n : {48, 96, 144}) {
+    double hash_ms = 0, vsink_ms = 0, t4_ms = 0;
+    GeneratorWorkload ref_w = MakeTcWorkload(n);
+    ChaseResult ref = TimedChase(ref_w, ChaseEngine::kDelta, &hash_ms,
+                                 /*plans=*/true, /*vsink=*/false);
+    GeneratorWorkload vs_w = MakeTcWorkload(n);
+    ChaseResult vs = TimedChase(vs_w, ChaseEngine::kDelta, &vsink_ms);
+    GeneratorWorkload par_w = MakeTcWorkload(n);
+    ChaseResult t4 = TimedParallelChase(par_w, 4, &t4_ms);
+    const bool vs_ok = ByteIdentical(vs, ref) && StatsParity(vs, ref);
+    const bool t4_ok = ByteIdentical(t4, ref) &&
+                       t4.stats.sink_candidates == vs.stats.sink_candidates &&
+                       t4.stats.sink_contained == vs.stats.sink_contained;
+    json_rows->push_back({"tc-sink", n, n - 1, "delta", 0, true, hash_ms,
+                          ref.structure.NumFacts(), ref.rounds_run, true,
+                          /*vsink=*/false});
+    json_rows->push_back({"tc-sink", n, n - 1, "delta", 0, true, vsink_ms,
+                          vs.structure.NumFacts(), vs.rounds_run, vs_ok,
+                          /*vsink=*/true});
+    json_rows->push_back({"tc-sink", n, n - 1, "parallel", 4, true, t4_ms,
+                          t4.structure.NumFacts(), t4.rounds_run, t4_ok,
+                          /*vsink=*/true});
+    std::printf("%-8d %-8zu %-8zu %-11.2f %-10.2f %-9.2f %-10.2f %-11zu "
+                "%-10zu %-9s\n",
+                n, vs.structure.NumFacts(), vs.rounds_run, hash_ms,
+                vsink_ms, hash_ms / std::max(vsink_ms, 1e-9), t4_ms,
+                vs.stats.sink_candidates, vs.stats.sink_contained,
+                vs_ok && t4_ok ? "yes" : "NO");
   }
 }
 
@@ -472,6 +517,7 @@ void PrintAllTables() {
   std::vector<ScalingRow> json_rows;
   PrintParallelScaling(&json_rows);
   PrintPlanSaturation(&json_rows);
+  PrintSinkSaturation(&json_rows);
   WriteBenchJson(json_rows);
 }
 

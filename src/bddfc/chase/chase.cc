@@ -30,6 +30,9 @@ void ChaseStats::PublishTo(const char* prefix) const {
     obs::Counter* rows_scanned;
     obs::Counter* triggers_deduped;
     obs::Counter* datalog_deduped;
+    obs::Counter* sink_candidates;
+    obs::Counter* sink_contained;
+    obs::Counter* sink_probes;
     obs::Histogram* round_us;
   };
   auto resolve = [&reg](const char* pfx) {
@@ -41,6 +44,9 @@ void ChaseStats::PublishTo(const char* prefix) const {
                    reg.GetCounter(p + ".rows_scanned"),
                    reg.GetCounter(p + ".triggers_deduped"),
                    reg.GetCounter(p + ".datalog_deduped"),
+                   reg.GetCounter(p + ".sink_candidates"),
+                   reg.GetCounter(p + ".sink_contained"),
+                   reg.GetCounter(p + ".sink_probes"),
                    reg.GetHistogram(p + ".round_us")};
   };
   auto publish = [this](const Handles& h) {
@@ -50,6 +56,9 @@ void ChaseStats::PublishTo(const char* prefix) const {
     h.rows_scanned->Add(match.rows_scanned);
     h.triggers_deduped->Add(triggers_deduped);
     h.datalog_deduped->Add(datalog_deduped);
+    h.sink_candidates->Add(sink_candidates);
+    h.sink_contained->Add(sink_contained);
+    h.sink_probes->Add(sink_probes);
     for (double ms : round_ms) {
       h.round_us->Record(static_cast<uint64_t>(ms * 1000.0));
     }
@@ -155,6 +164,11 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   // interpretive Matcher as the independent A/B reference.
   const bool use_plans =
       options.compiled_plans && options.engine != ChaseEngine::kNaive;
+  // The vectorized sink's bulk containment pass gallops the same sorted
+  // indexes the plans use, so it needs them fresh even on the
+  // interpretive path (kNaive keeps the hash sink — see ChaseOptions).
+  const bool use_vsink =
+      options.vectorized_sink && options.engine != ChaseEngine::kNaive;
   PlanCache plan_cache;
 
   for (size_t round = 1; round <= options.max_rounds; ++round) {
@@ -173,7 +187,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     // Round boundaries are the single-threaded point of the run: extend
     // the sorted per-position indexes over the previous round's additions
     // before any (possibly parallel) scan starts reading them.
-    if (use_plans) out.structure.RefreshIndexes();
+    if (use_plans || use_vsink) out.structure.RefreshIndexes();
 
     // Enumerate this round's derivations against the Chase^{round-1}
     // snapshot into a buffer; the structure is not touched until the

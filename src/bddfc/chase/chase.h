@@ -68,6 +68,12 @@ enum class ChaseFault {
   /// instead of discarding them, leaving a torn (non-prefix) structure.
   /// Exists so the governor-prefix oracle has a real bug to catch.
   kTornExhaust,
+  /// Break the vectorized sink's sort-dedup merge: any candidate tuple
+  /// derived more than once in a round is dropped entirely instead of
+  /// collapsed to one copy, so facts with multiple derivations go missing.
+  /// Inactive when vectorized_sink is off — the point is proving the
+  /// differential oracles see through the batched path specifically.
+  kSinkDropDup,
 };
 
 /// Budgets and variants for a chase run.
@@ -97,6 +103,17 @@ struct ChaseOptions {
   /// byte-identical either way — only postings_hits/_misses/rows_scanned
   /// may differ (the two backends probe indexes in different orders).
   bool compiled_plans = true;
+  /// Buffer each round's head derivations through the vectorized sink
+  /// (chase/round.h VectorSink): candidates append raw to flat
+  /// per-predicate tuple buffers, duplicates collapse by sort-and-merge,
+  /// and frozen-containment is answered by one bulk
+  /// Structure::ContainsSorted pass per buffer — instead of one Contains
+  /// hash probe plus one dedup-set insert per derived occurrence. Applies
+  /// to kDelta and kParallel; kNaive keeps the per-binding hash sink so an
+  /// independent A/B reference survives (mirroring compiled_plans). The
+  /// result is byte-identical either way, including the dedup counters;
+  /// only the sink_* counters are populated exclusively by this path.
+  bool vectorized_sink = true;
   /// Fault injection for fuzzer self-tests; kNone in all production paths.
   ChaseFault fault = ChaseFault::kNone;
   /// Resource governor (not owned; may be null). When set, the run checks
@@ -119,6 +136,18 @@ struct ChaseStats {
   size_t triggers_deduped = 0;
   /// Buffered datalog derivations dropped as duplicates within a round.
   size_t datalog_deduped = 0;
+  /// Vectorized-sink counters, all zero when vectorized_sink is off.
+  /// sink_candidates counts datalog head occurrences buffered (before any
+  /// dedup or containment check) and sink_contained the occurrences
+  /// dropped because the tuple was already in the frozen structure — both
+  /// are functions of the round's derivation multiset, identical across
+  /// engines and thread counts. sink_probes counts the distinct tuples
+  /// actually submitted to bulk ContainsSorted; like postings_hits it
+  /// depends on compaction and shard boundaries, so it is excluded from
+  /// byte-identity comparisons.
+  size_t sink_candidates = 0;
+  size_t sink_contained = 0;
+  size_t sink_probes = 0;
   /// Wall time per round in milliseconds (entry 0 = round 1).
   std::vector<double> round_ms;
   /// Peak accounted bytes of the run (0 when ungoverned — accounting runs
@@ -138,6 +167,9 @@ struct ChaseStats {
     match.rows_scanned += o.match.rows_scanned;
     triggers_deduped += o.triggers_deduped;
     datalog_deduped += o.datalog_deduped;
+    sink_candidates += o.sink_candidates;
+    sink_contained += o.sink_contained;
+    sink_probes += o.sink_probes;
     if (o.round_ms.size() > round_ms.size()) {
       round_ms.resize(o.round_ms.size(), 0.0);
     }

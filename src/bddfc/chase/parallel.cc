@@ -34,6 +34,7 @@ struct StripedSink {
   SharedBuffers* shared;
 
   bool BufferDatalog(Atom g) {
+    if (in.frozen.Contains(g)) return false;
     if (!shared->datalog.Insert(g)) {
       shared->datalog_deduped.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -61,10 +62,106 @@ struct StripedSink {
   }
 };
 
+/// The vectorized round (ChaseOptions::vectorized_sink): each shard task
+/// buffers into a private VectorSink — no striped-table contention in the
+/// enumeration loop — and finalizes it locally (sort-dedup + one bulk
+/// containment pass per predicate). The barrier then merges the tasks'
+/// sorted distinct runs, counting cross-run duplicates, and keep-min
+/// dedups the raw trigger candidates — the same totals and the same
+/// winners as the striped path, at any thread count.
+Status EnumerateRoundParallelVectorized(const RoundInputs& in,
+                                        ThreadPool* pool, RoundBuffer* buf) {
+  std::mutex mu;
+  ChaseStats merged;
+  std::vector<DatalogSinkBuffers::Run> runs;
+  std::vector<std::pair<std::string, PendingExistential>> raw_triggers;
+  std::atomic<size_t> fault_seq{0};
+
+  for (size_t ri = 0; ri < in.theory.rules().size(); ++ri) {
+    const Rule& rule = in.theory.rules()[ri];
+    if (rule.IsExistential() && in.options.datalog_only) continue;
+    for (size_t di = 0; di < rule.body.size(); ++di) {
+      // Same task-set construction as the striped path below: a pure
+      // function of the workload, never of the thread count.
+      bool empty_prefix = false;
+      for (size_t j = 0; j < di; ++j) {
+        if (in.frozen.WatermarkRows(rule.body[j].pred) == 0) {
+          empty_prefix = true;
+          break;
+        }
+      }
+      if (empty_prefix) continue;
+      const PredId anchor_pred = rule.body[di].pred;
+      for (const RowRange& chunk :
+           in.frozen.DeltaChunks(anchor_pred, kChunkRows)) {
+        pool->Submit(
+            static_cast<size_t>(anchor_pred), [&, ri, di, chunk]() -> Status {
+              const auto start = std::chrono::steady_clock::now();
+              obs::TraceSpan span("chase.shard");
+              ChaseStats local;
+              Matcher witness(in.frozen);
+              VectorSink sink(in, &local, kSinkCompactTuples, &fault_seq,
+                              /*defer_oblivious=*/true);
+              const Rule& r = in.theory.rules()[ri];
+              const std::vector<RowBand> bands =
+                  AnchorBands(in.frozen, r, di, chunk.begin, chunk.end);
+              EnumerateAnchorVectorized(in, ri, di, bands, witness, &sink,
+                                        &local.match);
+              auto task_runs = sink.TakeDatalogRuns();
+              auto task_triggers = sink.TakeRawTriggers();
+              span.set_detail("r" + std::to_string(ri) + " a" +
+                              std::to_string(di) + " +" +
+                              std::to_string(chunk.size()) + "@" +
+                              std::to_string(chunk.begin));
+              local.round_ms.push_back(
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+              std::lock_guard<std::mutex> lock(mu);
+              merged += local;  // counters sum; round_ms takes the max
+              for (auto& run : task_runs) runs.push_back(std::move(run));
+              for (auto& kv : task_triggers) {
+                raw_triggers.push_back(std::move(kv));
+              }
+              return Status::OK();
+            });
+      }
+    }
+  }
+
+  Status barrier = pool->Wait();
+
+  // Canonical merge under the sink span: cross-run datalog dedup, keep-min
+  // trigger dedup, then the deferred oblivious filter (dedup-then-filter,
+  // matching the striped path's DrainSorted-then-filter order).
+  obs::TraceSpan span("chase.sink");
+  buf->stats = std::move(merged);
+  MergeDatalogRuns(std::move(runs),
+                   in.options.fault == ChaseFault::kSinkDropDup,
+                   &buf->datalog, &buf->stats.datalog_deduped);
+  std::vector<std::pair<std::string, PendingExistential>> deduped;
+  DedupTriggers(std::move(raw_triggers), &deduped,
+                &buf->stats.triggers_deduped);
+  if (in.options.oblivious) {
+    buf->triggers.reserve(deduped.size());
+    for (auto& kv : deduped) {
+      if (in.fired->insert(kv.first).second) {
+        buf->triggers.push_back(std::move(kv));
+      }
+    }
+  } else {
+    buf->triggers = std::move(deduped);
+  }
+  return barrier;
+}
+
 }  // namespace
 
 Status EnumerateRoundParallel(const RoundInputs& in, ThreadPool* pool,
                               RoundBuffer* buf) {
+  if (in.options.vectorized_sink) {
+    return EnumerateRoundParallelVectorized(in, pool, buf);
+  }
   SharedBuffers shared;
   std::mutex stats_mu;
   ChaseStats merged;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "bddfc/eval/exec.h"
+#include "bddfc/obs/trace.h"
 
 namespace bddfc {
 namespace chase_internal {
@@ -156,6 +158,7 @@ struct SerialSink {
   size_t fault_seq = 0;
 
   bool BufferDatalog(Atom g) {
+    if (in.frozen.Contains(g)) return false;
     if (!datalog_seen.insert(g).second) {
       ++buf->stats.datalog_deduped;
       return false;
@@ -178,8 +181,444 @@ struct SerialSink {
 
 }  // namespace
 
+DatalogSinkBuffers::DatalogSinkBuffers(const Structure& frozen,
+                                       size_t compact_threshold,
+                                       bool drop_dup_groups)
+    : frozen_(frozen),
+      compact_threshold_(std::max<size_t>(compact_threshold, 1)),
+      drop_dup_groups_(drop_dup_groups) {}
+
+DatalogSinkBuffers::PredBuf& DatalogSinkBuffers::Buf(PredId pred,
+                                                     size_t arity) {
+  if (static_cast<size_t>(pred) >= pred_slot_.size()) {
+    pred_slot_.resize(pred + 1, -1);
+  }
+  int32_t& slot = pred_slot_[pred];
+  if (slot < 0) {
+    slot = static_cast<int32_t>(bufs_.size());
+    bufs_.emplace_back();
+    bufs_.back().pred = pred;
+    bufs_.back().arity = arity;
+  }
+  assert(bufs_[slot].arity == arity && "predicate arity changed mid-round");
+  return bufs_[slot];
+}
+
+TermId* DatalogSinkBuffers::Append(PredId pred, size_t arity) {
+  PredBuf& pb = Buf(pred, arity);
+  ++candidates_;
+  if (pb.tail >= compact_threshold_) Compact(&pb);
+  ++pb.tail;
+  if (arity == 0) return nullptr;
+  const size_t at = pb.data.size();
+  pb.data.resize(at + arity);
+  return pb.data.data() + at;
+}
+
+void DatalogSinkBuffers::AppendAtom(const Atom& g) {
+  TermId* dst = Append(g.pred, g.args.size());
+  if (dst != nullptr) std::copy(g.args.begin(), g.args.end(), dst);
+}
+
+void DatalogSinkBuffers::Compact(PredBuf* pb) {
+  if (pb->tail == 0) return;
+  const size_t arity = pb->arity;
+  if (arity == 0) {
+    // Nullary predicate: all occurrences are the one empty tuple.
+    if (pb->kept == 1) {
+      deduped_ += pb->tail;
+      if (drop_dup_groups_) pb->kept_dup.assign(1, 1);
+    } else {
+      ++probes_;
+      if (frozen_.Contains(pb->pred, {})) {
+        contained_ += pb->tail;
+      } else {
+        deduped_ += pb->tail - 1;
+        pb->kept = 1;
+        if (drop_dup_groups_) pb->kept_dup.assign(1, pb->tail > 1 ? 1 : 0);
+      }
+    }
+    pb->tail = 0;
+    return;
+  }
+
+  const TermId* base = pb->data.data();
+  const TermId* tail = base + pb->kept * arity;
+  auto tup_less = [arity](const TermId* a, const TermId* b) {
+    return std::lexicographical_compare(a, a + arity, b, b + arity);
+  };
+  auto tup_eq = [arity](const TermId* a, const TermId* b) {
+    return std::equal(a, a + arity, b);
+  };
+
+  // Sort the raw tail by tuple value (index sort; tuples stay in place).
+  std::vector<uint32_t> ord(pb->tail);
+  for (uint32_t i = 0; i < pb->tail; ++i) ord[i] = i;
+  std::sort(ord.begin(), ord.end(), [&](uint32_t a, uint32_t b) {
+    const TermId* ta = tail + static_cast<size_t>(a) * arity;
+    const TermId* tb = tail + static_cast<size_t>(b) * arity;
+    return tup_less(ta, tb) || (!tup_less(tb, ta) && a < b);
+  });
+
+  // Pass 1: walk the sorted tail groups against the kept prefix with a
+  // monotone cursor. Groups equal to a kept tuple collapse immediately
+  // (order-independent: k more occurrences of a kept tuple count k);
+  // fresh distinct tuples are gathered for one bulk containment probe.
+  std::vector<TermId> fresh;
+  std::vector<uint32_t> fresh_count;
+  size_t pi = 0;
+  for (size_t gi = 0; gi < ord.size();) {
+    const TermId* t = tail + static_cast<size_t>(ord[gi]) * arity;
+    size_t ge = gi + 1;
+    while (ge < ord.size() &&
+           tup_eq(t, tail + static_cast<size_t>(ord[ge]) * arity)) {
+      ++ge;
+    }
+    const size_t k = ge - gi;
+    while (pi < pb->kept && tup_less(base + pi * arity, t)) ++pi;
+    if (pi < pb->kept && tup_eq(base + pi * arity, t)) {
+      deduped_ += k;
+      if (drop_dup_groups_) pb->kept_dup[pi] = 1;
+    } else {
+      fresh.insert(fresh.end(), t, t + arity);
+      fresh_count.push_back(static_cast<uint32_t>(k));
+    }
+    gi = ge;
+  }
+
+  // One bulk containment probe for all fresh distinct tuples.
+  const size_t fresh_tuples = fresh_count.size();
+  std::vector<char> fresh_in;
+  if (fresh_tuples > 0) {
+    probes_ += fresh_tuples;
+    frozen_.ContainsSorted(pb->pred, arity, fresh.data(), fresh_tuples,
+                           &fresh_in);
+  }
+
+  // Pass 2: merge the kept prefix with the surviving fresh tuples (both
+  // sorted, disjoint) into the new compacted prefix.
+  std::vector<TermId> merged;
+  std::vector<char> merged_dup;
+  size_t merged_tuples = 0;
+  merged.reserve(pb->kept * arity + fresh.size());
+  size_t mi = 0;  // kept cursor
+  size_t fi = 0;  // fresh cursor
+  auto push_kept = [&](size_t i) {
+    merged.insert(merged.end(), base + i * arity, base + (i + 1) * arity);
+    if (drop_dup_groups_) merged_dup.push_back(pb->kept_dup[i]);
+    ++merged_tuples;
+  };
+  auto push_fresh = [&](size_t i) {
+    const TermId* t = fresh.data() + i * arity;
+    if (fresh_in[i]) {
+      contained_ += fresh_count[i];
+      return;
+    }
+    deduped_ += fresh_count[i] - 1;
+    merged.insert(merged.end(), t, t + arity);
+    if (drop_dup_groups_) merged_dup.push_back(fresh_count[i] > 1 ? 1 : 0);
+    ++merged_tuples;
+  };
+  while (mi < pb->kept && fi < fresh_tuples) {
+    if (tup_less(base + mi * arity, fresh.data() + fi * arity)) {
+      push_kept(mi++);
+    } else {
+      push_fresh(fi++);
+    }
+  }
+  while (mi < pb->kept) push_kept(mi++);
+  while (fi < fresh_tuples) push_fresh(fi++);
+
+  pb->data = std::move(merged);
+  pb->kept = merged_tuples;
+  pb->tail = 0;
+  if (drop_dup_groups_) pb->kept_dup = std::move(merged_dup);
+}
+
+void DatalogSinkBuffers::FinishInto(std::vector<Atom>* out) {
+  std::vector<size_t> order(bufs_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return bufs_[a].pred < bufs_[b].pred;
+  });
+  for (size_t bi : order) {
+    PredBuf& pb = bufs_[bi];
+    Compact(&pb);
+    for (size_t ti = 0; ti < pb.kept; ++ti) {
+      if (drop_dup_groups_ && pb.kept_dup[ti]) continue;
+      const TermId* t = pb.data.data() + ti * pb.arity;
+      out->emplace_back(pb.pred, std::vector<TermId>(t, t + pb.arity));
+    }
+  }
+}
+
+std::vector<DatalogSinkBuffers::Run> DatalogSinkBuffers::TakeRuns() {
+  std::sort(bufs_.begin(), bufs_.end(),
+            [](const PredBuf& a, const PredBuf& b) { return a.pred < b.pred; });
+  std::vector<Run> runs;
+  runs.reserve(bufs_.size());
+  for (PredBuf& pb : bufs_) {
+    Compact(&pb);
+    Run run;
+    run.pred = pb.pred;
+    run.arity = pb.arity;
+    if (drop_dup_groups_ &&
+        std::find(pb.kept_dup.begin(), pb.kept_dup.end(), 1) !=
+            pb.kept_dup.end()) {
+      // Fault path: rebuild the run without the flagged tuples.
+      for (size_t ti = 0; ti < pb.kept; ++ti) {
+        if (pb.kept_dup[ti]) continue;
+        const TermId* t = pb.data.data() + ti * pb.arity;
+        run.data.insert(run.data.end(), t, t + pb.arity);
+        ++run.tuples;
+      }
+    } else {
+      run.tuples = pb.kept;
+      run.data = std::move(pb.data);
+    }
+    if (run.tuples > 0) runs.push_back(std::move(run));
+  }
+  bufs_.clear();
+  pred_slot_.clear();
+  return runs;
+}
+
+void MergeDatalogRuns(std::vector<DatalogSinkBuffers::Run> runs,
+                      bool drop_dup_groups, std::vector<Atom>* out,
+                      size_t* deduped) {
+  std::sort(runs.begin(), runs.end(),
+            [](const DatalogSinkBuffers::Run& a,
+               const DatalogSinkBuffers::Run& b) { return a.pred < b.pred; });
+  for (size_t i = 0; i < runs.size();) {
+    size_t j = i + 1;
+    while (j < runs.size() && runs[j].pred == runs[i].pred) ++j;
+    const PredId pred = runs[i].pred;
+    const size_t arity = runs[i].arity;
+    if (arity == 0) {
+      size_t total = 0;
+      for (size_t r = i; r < j; ++r) total += runs[r].tuples;
+      if (total > 0) {
+        *deduped += total - 1;
+        if (!(drop_dup_groups && total > 1)) {
+          out->emplace_back(pred, std::vector<TermId>());
+        }
+      }
+      i = j;
+      continue;
+    }
+    // Concatenate the runs of this predicate and sort an index over all
+    // tuples (each run is already sorted; a global index sort keeps the
+    // merge simple and the group walk identical to the serial path).
+    std::vector<TermId> flat;
+    size_t total = 0;
+    for (size_t r = i; r < j; ++r) {
+      flat.insert(flat.end(), runs[r].data.begin(), runs[r].data.end());
+      total += runs[r].tuples;
+    }
+    auto tup_less = [arity](const TermId* a, const TermId* b) {
+      return std::lexicographical_compare(a, a + arity, b, b + arity);
+    };
+    std::vector<uint32_t> ord(total);
+    for (uint32_t t = 0; t < total; ++t) ord[t] = t;
+    std::sort(ord.begin(), ord.end(), [&](uint32_t a, uint32_t b) {
+      const TermId* ta = flat.data() + static_cast<size_t>(a) * arity;
+      const TermId* tb = flat.data() + static_cast<size_t>(b) * arity;
+      return tup_less(ta, tb) || (!tup_less(tb, ta) && a < b);
+    });
+    for (size_t gi = 0; gi < ord.size();) {
+      const TermId* t = flat.data() + static_cast<size_t>(ord[gi]) * arity;
+      size_t ge = gi + 1;
+      while (ge < ord.size() &&
+             std::equal(t, t + arity,
+                        flat.data() + static_cast<size_t>(ord[ge]) * arity)) {
+        ++ge;
+      }
+      *deduped += ge - gi - 1;
+      if (!(drop_dup_groups && ge - gi > 1)) {
+        out->emplace_back(pred, std::vector<TermId>(t, t + arity));
+      }
+      gi = ge;
+    }
+    i = j;
+  }
+}
+
+void DedupTriggers(
+    std::vector<std::pair<std::string, PendingExistential>> raw,
+    std::vector<std::pair<std::string, PendingExistential>>* out,
+    size_t* tdedup) {
+  std::sort(raw.begin(), raw.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return TriggerLess(a.second, b.second);
+  });
+  for (size_t i = 0; i < raw.size();) {
+    size_t j = i + 1;
+    while (j < raw.size() && raw[j].first == raw[i].first) ++j;
+    *tdedup += j - i - 1;
+    out->push_back(std::move(raw[i]));
+    i = j;
+  }
+}
+
+VectorSink::VectorSink(const RoundInputs& in, ChaseStats* stats,
+                       size_t compact_threshold,
+                       std::atomic<size_t>* shared_fault_seq,
+                       bool defer_oblivious)
+    : in_(in),
+      stats_(stats),
+      bufs_(in.frozen, compact_threshold,
+            in.options.fault == ChaseFault::kSinkDropDup),
+      shared_fault_seq_(shared_fault_seq),
+      defer_oblivious_(defer_oblivious) {}
+
+bool VectorSink::ObliviousPreFilter(const std::string& key) {
+  if (defer_oblivious_) return false;
+  return !in_.fired->insert(key).second;
+}
+
+size_t VectorSink::FaultSeq() {
+  return shared_fault_seq_ != nullptr
+             ? shared_fault_seq_->fetch_add(1, std::memory_order_relaxed)
+             : local_fault_seq_++;
+}
+
+void VectorSink::FoldCounters() {
+  stats_->sink_candidates += bufs_.candidates();
+  stats_->sink_contained += bufs_.contained();
+  stats_->sink_probes += bufs_.probes();
+  stats_->datalog_deduped += bufs_.deduped();
+}
+
+void VectorSink::Finish(RoundBuffer* buf) {
+  obs::TraceSpan span("chase.sink");
+  bufs_.FinishInto(&buf->datalog);
+  FoldCounters();
+  DedupTriggers(std::move(triggers_), &buf->triggers,
+                &stats_->triggers_deduped);
+}
+
+std::vector<DatalogSinkBuffers::Run> VectorSink::TakeDatalogRuns() {
+  std::vector<DatalogSinkBuffers::Run> runs = bufs_.TakeRuns();
+  FoldCounters();
+  return runs;
+}
+
+std::vector<HeadTemplate> BuildHeadTemplates(
+    const Rule& rule, const std::vector<TermId>& slot_vars) {
+  std::vector<HeadTemplate> heads;
+  heads.reserve(rule.head.size());
+  for (const Atom& h : rule.head) {
+    HeadTemplate ht;
+    ht.pred = h.pred;
+    ht.arity = h.args.size();
+    ht.args.reserve(h.args.size());
+    for (TermId t : h.args) {
+      HeadTemplate::Arg a;
+      if (IsVar(t)) {
+        auto it = std::find(slot_vars.begin(), slot_vars.end(), t);
+        assert(it != slot_vars.end() &&
+               "datalog head variable missing from the body's slot layout");
+        a.slot = static_cast<uint32_t>(it - slot_vars.begin());
+      } else {
+        a.is_const = true;
+        a.value = t;
+      }
+      ht.args.push_back(a);
+    }
+    heads.push_back(std::move(ht));
+  }
+  return heads;
+}
+
+void EnumerateAnchorVectorized(const RoundInputs& in, size_t ri, size_t di,
+                               const std::vector<RowBand>& bands,
+                               const Matcher& witness, VectorSink* sink,
+                               MatchStats* match_stats) {
+  const Rule& rule = in.theory.rules()[ri];
+  auto on_binding = [&](const Binding& b) {
+    return HandleBinding(in, ri, b, witness, *sink);
+  };
+  if (in.plans == nullptr) {
+    Matcher matcher(in.frozen, match_stats);
+    matcher.EnumerateBanded(rule.body, bands, {}, on_binding);
+    return;
+  }
+  const std::function<bool()> block_stop = [&in] {
+    return in.ctx->ShouldStop("plan block");
+  };
+  if (rule.IsExistential()) {
+    // Existential rules keep the per-binding path: the witness-existence
+    // probe and PatternKey need a Binding anyway.
+    ExecuteBandedPlan(in.frozen, *in.plans, rule.body, di, bands, on_binding,
+                      match_stats, &block_stop);
+    return;
+  }
+  // Datalog rule on the compiled path: ground head blocks straight from
+  // the executor's slot blocks — no Binding, no Atom per occurrence.
+  std::shared_ptr<const QueryPlan> plan =
+      in.plans->Get(in.frozen, rule.body, di);
+  const std::vector<TermId> slot_vars = PlanSlotVars(*plan, rule.body);
+  const std::vector<HeadTemplate> heads = BuildHeadTemplates(rule, slot_vars);
+  auto on_block = [&](const SlotBlock& blk) {
+    for (size_t r = 0; r < blk.num_rows; ++r) {
+      const TermId* slots = blk.rows + r * blk.width;
+      for (const HeadTemplate& h : heads) {
+        TermId* dst = sink->AppendDatalogSlot(h.pred, h.arity);
+        for (size_t pos = 0; pos < h.arity; ++pos) {
+          const HeadTemplate::Arg& a = h.args[pos];
+          dst[pos] = a.is_const ? a.value : slots[a.slot];
+        }
+      }
+    }
+    return true;
+  };
+  ExecutePlanBlocks(in.frozen, *plan, rule.body, &bands, on_block, match_stats,
+                    &block_stop);
+}
+
+namespace {
+
+/// The delta round loop over the vectorized sink: same anchor rotation and
+/// skip rules as the hash path below, with per-(rule, anchor) enumeration
+/// delegated to EnumerateAnchorVectorized and one sink finalization at the
+/// end (which runs even after a governor trip — see VectorSink::Finish).
+void EnumerateRoundSequentialVectorized(const RoundInputs& in,
+                                        RoundBuffer* buf) {
+  Matcher witness(in.frozen);
+  VectorSink sink(in, &buf->stats);
+  for (size_t ri = 0; ri < in.theory.rules().size(); ++ri) {
+    if (in.ctx->Exhausted()) break;  // a trip mid-rule skips the rest
+    const Rule& rule = in.theory.rules()[ri];
+    if (rule.IsExistential() && in.options.datalog_only) continue;
+    for (size_t di = 0; di < rule.body.size(); ++di) {
+      const PredId anchor_pred = rule.body[di].pred;
+      const uint32_t wm = in.frozen.WatermarkRows(anchor_pred);
+      if (wm >= in.frozen.NumFacts(anchor_pred)) continue;
+      bool empty_prefix = false;
+      for (size_t j = 0; j < di; ++j) {
+        if (in.frozen.WatermarkRows(rule.body[j].pred) == 0) {
+          empty_prefix = true;
+          break;
+        }
+      }
+      if (empty_prefix) continue;
+      const std::vector<RowBand> bands =
+          AnchorBands(in.frozen, rule, di, wm, UINT32_MAX);
+      EnumerateAnchorVectorized(in, ri, di, bands, witness, &sink,
+                                &buf->stats.match);
+    }
+  }
+  sink.Finish(buf);
+}
+
+}  // namespace
+
 void EnumerateRoundSequential(const RoundInputs& in, bool delta,
                               RoundBuffer* buf) {
+  if (delta && in.options.vectorized_sink) {
+    EnumerateRoundSequentialVectorized(in, buf);
+    return;
+  }
   Matcher matcher(in.frozen, &buf->stats.match);
   // Witness-existence probes go through a stats-less matcher so
   // bindings_tried counts rule-body bindings only.

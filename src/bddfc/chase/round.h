@@ -26,6 +26,7 @@
 #ifndef BDDFC_CHASE_ROUND_H_
 #define BDDFC_CHASE_ROUND_H_
 
+#include <atomic>
 #include <cassert>
 #include <string>
 #include <unordered_set>
@@ -111,6 +112,10 @@ std::string ObliviousKey(size_t ri, const Rule& rule, const Binding& b);
 ///   void BufferTrigger(std::string key, PendingExistential pe);
 ///   size_t FaultSeq();                     // kSkipTriggerDedup suffixes
 ///
+/// BufferDatalog owns the frozen-containment check: the hash sinks probe
+/// Contains eagerly per occurrence, the vectorized sink defers both the
+/// probe and the dedup to its sorted bulk pass.
+///
 /// Returns false to stop the enumeration (governor trip).
 template <typename Sink>
 bool HandleBinding(const RoundInputs& in, size_t ri, const Binding& b,
@@ -133,7 +138,6 @@ bool HandleBinding(const RoundInputs& in, size_t ri, const Binding& b,
     for (const Atom& h : rule.head) {
       Atom g = ground(h);
       assert(g.IsGround() && "datalog rule with unbound head variable");
-      if (in.frozen.Contains(g)) continue;
       sink.BufferDatalog(std::move(g));
     }
     return true;
@@ -173,8 +177,202 @@ bool HandleBinding(const RoundInputs& in, size_t ri, const Binding& b,
 std::vector<RowBand> AnchorBands(const Structure& s, const Rule& rule,
                                  size_t di, uint32_t begin, uint32_t end);
 
+/// Default per-predicate raw-tail size (tuples) at which the vectorized
+/// sink compacts: sorts the tail, merges it into the kept prefix, and
+/// answers containment in one bulk pass. Large enough that typical rounds
+/// compact exactly once, at Finish; tests shrink it to exercise
+/// mid-enumeration compactions.
+inline constexpr size_t kSinkCompactTuples = 1 << 16;
+
+/// Flat per-predicate candidate buffers with sort-dedup compaction and
+/// bulk containment — the datalog half of the vectorized round sink
+/// (DESIGN §2.13), shared by the chase engines and SaturateDatalog.
+///
+/// Append is the entire per-occurrence cost: bump a cursor and copy
+/// `arity` TermIds; no Atom allocation, no hash probe, no dedup-set
+/// insert. Compact() restores the invariant that the buffer's prefix is
+/// sorted, distinct, and absent from `frozen`: the raw tail is sorted,
+/// duplicate groups collapse with order-independent counting (a group of
+/// k occurrences contributes k-1 to deduped() whether it collapses in one
+/// compaction, telescopes across several, or splits across parallel
+/// tasks), and the fresh distinct tuples go through one bulk
+/// Structure::ContainsSorted probe. The counters therefore match the hash
+/// sinks' exactly — the byte-identity contract extends to stats.
+class DatalogSinkBuffers {
+ public:
+  /// `frozen` answers containment (Chase^{i-1}; must outlive the sink).
+  /// `drop_dup_groups` is the kSinkDropDup self-test fault: tuples derived
+  /// more than once get dropped instead of collapsed.
+  DatalogSinkBuffers(const Structure& frozen, size_t compact_threshold,
+                     bool drop_dup_groups);
+
+  /// Reserves one tuple of `pred` and returns the slot to write `arity`
+  /// TermIds into (invalidated by the next sink call; null iff arity 0).
+  TermId* Append(PredId pred, size_t arity);
+  void AppendAtom(const Atom& g);
+
+  /// Final compaction, then emits every surviving tuple — sorted,
+  /// distinct, frozen-free — as Atoms appended to `out`.
+  void FinishInto(std::vector<Atom>* out);
+
+  /// One predicate's surviving tuples as a flat sorted run (`tuples`
+  /// entries of `arity` TermIds; arity-0 runs carry only the count).
+  struct Run {
+    PredId pred = -1;
+    size_t arity = 0;
+    size_t tuples = 0;
+    std::vector<TermId> data;
+  };
+  /// Final compaction, then moves the per-predicate runs out (ascending
+  /// pred) — the parallel barrier merges runs across tasks.
+  std::vector<Run> TakeRuns();
+
+  size_t candidates() const { return candidates_; }
+  size_t contained() const { return contained_; }
+  size_t probes() const { return probes_; }
+  size_t deduped() const { return deduped_; }
+
+ private:
+  struct PredBuf {
+    PredId pred = -1;
+    size_t arity = 0;
+    /// Tuples [0, kept) are the compacted prefix (sorted, distinct, not in
+    /// frozen); tuples [kept, kept + tail) are the raw unsorted tail.
+    std::vector<TermId> data;
+    size_t kept = 0;
+    size_t tail = 0;
+    /// Parallel to the kept prefix, only under drop_dup_groups: tuple ever
+    /// had a duplicate occurrence (dropped at Finish/TakeRuns).
+    std::vector<char> kept_dup;
+  };
+
+  PredBuf& Buf(PredId pred, size_t arity);
+  void Compact(PredBuf* pb);
+
+  const Structure& frozen_;
+  const size_t compact_threshold_;
+  const bool drop_dup_groups_;
+  std::vector<int32_t> pred_slot_;  // pred -> index into bufs_, or -1
+  std::vector<PredBuf> bufs_;      // first-appearance order
+  size_t candidates_ = 0;
+  size_t contained_ = 0;
+  size_t probes_ = 0;
+  size_t deduped_ = 0;
+};
+
+/// Merges per-task sorted distinct runs (TakeRuns output, several tasks'
+/// worth) into Atoms appended to `out`: cross-run duplicate groups
+/// collapse to one copy, counting the extra occurrences into *deduped —
+/// the +1-per-extra-run rule that makes the total dedup count shard-count
+/// independent. Under `drop_dup_groups` (kSinkDropDup) cross-run
+/// duplicates are dropped entirely instead. Runs are already frozen-free,
+/// so no containment re-probe happens here.
+void MergeDatalogRuns(std::vector<DatalogSinkBuffers::Run> runs,
+                      bool drop_dup_groups, std::vector<Atom>* out,
+                      size_t* deduped);
+
+/// Sorts raw (key, candidate) trigger pairs, collapses each key to its
+/// TriggerLess-least candidate counting dropped occurrences into *tdedup,
+/// and appends the unique-key survivors to *out in key order — the same
+/// winner the hash sinks' keep-min maps pick, independent of arrival
+/// order.
+void DedupTriggers(
+    std::vector<std::pair<std::string, PendingExistential>> raw,
+    std::vector<std::pair<std::string, PendingExistential>>* out,
+    size_t* tdedup);
+
+/// The vectorized round sink (ChaseOptions::vectorized_sink): datalog
+/// candidates go through DatalogSinkBuffers, existential triggers append
+/// raw and dedup once at the end. Satisfies the HandleBinding Sink
+/// interface, plus AppendDatalogSlot for block-at-a-time head grounding.
+class VectorSink {
+ public:
+  /// `stats` receives the dedup/containment counters when the sink is
+  /// finalized. `shared_fault_seq` backs FaultSeq across the parallel
+  /// engine's tasks (nullptr = private counter); `defer_oblivious`
+  /// disables the in-enumeration fired-key filter (the parallel engine
+  /// filters at the merge barrier instead, where keys are unique within a
+  /// delta round).
+  VectorSink(const RoundInputs& in, ChaseStats* stats,
+             size_t compact_threshold = kSinkCompactTuples,
+             std::atomic<size_t>* shared_fault_seq = nullptr,
+             bool defer_oblivious = false);
+
+  bool BufferDatalog(Atom g) {
+    bufs_.AppendAtom(g);
+    return true;
+  }
+  bool ObliviousPreFilter(const std::string& key);
+  void BufferTrigger(std::string key, PendingExistential pe) {
+    triggers_.emplace_back(std::move(key), std::move(pe));
+  }
+  size_t FaultSeq();
+  TermId* AppendDatalogSlot(PredId pred, size_t arity) {
+    return bufs_.Append(pred, arity);
+  }
+
+  /// Serial engines: final-compacts, folds counters into `stats`, and
+  /// emits into `buf` exactly what the hash sinks would have — under a
+  /// "chase.sink" trace span. Runs even after a governor trip (the
+  /// kTornExhaust self-test applies a torn round's buffered datalog).
+  void Finish(RoundBuffer* buf);
+
+  /// Parallel task path: final-compacts, folds counters into `stats`, and
+  /// moves out the per-predicate runs; triggers come out raw via
+  /// TakeRawTriggers for the barrier's DedupTriggers pass.
+  std::vector<DatalogSinkBuffers::Run> TakeDatalogRuns();
+  std::vector<std::pair<std::string, PendingExistential>> TakeRawTriggers() {
+    return std::move(triggers_);
+  }
+
+ private:
+  void FoldCounters();
+
+  const RoundInputs& in_;
+  ChaseStats* stats_;
+  DatalogSinkBuffers bufs_;
+  std::vector<std::pair<std::string, PendingExistential>> triggers_;
+  std::atomic<size_t>* shared_fault_seq_;
+  size_t local_fault_seq_ = 0;
+  bool defer_oblivious_;
+};
+
+/// Grounding template of one datalog head atom against a plan's slot
+/// layout: per position, a constant or the slot holding the variable's
+/// value. Lets block grounding resolve a head occurrence with `arity`
+/// array reads instead of per-variable Binding lookups.
+struct HeadTemplate {
+  struct Arg {
+    bool is_const = false;
+    TermId value = 0;   // constant value when is_const
+    uint32_t slot = 0;  // slot index otherwise
+  };
+  PredId pred = -1;
+  size_t arity = 0;
+  std::vector<Arg> args;
+};
+
+/// Builds the head templates of a datalog rule against `slot_vars` (the
+/// PlanSlotVars order of the body's plan). Datalog heads only use body
+/// variables, so every head variable resolves to a slot.
+std::vector<HeadTemplate> BuildHeadTemplates(
+    const Rule& rule, const std::vector<TermId>& slot_vars);
+
+/// Enumerates rule `ri` with delta anchor `di` over `bands` into the
+/// vectorized sink: datalog rules on the compiled path ground their heads
+/// block-at-a-time straight from the executor's slot blocks (no Binding,
+/// no Atom per occurrence); existential rules and the interpretive path
+/// fall back to per-binding HandleBinding. Shared by the sequential
+/// vectorized round and the parallel engine's shard tasks.
+void EnumerateAnchorVectorized(const RoundInputs& in, size_t ri, size_t di,
+                               const std::vector<RowBand>& bands,
+                               const Matcher& witness, VectorSink* sink,
+                               MatchStats* match_stats);
+
 /// Sequential enumeration of one round into `buf`: delta-anchored
-/// (ChaseEngine::kDelta) or full re-enumeration (kNaive).
+/// (ChaseEngine::kDelta) or full re-enumeration (kNaive). Delta rounds
+/// route through the vectorized sink when options.vectorized_sink is set;
+/// kNaive always uses the per-binding hash sink (the A/B reference).
 void EnumerateRoundSequential(const RoundInputs& in, bool delta,
                               RoundBuffer* buf);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -93,7 +94,11 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       finalize();
       return out;
     }
-    if (options.compiled_plans) out.structure.RefreshIndexes();
+    // The vectorized sink's bulk containment gallops the sorted indexes,
+    // so it needs them fresh even when plans are off.
+    if (options.compiled_plans || options.vectorized_sink) {
+      out.structure.RefreshIndexes();
+    }
     if (++out.rounds_run > options.max_rounds) {
       out.status =
           ctx->RecordExhaustion(ResourceKind::kRounds,
@@ -106,7 +111,69 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
     std::vector<Atom> additions;
     Status barrier = Status::OK();
 
-    if (pool == nullptr) {
+    if (pool == nullptr && options.vectorized_sink) {
+      // Vectorized serial round: raw appends into flat per-predicate
+      // buffers; dedup and containment happen once, in the sorted bulk
+      // pass at the end of the round. Compiled datalog rules ground their
+      // heads block-at-a-time straight from the executor's slot blocks.
+      chase_internal::DatalogSinkBuffers sink(
+          out.structure, chase_internal::kSinkCompactTuples,
+          /*drop_dup_groups=*/false);
+      Matcher matcher(out.structure);
+      for (const Rule* rule : rules) {
+        for (size_t di = 0; di < rule->body.size(); ++di) {
+          const Atom& anchor = rule->body[di];
+          const uint32_t wm = out.structure.WatermarkRows(anchor.pred);
+          if (wm >= out.structure.NumFacts(anchor.pred)) {
+            continue;  // empty delta for this anchor
+          }
+          const std::vector<RowBand> bands = chase_internal::AnchorBands(
+              out.structure, *rule, di, wm, UINT32_MAX);
+          if (options.compiled_plans) {
+            std::shared_ptr<const QueryPlan> plan =
+                plan_cache.Get(out.structure, rule->body, di);
+            const std::vector<TermId> slot_vars =
+                PlanSlotVars(*plan, rule->body);
+            const std::vector<chase_internal::HeadTemplate> heads =
+                chase_internal::BuildHeadTemplates(*rule, slot_vars);
+            MatchStats ms;
+            auto on_block = [&](const SlotBlock& blk) {
+              for (size_t r = 0; r < blk.num_rows; ++r) {
+                const TermId* slots = blk.rows + r * blk.width;
+                for (const chase_internal::HeadTemplate& h : heads) {
+                  TermId* dst = sink.Append(h.pred, h.arity);
+                  for (size_t pos = 0; pos < h.arity; ++pos) {
+                    const chase_internal::HeadTemplate::Arg& a = h.args[pos];
+                    dst[pos] = a.is_const ? a.value : slots[a.slot];
+                  }
+                }
+              }
+              return true;
+            };
+            ExecutePlanBlocks(out.structure, *plan, rule->body, &bands,
+                              on_block, &ms, &block_stop);
+            out.bindings_tried += ms.bindings_tried;
+          } else {
+            const std::function<bool(const Binding&)> on_binding =
+                [&](const Binding& b) {
+                  if (ctx->ShouldStop("saturate enumerate")) return false;
+                  ++out.bindings_tried;
+                  for (const Atom& h : rule->head) {
+                    TermId* dst = sink.Append(h.pred, h.args.size());
+                    for (size_t pos = 0; pos < h.args.size(); ++pos) {
+                      const TermId t = h.args[pos];
+                      dst[pos] = IsVar(t) ? b.at(t) : t;
+                    }
+                  }
+                  return true;
+                };
+            matcher.EnumerateBanded(rule->body, bands, {}, on_binding);
+          }
+        }
+      }
+      obs::TraceSpan sink_span("saturate.sink");
+      sink.FinishInto(&additions);
+    } else if (pool == nullptr) {
       std::unordered_set<Atom, AtomHash> buffered;
       Matcher matcher(out.structure);
       for (const Rule* rule : rules) {
@@ -146,6 +213,97 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
           }
         }
       }
+    } else if (options.vectorized_sink) {
+      // Sharded vectorized round: each (rule, anchor, delta-chunk) task
+      // buffers into a private sink and finalizes it locally (sort-dedup
+      // plus one bulk containment pass); the barrier merges the tasks'
+      // sorted distinct runs, counting nothing twice, so the closure —
+      // and bindings_tried — match the serial loop at any thread count.
+      std::mutex mu;
+      std::vector<chase_internal::DatalogSinkBuffers::Run> runs;
+      std::atomic<size_t> bindings{0};
+      const Structure& frozen = out.structure;
+      for (const Rule* rule : rules) {
+        for (size_t di = 0; di < rule->body.size(); ++di) {
+          const PredId anchor_pred = rule->body[di].pred;
+          for (const RowRange& chunk : frozen.DeltaChunks(
+                   anchor_pred, chase_internal::kChunkRows)) {
+            pool->Submit(
+                static_cast<size_t>(anchor_pred),
+                [&, rule, di, chunk]() -> Status {
+                  obs::TraceSpan span("saturate.shard");
+                  chase_internal::DatalogSinkBuffers sink(
+                      frozen, chase_internal::kSinkCompactTuples,
+                      /*drop_dup_groups=*/false);
+                  size_t local_bindings = 0;
+                  const std::vector<RowBand> bands =
+                      chase_internal::AnchorBands(frozen, *rule, di,
+                                                  chunk.begin, chunk.end);
+                  if (options.compiled_plans) {
+                    std::shared_ptr<const QueryPlan> plan =
+                        plan_cache.Get(frozen, rule->body, di);
+                    const std::vector<TermId> slot_vars =
+                        PlanSlotVars(*plan, rule->body);
+                    const std::vector<chase_internal::HeadTemplate> heads =
+                        chase_internal::BuildHeadTemplates(*rule, slot_vars);
+                    MatchStats ms;
+                    auto on_block = [&](const SlotBlock& blk) {
+                      for (size_t r = 0; r < blk.num_rows; ++r) {
+                        const TermId* slots = blk.rows + r * blk.width;
+                        for (const chase_internal::HeadTemplate& h : heads) {
+                          TermId* dst = sink.Append(h.pred, h.arity);
+                          for (size_t pos = 0; pos < h.arity; ++pos) {
+                            const chase_internal::HeadTemplate::Arg& a =
+                                h.args[pos];
+                            dst[pos] =
+                                a.is_const ? a.value : slots[a.slot];
+                          }
+                        }
+                      }
+                      return true;
+                    };
+                    ExecutePlanBlocks(frozen, *plan, rule->body, &bands,
+                                      on_block, &ms, &block_stop);
+                    local_bindings += ms.bindings_tried;
+                  } else {
+                    const std::function<bool(const Binding&)> on_binding =
+                        [&](const Binding& b) {
+                          if (ctx->ShouldStop("saturate enumerate")) {
+                            return false;
+                          }
+                          ++local_bindings;
+                          for (const Atom& h : rule->head) {
+                            TermId* dst =
+                                sink.Append(h.pred, h.args.size());
+                            for (size_t pos = 0; pos < h.args.size();
+                                 ++pos) {
+                              const TermId t = h.args[pos];
+                              dst[pos] = IsVar(t) ? b.at(t) : t;
+                            }
+                          }
+                          return true;
+                        };
+                    Matcher matcher(frozen);
+                    matcher.EnumerateBanded(rule->body, bands, {},
+                                            on_binding);
+                  }
+                  auto task_runs = sink.TakeRuns();
+                  bindings.fetch_add(local_bindings,
+                                     std::memory_order_relaxed);
+                  std::lock_guard<std::mutex> lock(mu);
+                  for (auto& run : task_runs) runs.push_back(std::move(run));
+                  return Status::OK();
+                });
+          }
+        }
+      }
+      barrier = pool->Wait();
+      out.bindings_tried += bindings.load(std::memory_order_relaxed);
+      obs::TraceSpan sink_span("saturate.sink");
+      size_t cross_run_dups = 0;
+      chase_internal::MergeDatalogRuns(std::move(runs),
+                                       /*drop_dup_groups=*/false, &additions,
+                                       &cross_run_dups);
     } else {
       // Sharded round: every (rule, anchor, delta-chunk) is one pool task
       // buffering into a striped set. Chunks partition the round's

@@ -39,6 +39,11 @@ struct SaturateOptions {
   /// block execution (see ChaseOptions::compiled_plans). The closure is
   /// byte-identical either way.
   bool compiled_plans = true;
+  /// Buffer each round's derivations through the vectorized sink (flat
+  /// per-predicate tuple buffers, sort-dedup, bulk containment — see
+  /// ChaseOptions::vectorized_sink) instead of per-occurrence Contains
+  /// probes and hash dedup. The closure is byte-identical either way.
+  bool vectorized_sink = true;
   /// Resource governor (not owned; may be null): deadline / memory /
   /// cancellation checks at round boundaries and strided probes inside
   /// enumeration; on a trip the result is the closure prefix up to the

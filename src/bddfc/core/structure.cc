@@ -144,6 +144,97 @@ size_t Structure::DistinctValues(PredId pred, int pos) const {
   return rel->by_pos[pos].size();
 }
 
+size_t Structure::ContainsSorted(PredId pred, size_t arity,
+                                 const TermId* tuples, size_t count,
+                                 std::vector<char>* contained) const {
+  contained->assign(count, 0);
+  const Relation* rel = FindRelation(pred);
+  if (rel == nullptr || rel->rows.empty()) return 0;
+
+  size_t found = 0;
+  auto hash_probe = [&](const TermId* t, std::vector<TermId>* key) {
+    key->assign(t, t + arity);
+    return rel->lookup.find(*key) != rel->lookup.end();
+  };
+
+  // No first column to gallop on, or no sorted prefix at all: the hash
+  // table is the only index that can answer.
+  if (arity == 0 || rel->sorted_rows == 0 || rel->sorted.empty()) {
+    std::vector<TermId> key;
+    for (size_t i = 0; i < count; ++i) {
+      if (hash_probe(tuples + i * arity, &key)) {
+        (*contained)[i] = 1;
+        ++found;
+      }
+    }
+    return found;
+  }
+
+  // A value slice wider than this is cheaper to settle with one hash
+  // lookup than with a linear scan of the slice's rows.
+  constexpr size_t kMaxSliceScan = 32;
+  const std::vector<uint32_t>& idx = rel->sorted[0];
+  const std::vector<TermId>& col0 = rel->cols[0];
+  const bool stale = rel->sorted_rows != rel->rows.size();
+  std::vector<TermId> key;
+  size_t cursor = 0;  // first index entry with col0 >= current tuple's v0
+  for (size_t i = 0; i < count; ++i) {
+    const TermId* t = tuples + i * arity;
+    const TermId v0 = t[0];
+    // Gallop from the cursor: [lo, hi) brackets the lower bound of v0.
+    size_t lo = cursor;
+    size_t hi = cursor;
+    size_t step = 1;
+    while (hi < idx.size() && col0[idx[hi]] < v0) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    hi = hi < idx.size() ? hi : idx.size();
+    cursor = static_cast<size_t>(
+        std::lower_bound(idx.begin() + lo, idx.begin() + hi, v0,
+                         [&col0](uint32_t r, TermId v) { return col0[r] < v; }) -
+        idx.begin());
+    // Scan the equal-value slice, verifying the remaining positions against
+    // the column mirrors. `decided` means the slice answered definitively
+    // for the sorted prefix; a too-wide slice leaves it false.
+    bool present = false;
+    bool decided = false;
+    size_t scanned = 0;
+    for (size_t j = cursor; j < idx.size(); ++j) {
+      const uint32_t r = idx[j];
+      if (col0[r] != v0) {
+        decided = true;  // slice exhausted without a match
+        break;
+      }
+      if (++scanned > kMaxSliceScan) break;
+      bool match = true;
+      for (size_t pos = 1; pos < arity; ++pos) {
+        if (rel->cols[pos][r] != t[pos]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        present = true;
+        decided = true;
+        break;
+      }
+    }
+    if (!present && (!decided || stale)) {
+      // Wide slice, slice running off the index end, or absent from the
+      // sorted prefix while unindexed tail rows exist: one exact-tuple
+      // hash lookup settles it.
+      present = hash_probe(t, &key);
+    }
+    if (present) {
+      (*contained)[i] = 1;
+      ++found;
+    }
+  }
+  return found;
+}
+
 void Structure::RefreshIndexes() {
   for (Relation& rel : relations_) {
     const uint32_t n = static_cast<uint32_t>(rel.rows.size());

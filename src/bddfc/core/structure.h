@@ -164,6 +164,21 @@ class Structure {
   /// plan compilation divides row counts by.
   size_t DistinctValues(PredId pred, int pos) const;
 
+  /// Bulk membership for a lexicographically sorted batch of tuples — the
+  /// vectorized round sink's containment pass. `tuples` holds `count`
+  /// tuples of `arity` TermIds each, flat and sorted ascending (duplicates
+  /// allowed). Sets (*contained)[i] to 1/0 per tuple and returns how many
+  /// were present. Instead of `count` independent hash probes, a single
+  /// cursor gallops forward through the position-0 sorted (value, row)
+  /// index — the batch is sorted, so first-column values never move
+  /// backwards — and the equal-value slice is verified against the column
+  /// mirrors. Wide slices and rows past the index watermark fall back to
+  /// the exact-tuple hash lookup, so the answer is correct at any index
+  /// staleness (including never-refreshed); fresh indexes only make it
+  /// faster.
+  size_t ContainsSorted(PredId pred, size_t arity, const TermId* tuples,
+                        size_t count, std::vector<char>* contained) const;
+
   /// Builds (first call) or incrementally extends (later calls) the sorted
   /// per-(predicate, position) row indexes: new rows are sorted by
   /// (value, row) and merged into the existing runs. Not thread-safe

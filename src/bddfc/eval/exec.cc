@@ -46,6 +46,9 @@ struct Executor {
   MatchStats* stats;
   const std::function<bool()>* abort;
   size_t* count;  // non-null: count matches, skip Binding materialization
+  /// Non-null: hand final blocks over whole instead of per-row Bindings
+  /// (ExecutePlanBlocks). Set between construction and Init.
+  const std::function<bool(const SlotBlock&)>* on_block = nullptr;
 
   std::vector<TermId> slot_vars;
   size_t width = 0;
@@ -114,7 +117,7 @@ struct Executor {
       sc.count_range_ok = only_probe_constrains;
       sc.count_all_rows = nothing_constrains;
     }
-    if (count == nullptr) {
+    if (count == nullptr && on_block == nullptr) {
       emit_b.reserve(width);
       emit_vals.resize(width, nullptr);
       for (size_t i = 0; i < width; ++i) {
@@ -132,6 +135,13 @@ struct Executor {
     if (count != nullptr) {
       if (stats != nullptr) stats->bindings_tried += n;
       *count += n;
+      return;
+    }
+    if (on_block != nullptr) {
+      if (stats != nullptr) stats->bindings_tried += n;
+      if (!(*on_block)(SlotBlock{rows, n, width, slot_vars.data()})) {
+        stopped = true;
+      }
       return;
     }
     // emit_b holds every slot variable as a key already; per row only the
@@ -359,6 +369,19 @@ bool ExecutePlan(const Structure& s, const QueryPlan& plan,
   Executor ex(s, plan, on_match, stats, abort);
   ex.Init(atoms, bands, prebound);
   return ex.Run(partial, prebound);
+}
+
+bool ExecutePlanBlocks(const Structure& s, const QueryPlan& plan,
+                       const std::vector<Atom>& atoms,
+                       const std::vector<RowBand>* bands,
+                       const std::function<bool(const SlotBlock&)>& on_block,
+                       MatchStats* stats, const std::function<bool()>* abort) {
+  obs::TraceSpan span("plan.exec");
+  static const std::function<bool(const Binding&)> kUnused;
+  Executor ex(s, plan, kUnused, stats, abort);
+  ex.on_block = &on_block;
+  ex.Init(atoms, bands, {});
+  return ex.Run({}, {});
 }
 
 bool ExecuteBandedPlan(const Structure& s, PlanCache& cache,

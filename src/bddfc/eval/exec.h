@@ -64,6 +64,32 @@ bool ExecutePlan(const Structure& s, const QueryPlan& plan,
                  MatchStats* stats = nullptr,
                  const std::function<bool()>* abort = nullptr);
 
+/// One block of complete bindings in the executor's flat slot layout:
+/// `num_rows` bindings of `width` TermIds each, row-major; slot `i` holds
+/// the value of variable `slot_vars[i]` (the PlanSlotVars order for the
+/// executed plan). Valid only for the duration of the callback — the
+/// executor reuses the underlying buffer across flushes.
+struct SlotBlock {
+  const TermId* rows = nullptr;
+  size_t num_rows = 0;
+  size_t width = 0;
+  const TermId* slot_vars = nullptr;
+};
+
+/// Block-at-a-time variant of ExecutePlan for sinks that consume whole
+/// result blocks (the vectorized chase sink grounds head atoms against
+/// them): instead of patching one reused Binding per match, each final
+/// block is handed over once per flush, so emitting N matches costs one
+/// virtual call instead of N map-pointer patch loops. bindings_tried still
+/// counts one per row. `on_block` returning false stops enumeration (not
+/// an error); returns false iff the abort hook cut execution short.
+bool ExecutePlanBlocks(const Structure& s, const QueryPlan& plan,
+                       const std::vector<Atom>& atoms,
+                       const std::vector<RowBand>* bands,
+                       const std::function<bool(const SlotBlock&)>& on_block,
+                       MatchStats* stats = nullptr,
+                       const std::function<bool()>* abort = nullptr);
+
 /// Cached banded enumeration for the delta engines: fetches (or compiles)
 /// the plan for (atoms, anchor) from `cache` and executes it with `bands`.
 /// Returns false iff the abort hook cut execution short.

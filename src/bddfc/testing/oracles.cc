@@ -48,19 +48,22 @@ std::map<PredId, std::vector<int>> BirthRoundsByPredicate(
 /// Engine configurations under test against the kNaive baseline: the delta
 /// loop plus the parallel engine at each thread count of interest
 /// (threads=1 exercises the serial-route fallback), each with compiled
-/// plans on and off.
+/// plans on and off and the vectorized round sink on and off.
 struct EngineConfig {
   ChaseEngine engine;
   size_t threads;
   bool plans;
+  bool vsink = true;
 };
 
 std::vector<EngineConfig> DeltaFamilyConfigs() {
   std::vector<EngineConfig> out;
-  for (bool plans : {true, false}) {
-    out.push_back({ChaseEngine::kDelta, 0, plans});
-    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-      out.push_back({ChaseEngine::kParallel, threads, plans});
+  for (bool vsink : {true, false}) {
+    for (bool plans : {true, false}) {
+      out.push_back({ChaseEngine::kDelta, 0, plans, vsink});
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        out.push_back({ChaseEngine::kParallel, threads, plans, vsink});
+      }
     }
   }
   return out;
@@ -71,6 +74,7 @@ std::string ConfigLabel(const EngineConfig& ec) {
                       ? std::string("delta")
                       : "parallel t" + std::to_string(ec.threads);
   s += ec.plans ? " plans" : " interp";
+  s += ec.vsink ? " vsink" : " hashsink";
   return s;
 }
 
@@ -91,12 +95,14 @@ class ChaseAgreementOracle : public Oracle {
       ChaseResult naive = RunChase(s.theory, s.instance, opts);
 
       // The injected fault (the fuzzer's self-test) rides on the engines
-      // under test, never on the baseline.
+      // under test, never on the baseline. (kNaive keeps the hash sink, so
+      // the baseline is also immune to kSinkDropDup by construction.)
       for (const EngineConfig& ec : DeltaFamilyConfigs()) {
         opts.engine = ec.engine;
         opts.fault = config.chase_fault;
         opts.threads = ec.threads;
         opts.compiled_plans = ec.plans;
+        opts.vectorized_sink = ec.vsink;
         ChaseResult run = RunChase(s.theory, s.instance, opts);
 
         std::string mode = std::string(oblivious ? "[oblivious " :
@@ -440,13 +446,19 @@ class GovernorPrefixOracle : public Oracle {
     ChaseResult baseline = RunChase(s.theory, s.instance, base);
 
     // Plans on/off changes where cooperative checks land (plan blocks vs
-    // interpreter strides), so the prefix contract is probed for both.
+    // interpreter strides), so the prefix contract is probed for both; the
+    // sink axis rides along because a cancellation that fires mid-round
+    // must discard the vectorized sink's buffered (incomplete) round too.
     bool tripped_any = false;
     for (const EngineConfig& ec :
-         {EngineConfig{ChaseEngine::kDelta, 0, true},
-          EngineConfig{ChaseEngine::kDelta, 0, false},
-          EngineConfig{ChaseEngine::kParallel, 4, true},
-          EngineConfig{ChaseEngine::kParallel, 4, false}}) {
+         {EngineConfig{ChaseEngine::kDelta, 0, true, true},
+          EngineConfig{ChaseEngine::kDelta, 0, true, false},
+          EngineConfig{ChaseEngine::kDelta, 0, false, true},
+          EngineConfig{ChaseEngine::kDelta, 0, false, false},
+          EngineConfig{ChaseEngine::kParallel, 4, true, true},
+          EngineConfig{ChaseEngine::kParallel, 4, true, false},
+          EngineConfig{ChaseEngine::kParallel, 4, false, true},
+          EngineConfig{ChaseEngine::kParallel, 4, false, false}}) {
     for (size_t after : {size_t{1}, size_t{3}, size_t{7}}) {
       ExecutionContext ctx;
       ctx.InjectFaultAfterChecks(config.inject_fault, after);
@@ -455,6 +467,7 @@ class GovernorPrefixOracle : public Oracle {
       opts.engine = ec.engine;
       opts.threads = ec.threads;
       opts.compiled_plans = ec.plans;
+      opts.vectorized_sink = ec.vsink;
       // kTornExhaust rides along so the torn-prefix path has a detector.
       opts.fault = config.chase_fault;
       ChaseResult run = RunChase(s.theory, s.instance, opts);

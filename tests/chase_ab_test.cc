@@ -121,35 +121,44 @@ std::string ExactDump(const ChaseResult& r) {
 }
 
 /// The delta-family engines' core contract: byte-identical output across
-/// kDelta/kParallel, every thread count, and compiled plans on/off. The
-/// reference run is kDelta on the interpretive Matcher (plans off), so
-/// every comparison against a plans-on run doubles as an A/B check of the
-/// plan executor. `make` must build a fresh Program per call — runs share
-/// a Signature otherwise, and the nulls the first run interns would shift
+/// kDelta/kParallel, every thread count, compiled plans on/off, and the
+/// vectorized round sink on/off. The reference run is kDelta on the
+/// interpretive Matcher with the per-binding hash sink (plans off, sink
+/// off), so every comparison against a plans-on run doubles as an A/B
+/// check of the plan executor, and every vsink-on run as an A/B check of
+/// the sort-dedup sink — dedup counters included (they are part of the
+/// dump). `make` must build a fresh Program per call — runs share a
+/// Signature otherwise, and the nulls the first run interns would shift
 /// the TermIds of the second.
 void ExpectByteIdentical(const std::function<Program()>& make,
                          ChaseOptions options) {
   options.engine = ChaseEngine::kDelta;
   options.compiled_plans = false;
+  options.vectorized_sink = false;
   Program ref_program = make();
   const std::string ref =
       ExactDump(RunChase(ref_program.theory, ref_program.instance, options));
-  for (bool plans : {true, false}) {
-    {
-      Program p = make();
-      ChaseOptions o = options;
-      o.compiled_plans = plans;
-      EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
-          << "delta plans=" << plans;
-    }
-    for (size_t threads : {1u, 2u, 4u, 8u}) {
-      Program p = make();
-      ChaseOptions o = options;
-      o.engine = ChaseEngine::kParallel;
-      o.threads = threads;
-      o.compiled_plans = plans;
-      EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
-          << "threads=" << threads << " plans=" << plans;
+  for (bool vsink : {true, false}) {
+    for (bool plans : {true, false}) {
+      {
+        Program p = make();
+        ChaseOptions o = options;
+        o.compiled_plans = plans;
+        o.vectorized_sink = vsink;
+        EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
+            << "delta plans=" << plans << " vsink=" << vsink;
+      }
+      for (size_t threads : {1u, 2u, 4u, 8u}) {
+        Program p = make();
+        ChaseOptions o = options;
+        o.engine = ChaseEngine::kParallel;
+        o.threads = threads;
+        o.compiled_plans = plans;
+        o.vectorized_sink = vsink;
+        EXPECT_EQ(ExactDump(RunChase(p.theory, p.instance, o)), ref)
+            << "threads=" << threads << " plans=" << plans
+            << " vsink=" << vsink;
+      }
     }
   }
 }
@@ -386,40 +395,104 @@ TEST(ChaseParallelIdentity, DivergentRunCutByRoundBudget) {
 // ---------------------------------------------------------------------------
 
 TEST(ChaseParallelStats, ReportedRoundTimesStayUnderMeasuredWallClock) {
-  for (size_t threads : {1u, 4u, 8u}) {
-    auto sig = std::make_shared<Signature>();
-    Structure d = RandomGraph(sig, /*nodes=*/18, /*edges=*/48, /*seed=*/5);
-    PredId e0 = std::move(sig->FindPredicate("e0")).ValueOrDie();
-    Theory t(sig);
-    TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
-    ASSERT_TRUE(t.AddRule(Rule({Atom(e0, {x, y}), Atom(e0, {y, z})},
-                               {Atom(e0, {x, z})}))
-                    .ok());
-    ChaseOptions o;
-    o.max_rounds = 64;
-    o.engine = ChaseEngine::kParallel;
-    o.threads = threads;
+  for (bool vsink : {true, false}) {
+    for (size_t threads : {1u, 4u, 8u}) {
+      auto sig = std::make_shared<Signature>();
+      Structure d = RandomGraph(sig, /*nodes=*/18, /*edges=*/48, /*seed=*/5);
+      PredId e0 = std::move(sig->FindPredicate("e0")).ValueOrDie();
+      Theory t(sig);
+      TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
+      ASSERT_TRUE(t.AddRule(Rule({Atom(e0, {x, y}), Atom(e0, {y, z})},
+                                 {Atom(e0, {x, z})}))
+                      .ok());
+      ChaseOptions o;
+      o.max_rounds = 64;
+      o.engine = ChaseEngine::kParallel;
+      o.threads = threads;
+      o.vectorized_sink = vsink;
 
-    const auto wall_start = std::chrono::steady_clock::now();
-    ChaseResult r = RunChase(t, d, o);
-    const double wall_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - wall_start)
-                               .count();
+      const auto wall_start = std::chrono::steady_clock::now();
+      ChaseResult r = RunChase(t, d, o);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - wall_start)
+                                 .count();
 
-    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
-    EXPECT_TRUE(r.fixpoint_reached);
-    // Same stats shape as the sequential engines: one entry per executed
-    // round plus the final (empty) fixpoint round.
-    EXPECT_EQ(r.stats.round_ms.size(), r.rounds_run + 1)
-        << "threads=" << threads;
-    // Rounds are disjoint sub-intervals of the run: with shard times
-    // max-merged their sum is bounded by the wall clock. A sum-merge
-    // would overshoot on any multi-core box. Small slack for clock
-    // granularity.
-    const double reported = std::accumulate(r.stats.round_ms.begin(),
-                                            r.stats.round_ms.end(), 0.0);
-    EXPECT_LE(reported, wall_ms + 0.5) << "threads=" << threads;
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_TRUE(r.fixpoint_reached);
+      // Same stats shape as the sequential engines: one entry per executed
+      // round plus the final (empty) fixpoint round.
+      EXPECT_EQ(r.stats.round_ms.size(), r.rounds_run + 1)
+          << "threads=" << threads << " vsink=" << vsink;
+      // Rounds are disjoint sub-intervals of the run: with shard times
+      // max-merged their sum is bounded by the wall clock. A sum-merge
+      // would overshoot on any multi-core box. Small slack for clock
+      // granularity.
+      const double reported = std::accumulate(r.stats.round_ms.begin(),
+                                              r.stats.round_ms.end(), 0.0);
+      EXPECT_LE(reported, wall_ms + 0.5)
+          << "threads=" << threads << " vsink=" << vsink;
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized-sink counter parity: the deterministic sink counters
+// (candidates buffered, occurrences dropped by bulk containment) must be
+// identical across engines, thread counts, and plan modes — only
+// sink_probes may vary (compaction boundaries move with sharding). With
+// the sink off they must all stay zero.
+// ---------------------------------------------------------------------------
+
+TEST(ChaseSinkStats, SinkCountersAreEngineAndThreadInvariant) {
+  auto make_workload = [](SignaturePtr* sig_out) {
+    auto sig = std::make_shared<Signature>();
+    Structure d = RandomGraph(sig, /*nodes=*/16, /*edges=*/40, /*seed=*/11);
+    *sig_out = sig;
+    return d;
+  };
+  SignaturePtr ref_sig;
+  Structure ref_d = make_workload(&ref_sig);
+  PredId e0 = std::move(ref_sig->FindPredicate("e0")).ValueOrDie();
+  Theory t(ref_sig);
+  TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
+  ASSERT_TRUE(t.AddRule(Rule({Atom(e0, {x, y}), Atom(e0, {y, z})},
+                             {Atom(e0, {x, z})}))
+                  .ok());
+  ChaseOptions base;
+  base.max_rounds = 64;
+
+  ChaseResult ref = RunChase(t, ref_d, base);  // kDelta, vsink on (default)
+  ASSERT_TRUE(ref.status.ok());
+  EXPECT_GT(ref.stats.sink_candidates, 0u);
+  // Conservation: every candidate is contained, deduped, or a new fact.
+  EXPECT_EQ(ref.stats.sink_candidates - ref.stats.sink_contained -
+                ref.stats.datalog_deduped,
+            ref.structure.NumFacts() - ref_d.NumFacts());
+
+  for (bool plans : {true, false}) {
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      ChaseOptions o = base;
+      o.engine = ChaseEngine::kParallel;
+      o.threads = threads;
+      o.compiled_plans = plans;
+      ChaseResult r = RunChase(t, ref_d, o);
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.stats.sink_candidates, ref.stats.sink_candidates)
+          << "threads=" << threads << " plans=" << plans;
+      EXPECT_EQ(r.stats.sink_contained, ref.stats.sink_contained)
+          << "threads=" << threads << " plans=" << plans;
+      EXPECT_EQ(r.stats.datalog_deduped, ref.stats.datalog_deduped)
+          << "threads=" << threads << " plans=" << plans;
+    }
+  }
+
+  ChaseOptions off = base;
+  off.vectorized_sink = false;
+  ChaseResult r = RunChase(t, ref_d, off);
+  EXPECT_EQ(r.stats.sink_candidates, 0u);
+  EXPECT_EQ(r.stats.sink_contained, 0u);
+  EXPECT_EQ(r.stats.sink_probes, 0u);
+  EXPECT_EQ(r.stats.datalog_deduped, ref.stats.datalog_deduped);
 }
 
 }  // namespace

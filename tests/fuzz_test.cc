@@ -99,6 +99,34 @@ TEST(FuzzerTest, InjectedChaseDedupBugIsCaughtAndShrinks) {
   EXPECT_FALSE(healthy.failed()) << healthy.detail;
 }
 
+TEST(FuzzerTest, InjectedSinkDropDupBugIsCaughtAndShrinks) {
+  // kSinkDropDup makes the vectorized sink drop every duplicate-derived
+  // tuple group. The kNaive baseline keeps the hash sink (immune by
+  // construction), so chase-agreement must flag the divergence — proof
+  // that a silently broken sort-dedup sink cannot survive the oracles.
+  FuzzOptions options;
+  options.seed = 1;
+  options.runs = 80;
+  options.oracle = "chase-agreement";
+  options.config.chase_fault = ChaseFault::kSinkDropDup;
+  FuzzReport report = RunFuzzer(options);
+  ASSERT_FALSE(report.ok()) << "the injected sink bug went undetected over "
+                            << report.runs_executed << " runs";
+  const FuzzFailure& f = report.failures[0];
+  EXPECT_EQ(f.oracle, "chase-agreement");
+  EXPECT_GE(f.minimized.theory.rules().size(), 1u);
+
+  // The reproducer replays as a failing corpus entry under the fault and
+  // passes without it (the bug is in the sink knob, not the scenario).
+  Result<CorpusEntry> entry = ParseCorpusText(f.corpus_text);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  OracleConfig faulty;
+  faulty.chase_fault = ChaseFault::kSinkDropDup;
+  EXPECT_TRUE(ReplayCorpusEntry(entry.value(), faulty).failed());
+  OracleOutcome healthy = ReplayCorpusEntry(entry.value(), OracleConfig{});
+  EXPECT_FALSE(healthy.failed()) << healthy.detail;
+}
+
 TEST(FuzzerTest, ShrinkingIsDeterministic) {
   FuzzOptions options;
   options.seed = 1;

@@ -1,0 +1,633 @@
+// Sink-level differential suite for the vectorized round sink
+// (DESIGN §2.13): the sort-dedup buffers and the bulk containment probe
+// must agree — on emitted tuples AND on every counter — with the
+// per-occurrence hash reference, on random candidate runs, at every
+// compaction threshold, split across any number of simulated shard
+// tasks, and at any index staleness. The end-to-end half locks the
+// keep-min winner of colliding derivations (null provenance, dedup
+// counters) to the hash sink's, byte for byte.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bddfc/chase/chase.h"
+#include "bddfc/chase/round.h"
+#include "bddfc/chase/seminaive.h"
+#include "bddfc/core/structure.h"
+#include "bddfc/parser/parser.h"
+
+namespace bddfc {
+namespace {
+
+using chase_internal::DatalogSinkBuffers;
+using chase_internal::DedupTriggers;
+using chase_internal::MergeDatalogRuns;
+using chase_internal::PendingExistential;
+using chase_internal::TriggerLess;
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+// ---------------------------------------------------------------------------
+// Structure::ContainsSorted vs per-row Contains.
+// ---------------------------------------------------------------------------
+
+/// A structure with `facts` random tuples of `arity` over a domain of
+/// `domain` constants, plus a sorted candidate batch of `queries` tuples
+/// (roughly half of them present). Returns the flat sorted batch.
+struct ProbeCase {
+  SignaturePtr sig;
+  Structure s;
+  PredId pred;
+  size_t arity;
+  std::vector<TermId> batch;  // flat, sorted, `count` tuples
+  size_t count;
+
+  ProbeCase(size_t arity_in, size_t facts, size_t domain, size_t queries,
+            uint32_t seed)
+      : sig(std::make_shared<Signature>()), s(sig), arity(arity_in) {
+    pred = std::move(sig->AddPredicate("p", static_cast<int>(arity)))
+               .ValueOrDie();
+    std::vector<TermId> consts;
+    for (size_t i = 0; i < domain; ++i) {
+      consts.push_back(sig->AddConstant("c" + std::to_string(i)));
+    }
+    std::mt19937 rng(seed);
+    auto random_tuple = [&] {
+      std::vector<TermId> t(arity);
+      for (TermId& v : t) v = consts[rng() % consts.size()];
+      return t;
+    };
+    std::vector<std::vector<TermId>> stored;
+    for (size_t i = 0; i < facts; ++i) {
+      std::vector<TermId> t = random_tuple();
+      if (s.AddFact(pred, t)) stored.push_back(std::move(t));
+    }
+    std::vector<std::vector<TermId>> qs;
+    for (size_t i = 0; i < queries; ++i) {
+      if (!stored.empty() && rng() % 2 == 0) {
+        qs.push_back(stored[rng() % stored.size()]);  // a present tuple
+      } else {
+        qs.push_back(random_tuple());  // usually absent
+      }
+    }
+    std::sort(qs.begin(), qs.end());
+    count = qs.size();
+    for (const auto& t : qs) batch.insert(batch.end(), t.begin(), t.end());
+  }
+
+  /// Asserts ContainsSorted against per-tuple Contains on the batch.
+  void ExpectAgree(const char* label) const {
+    std::vector<char> got;
+    size_t hits = s.ContainsSorted(pred, arity, batch.data(), count, &got);
+    ASSERT_EQ(got.size(), count) << label;
+    size_t expected_hits = 0;
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<TermId> t(batch.begin() + i * arity,
+                            batch.begin() + (i + 1) * arity);
+      bool want = s.Contains(pred, t);
+      EXPECT_EQ(got[i] != 0, want) << label << " tuple " << i;
+      expected_hits += want;
+    }
+    EXPECT_EQ(hits, expected_hits) << label;
+  }
+};
+
+TEST(ContainsSortedTest, AgreesWithPerRowContainsOnRandomStructures) {
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    for (size_t arity : {size_t{1}, size_t{2}, size_t{3}}) {
+      ProbeCase pc(arity, /*facts=*/120, /*domain=*/12, /*queries=*/150,
+                   seed * 17 + static_cast<uint32_t>(arity));
+      pc.ExpectAgree("never-refreshed");  // all-hash fallback path
+      pc.s.RefreshIndexes();
+      pc.ExpectAgree("fresh indexes");  // the gallop path proper
+    }
+  }
+}
+
+TEST(ContainsSortedTest, StaysCorrectOnStaleIndexes) {
+  // The round-boundary case: indexes refreshed, then facts added — the
+  // gallop covers the indexed prefix, the tail must fall back to hash.
+  ProbeCase pc(/*arity=*/2, /*facts=*/80, /*domain=*/10, /*queries=*/0, 7);
+  pc.s.RefreshIndexes();
+  std::mt19937 rng(99);
+  std::vector<std::vector<TermId>> late;
+  for (size_t i = 0; i < 40; ++i) {
+    std::vector<TermId> t = {pc.sig->AddConstant("d" + std::to_string(i)),
+                             pc.sig->AddConstant("d" + std::to_string(i))};
+    if (pc.s.AddFact(pc.pred, t)) late.push_back(t);
+  }
+  ASSERT_LT(pc.s.IndexedRows(pc.pred), pc.s.NumFacts(pc.pred));
+  std::vector<std::vector<TermId>> qs = late;  // all past the watermark
+  qs.push_back({pc.sig->AddConstant("nowhere"), pc.sig->AddConstant("d0")});
+  std::sort(qs.begin(), qs.end());
+  std::vector<TermId> flat;
+  for (const auto& t : qs) flat.insert(flat.end(), t.begin(), t.end());
+  std::vector<char> got;
+  size_t hits =
+      pc.s.ContainsSorted(pc.pred, 2, flat.data(), qs.size(), &got);
+  EXPECT_EQ(hits, late.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(got[i] != 0, pc.s.Contains(pc.pred, qs[i])) << i;
+  }
+}
+
+TEST(ContainsSortedTest, WideEqualValueSlicesUseTheHashFallback) {
+  // > kMaxSliceScan rows share one first-column value: the slice scan must
+  // hand off to the hash probe without wrong answers.
+  auto sig = std::make_shared<Signature>();
+  Structure s(sig);
+  PredId p = std::move(sig->AddPredicate("p", 2)).ValueOrDie();
+  TermId hub = sig->AddConstant("hub");
+  std::vector<TermId> spokes;
+  for (int i = 0; i < 100; ++i) {
+    spokes.push_back(sig->AddConstant("s" + std::to_string(i)));
+    s.AddFact(p, {hub, spokes.back()});
+  }
+  s.RefreshIndexes();
+  TermId absent = sig->AddConstant("absent");
+  std::vector<std::vector<TermId>> qs;
+  for (int i = 0; i < 100; i += 3) qs.push_back({hub, spokes[i]});
+  qs.push_back({hub, absent});
+  std::sort(qs.begin(), qs.end());
+  std::vector<TermId> flat;
+  for (const auto& t : qs) flat.insert(flat.end(), t.begin(), t.end());
+  std::vector<char> got;
+  size_t hits = s.ContainsSorted(p, 2, flat.data(), qs.size(), &got);
+  EXPECT_EQ(hits, qs.size() - 1);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(got[i] != 0, s.Contains(p, qs[i])) << i;
+  }
+}
+
+TEST(ContainsSortedTest, EmptyBatchAndArityZeroAndMissingRelation) {
+  auto sig = std::make_shared<Signature>();
+  Structure s(sig);
+  PredId yes = std::move(sig->AddPredicate("yes", 0)).ValueOrDie();
+  PredId no = std::move(sig->AddPredicate("no", 0)).ValueOrDie();
+  PredId never = std::move(sig->AddPredicate("never", 2)).ValueOrDie();
+  s.AddFact(yes, {});
+  std::vector<char> got;
+  EXPECT_EQ(s.ContainsSorted(yes, 0, nullptr, 0, &got), 0u);  // empty batch
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(s.ContainsSorted(yes, 0, nullptr, 3, &got), 3u);
+  EXPECT_EQ(got, (std::vector<char>{1, 1, 1}));
+  EXPECT_EQ(s.ContainsSorted(no, 0, nullptr, 2, &got), 0u);
+  EXPECT_EQ(got, (std::vector<char>{0, 0}));
+  TermId c = sig->AddConstant("c");
+  std::vector<TermId> one = {c, c};
+  EXPECT_EQ(s.ContainsSorted(never, 2, one.data(), 1, &got), 0u);
+  EXPECT_EQ(got, (std::vector<char>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// DatalogSinkBuffers (sort-dedup + bulk containment) vs a hash reference.
+// ---------------------------------------------------------------------------
+
+/// What the hash sinks would compute for a run of occurrences against
+/// `frozen`: the emitted set plus the contained / deduped occurrence
+/// counts (the order-independent contract the counters must meet).
+struct HashReference {
+  std::vector<Atom> emitted;  // sorted distinct, not in frozen
+  size_t candidates = 0;
+  size_t contained = 0;  // occurrences of frozen-contained tuples
+  size_t deduped = 0;    // extra occurrences of emitted tuples
+
+  HashReference(const Structure& frozen, const std::vector<Atom>& occs) {
+    candidates = occs.size();
+    std::map<Atom, size_t> groups;
+    for (const Atom& g : occs) ++groups[g];
+    for (const auto& [g, k] : groups) {
+      if (frozen.Contains(g)) {
+        contained += k;
+      } else {
+        emitted.push_back(g);
+        deduped += k - 1;
+      }
+    }
+  }
+};
+
+/// Random occurrence run over two predicates; `dup_bias` > 1 draws from a
+/// small tuple pool so duplicate groups are common.
+std::vector<Atom> RandomOccurrences(Structure* frozen, SignaturePtr sig,
+                                    PredId p2, PredId p1, size_t n,
+                                    size_t pool, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<TermId> consts;
+  for (size_t i = 0; i < 10; ++i) {
+    consts.push_back(sig->AddConstant("k" + std::to_string(i)));
+  }
+  std::vector<Atom> pool_atoms;
+  for (size_t i = 0; i < pool; ++i) {
+    if (rng() % 2 == 0) {
+      pool_atoms.emplace_back(
+          p2, std::vector<TermId>{consts[rng() % consts.size()],
+                                  consts[rng() % consts.size()]});
+    } else {
+      pool_atoms.emplace_back(
+          p1, std::vector<TermId>{consts[rng() % consts.size()]});
+    }
+    // A third of the pool pre-exists in the frozen structure.
+    if (rng() % 3 == 0) frozen->AddFact(pool_atoms.back());
+  }
+  std::vector<Atom> occs;
+  for (size_t i = 0; i < n; ++i) {
+    occs.push_back(pool_atoms[rng() % pool_atoms.size()]);
+  }
+  return occs;
+}
+
+TEST(SinkBuffersTest, SortDedupMatchesHashDedupOnRandomRuns) {
+  for (uint32_t seed = 1; seed <= 6; ++seed) {
+    // Thresholds down to 1 force a compaction per append — the telescoping
+    // dedup count must still come out exactly right.
+    for (size_t threshold : {size_t{1}, size_t{2}, size_t{7}, size_t{1024}}) {
+      auto sig = std::make_shared<Signature>();
+      Structure frozen(sig);
+      PredId p2 = std::move(sig->AddPredicate("p2", 2)).ValueOrDie();
+      PredId p1 = std::move(sig->AddPredicate("p1", 1)).ValueOrDie();
+      std::vector<Atom> occs = RandomOccurrences(
+          &frozen, sig, p2, p1, /*n=*/200, /*pool=*/40, seed * 31);
+      frozen.RefreshIndexes();
+      HashReference want(frozen, occs);
+
+      DatalogSinkBuffers sink(frozen, threshold, /*drop_dup_groups=*/false);
+      for (const Atom& g : occs) sink.AppendAtom(g);
+      std::vector<Atom> got;
+      sink.FinishInto(&got);
+
+      std::string label = "seed " + std::to_string(seed) + " threshold " +
+                          std::to_string(threshold);
+      EXPECT_EQ(got, want.emitted) << label;
+      EXPECT_EQ(sink.candidates(), want.candidates) << label;
+      EXPECT_EQ(sink.contained(), want.contained) << label;
+      EXPECT_EQ(sink.deduped(), want.deduped) << label;
+    }
+  }
+}
+
+TEST(SinkBuffersTest, AllDistinctAndAllDuplicateExtremes) {
+  auto sig = std::make_shared<Signature>();
+  Structure frozen(sig);
+  PredId p = std::move(sig->AddPredicate("p", 1)).ValueOrDie();
+  std::vector<TermId> consts;
+  for (int i = 0; i < 50; ++i) {
+    consts.push_back(sig->AddConstant("c" + std::to_string(i)));
+  }
+  frozen.RefreshIndexes();
+
+  {  // All distinct: nothing deduped, nothing contained.
+    DatalogSinkBuffers sink(frozen, 8, false);
+    for (TermId c : consts) sink.AppendAtom(Atom(p, {c}));
+    std::vector<Atom> got;
+    sink.FinishInto(&got);
+    EXPECT_EQ(got.size(), consts.size());
+    EXPECT_EQ(sink.deduped(), 0u);
+    EXPECT_EQ(sink.contained(), 0u);
+    EXPECT_EQ(sink.candidates(), consts.size());
+  }
+  {  // One tuple 50 times: one survivor, 49 deduped.
+    DatalogSinkBuffers sink(frozen, 8, false);
+    for (int i = 0; i < 50; ++i) sink.AppendAtom(Atom(p, {consts[0]}));
+    std::vector<Atom> got;
+    sink.FinishInto(&got);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], Atom(p, {consts[0]}));
+    EXPECT_EQ(sink.deduped(), 49u);
+  }
+  {  // Empty round and a single tuple.
+    DatalogSinkBuffers sink(frozen, 8, false);
+    std::vector<Atom> got;
+    sink.FinishInto(&got);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(sink.candidates(), 0u);
+    DatalogSinkBuffers one(frozen, 8, false);
+    one.AppendAtom(Atom(p, {consts[1]}));
+    one.FinishInto(&got);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(one.deduped() + one.contained(), 0u);
+  }
+}
+
+TEST(SinkBuffersTest, ShardedMergeMatchesSingleSinkExactly) {
+  // Split the same occurrence run across 1, 2, 3 and 5 simulated shard
+  // tasks: merged output and the *total* dedup count (per-task + merge)
+  // must be independent of the split.
+  auto sig = std::make_shared<Signature>();
+  Structure frozen(sig);
+  PredId p2 = std::move(sig->AddPredicate("p2", 2)).ValueOrDie();
+  PredId p1 = std::move(sig->AddPredicate("p1", 1)).ValueOrDie();
+  std::vector<Atom> occs =
+      RandomOccurrences(&frozen, sig, p2, p1, 240, 30, 12345);
+  frozen.RefreshIndexes();
+  HashReference want(frozen, occs);
+
+  for (size_t tasks : {size_t{1}, size_t{2}, size_t{3}, size_t{5}}) {
+    std::vector<DatalogSinkBuffers::Run> runs;
+    size_t task_deduped = 0, task_contained = 0, task_candidates = 0;
+    for (size_t t = 0; t < tasks; ++t) {
+      DatalogSinkBuffers sink(frozen, 16, false);
+      for (size_t i = t; i < occs.size(); i += tasks) {
+        sink.AppendAtom(occs[i]);
+      }
+      auto part = sink.TakeRuns();
+      for (auto& run : part) runs.push_back(std::move(run));
+      task_deduped += sink.deduped();
+      task_contained += sink.contained();
+      task_candidates += sink.candidates();
+    }
+    std::vector<Atom> got;
+    size_t merge_deduped = 0;
+    MergeDatalogRuns(std::move(runs), false, &got, &merge_deduped);
+    std::sort(got.begin(), got.end());
+
+    std::string label = std::to_string(tasks) + " tasks";
+    EXPECT_EQ(got, want.emitted) << label;
+    EXPECT_EQ(task_candidates, want.candidates) << label;
+    EXPECT_EQ(task_contained, want.contained) << label;
+    EXPECT_EQ(task_deduped + merge_deduped, want.deduped) << label;
+  }
+}
+
+TEST(SinkBuffersTest, DropDupGroupsFaultDropsExactlyTheDuplicatedTuples) {
+  // The kSinkDropDup self-test hook: duplicated tuples vanish entirely,
+  // singletons survive — both within one sink and across a merge.
+  auto sig = std::make_shared<Signature>();
+  Structure frozen(sig);
+  PredId p = std::move(sig->AddPredicate("p", 1)).ValueOrDie();
+  TermId once = sig->AddConstant("once");
+  TermId twice = sig->AddConstant("twice");
+  frozen.RefreshIndexes();
+
+  DatalogSinkBuffers sink(frozen, 2, /*drop_dup_groups=*/true);
+  sink.AppendAtom(Atom(p, {once}));
+  sink.AppendAtom(Atom(p, {twice}));
+  sink.AppendAtom(Atom(p, {twice}));
+  std::vector<Atom> got;
+  sink.FinishInto(&got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Atom(p, {once}));
+
+  // Cross-run duplicates: one occurrence in each of two tasks.
+  std::vector<DatalogSinkBuffers::Run> runs;
+  for (int t = 0; t < 2; ++t) {
+    DatalogSinkBuffers task(frozen, 16, true);
+    task.AppendAtom(Atom(p, {twice}));
+    if (t == 0) task.AppendAtom(Atom(p, {once}));
+    for (auto& run : task.TakeRuns()) runs.push_back(std::move(run));
+  }
+  got.clear();
+  size_t scratch = 0;
+  MergeDatalogRuns(std::move(runs), true, &got, &scratch);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Atom(p, {once}));
+}
+
+// ---------------------------------------------------------------------------
+// DedupTriggers: keep-min winner, order independence.
+// ---------------------------------------------------------------------------
+
+PendingExistential MakeTrigger(int rule_index, PredId pred, TermId arg) {
+  PendingExistential pe;
+  pe.rule_index = rule_index;
+  pe.head_pattern = {Atom(pred, {arg})};
+  return pe;
+}
+
+TEST(DedupTriggersTest, KeepsTheTriggerLessLeastWinnerAtAnyArrivalOrder) {
+  auto sig = std::make_shared<Signature>();
+  PredId p = std::move(sig->AddPredicate("p", 1)).ValueOrDie();
+  TermId a = sig->AddConstant("a");
+  TermId b = sig->AddConstant("b");
+
+  std::vector<std::pair<std::string, PendingExistential>> raw;
+  raw.emplace_back("k1", MakeTrigger(2, p, a));
+  raw.emplace_back("k0", MakeTrigger(1, p, b));
+  raw.emplace_back("k1", MakeTrigger(0, p, a));  // the k1 winner
+  raw.emplace_back("k1", MakeTrigger(1, p, a));
+
+  std::vector<std::pair<std::string, PendingExistential>> reversed(
+      raw.rbegin(), raw.rend());
+  for (auto* input : {&raw, &reversed}) {
+    std::vector<std::pair<std::string, PendingExistential>> out;
+    size_t tdedup = 0;
+    DedupTriggers(*input, &out, &tdedup);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(tdedup, 2u);
+    EXPECT_EQ(out[0].first, "k0");  // key order
+    EXPECT_EQ(out[1].first, "k1");
+    EXPECT_EQ(out[0].second.rule_index, 1);
+    EXPECT_EQ(out[1].second.rule_index, 0);  // TriggerLess-least, not first
+    EXPECT_TRUE(TriggerLess(out[1].second, MakeTrigger(1, p, a)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: colliding derivations, byte identity, counter parity.
+// ---------------------------------------------------------------------------
+
+/// Raw byte-identity dump: rows with raw TermIds in append order, growth
+/// curve, dedup counters, null provenance.
+std::string Dump(const ChaseResult& r) {
+  std::ostringstream os;
+  os << r.rounds_run << '|' << r.nulls_created << '|'
+     << r.stats.triggers_deduped << '|' << r.stats.datalog_deduped << '\n';
+  for (size_t n : r.facts_per_round) os << n << ',';
+  os << '\n';
+  for (PredId p = 0; p < r.structure.NumStoredPredicates(); ++p) {
+    for (const auto& row : r.structure.Rows(p)) {
+      os << p << ':';
+      for (TermId t : row) os << t << ' ';
+      os << '\n';
+    }
+  }
+  std::vector<TermId> nulls;
+  for (const auto& [t, prov] : r.null_provenance) nulls.push_back(t);
+  std::sort(nulls.begin(), nulls.end());
+  for (TermId t : nulls) {
+    const NullProvenance& prov = r.null_provenance.at(t);
+    os << t << "<-r" << prov.rule_index << "@" << prov.birth_round << '\n';
+  }
+  return os.str();
+}
+
+TEST(SinkEndToEndTest, CollidingExistentialsKeepTheSameWinnerEitherSink) {
+  // Two rules demand the same head pattern in the same round; the keep-min
+  // contract says rule 0 wins regardless of enumeration order — and the
+  // sort-merge sink must reproduce exactly the hash sinks' winner.
+  for (bool vsink : {true, false}) {
+    for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
+      Program q = MustParse(R"(
+        a(X) -> exists Z: w(X, Z).
+        b(X) -> exists Z: w(X, Z).
+        a(c).
+        b(c).
+      )");
+      ChaseOptions opts;
+      opts.engine = engine;
+      opts.threads = engine == ChaseEngine::kParallel ? 4 : 0;
+      opts.vectorized_sink = vsink;
+      ChaseResult r = RunChase(q.theory, q.instance, opts);
+      ASSERT_TRUE(r.status.ok());
+      EXPECT_EQ(r.nulls_created, 1u);
+      EXPECT_EQ(r.stats.triggers_deduped, 1u);
+      ASSERT_EQ(r.null_provenance.size(), 1u);
+      EXPECT_EQ(r.null_provenance.begin()->second.rule_index, 0)
+          << (vsink ? "vsink" : "hashsink");
+    }
+  }
+}
+
+TEST(SinkEndToEndTest, CollidingDatalogHeadsCountOneDedupEitherSink) {
+  Program p = MustParse(R"(
+    a(X) -> d(X).
+    b(X) -> d(X).
+    a(c).
+    b(c).
+  )");
+  for (bool vsink : {true, false}) {
+    ChaseOptions opts;
+    opts.vectorized_sink = vsink;
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.stats.datalog_deduped, 1u)
+        << (vsink ? "vsink" : "hashsink");
+    PredId d = std::move(p.theory.sig().FindPredicate("d")).ValueOrDie();
+    TermId c = std::move(p.theory.sig().FindConstant("c")).ValueOrDie();
+    EXPECT_TRUE(r.structure.Contains(Atom(d, {c})));
+  }
+}
+
+TEST(SinkEndToEndTest, ByteIdenticalAcrossSinksOnMixedWorkload) {
+  // A fresh Program per run: runs share a Signature otherwise, and the
+  // nulls the first run interns would shift the TermIds of the second.
+  auto make = [] {
+    return MustParse(R"(
+      e(X, Y), e(Y, Z) -> e(X, Z).
+      e(X, Y) -> exists W: f(Y, W).
+      f(X, Y), e(Z, X) -> g(Z, Y).
+      e(c0, c1).
+      e(c1, c2).
+      e(c2, c3).
+      e(c3, c0).
+      e(c1, c0).
+    )");
+  };
+  Program ref_p = make();
+  ChaseOptions base;
+  base.vectorized_sink = false;
+  ChaseResult ref = RunChase(ref_p.theory, ref_p.instance, base);
+  ASSERT_TRUE(ref.status.ok());
+  std::string want = Dump(ref);
+  for (bool vsink : {true, false}) {
+    for (ChaseEngine engine : {ChaseEngine::kDelta, ChaseEngine::kParallel}) {
+      for (bool plans : {true, false}) {
+        Program p = make();
+        ChaseOptions opts;
+        opts.engine = engine;
+        opts.threads = engine == ChaseEngine::kParallel ? 4 : 0;
+        opts.compiled_plans = plans;
+        opts.vectorized_sink = vsink;
+        ChaseResult r = RunChase(p.theory, p.instance, opts);
+        EXPECT_EQ(Dump(r), want)
+            << (vsink ? "vsink" : "hashsink") << ' '
+            << (plans ? "plans" : "interp") << " engine "
+            << static_cast<int>(engine);
+      }
+    }
+  }
+}
+
+TEST(SinkEndToEndTest, SinkCountersAccountForEveryCandidate) {
+  // Conservation law on a duplicate-heavy workload: every buffered
+  // candidate is either contained in the frozen prefix, deduped, or a new
+  // fact. (Only the vectorized sink populates sink_*.)
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(c0, c1).
+    e(c1, c2).
+    e(c2, c3).
+    e(c3, c4).
+    e(c4, c0).
+  )");
+  ChaseOptions opts;
+  opts.vectorized_sink = true;
+  ChaseResult r = RunChase(p.theory, p.instance, opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.stats.sink_candidates, 0u);
+  EXPECT_EQ(r.stats.sink_candidates -
+                r.stats.sink_contained - r.stats.datalog_deduped,
+            r.structure.NumFacts() - p.instance.NumFacts());
+
+  opts.vectorized_sink = false;
+  ChaseResult off = RunChase(p.theory, p.instance, opts);
+  EXPECT_EQ(off.stats.sink_candidates, 0u);
+  EXPECT_EQ(off.stats.sink_contained, 0u);
+  EXPECT_EQ(off.stats.sink_probes, 0u);
+  // The deterministic halves of the counters agree with the hash run's
+  // facts — and the dedup counters are sink-independent.
+  EXPECT_EQ(off.stats.datalog_deduped, r.stats.datalog_deduped);
+  EXPECT_EQ(off.structure.NumFacts(), r.structure.NumFacts());
+}
+
+TEST(SinkEndToEndTest, SaturateClosureIsSinkAndThreadIndependent) {
+  Program p = MustParse(R"(
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(X, Y) -> u(X).
+    e(c0, c1).
+    e(c1, c2).
+    e(c2, c0).
+    e(c2, c3).
+  )");
+  SaturateOptions base;
+  base.vectorized_sink = false;
+  SaturateResult ref = SaturateDatalog(p.theory, p.instance, base);
+  ASSERT_TRUE(ref.status.ok());
+  auto rows_of = [](const SaturateResult& r) {
+    std::ostringstream os;
+    for (PredId pr = 0; pr < r.structure.NumStoredPredicates(); ++pr) {
+      for (const auto& row : r.structure.Rows(pr)) {
+        os << pr << ':';
+        for (TermId t : row) os << t << ' ';
+        os << '\n';
+      }
+    }
+    return os.str();
+  };
+  std::string want = rows_of(ref);
+  for (bool vsink : {true, false}) {
+    for (bool plans : {true, false}) {
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        SaturateOptions opts;
+        opts.vectorized_sink = vsink;
+        opts.compiled_plans = plans;
+        opts.threads = threads;
+        SaturateResult r = SaturateDatalog(p.theory, p.instance, opts);
+        std::string label = std::string(vsink ? "vsink " : "hashsink ") +
+                            (plans ? "plans" : "interp") + " t" +
+                            std::to_string(threads);
+        ASSERT_TRUE(r.status.ok()) << label;
+        EXPECT_EQ(rows_of(r), want) << label;
+        EXPECT_EQ(r.rounds_run, ref.rounds_run) << label;
+        EXPECT_EQ(r.facts_derived, ref.facts_derived) << label;
+        EXPECT_EQ(r.bindings_tried, ref.bindings_tried) << label;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bddfc

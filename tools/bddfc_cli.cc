@@ -2,7 +2,7 @@
 //
 // Usage:
 //   bddfc chase    <program.dlg> [max_rounds] [--chase-engine=delta|naive|
-//                  parallel] [--threads N] [--no-plans]
+//                  parallel] [--threads N] [--no-plans] [--no-vector-sink]
 //   bddfc rewrite  <program.dlg> [--threads N] [--no-prune]
 //   bddfc classify <program.dlg> [--threads N] [--no-prune]
 //   bddfc model    <program.dlg>            (Theorem 2 counter-model per query)
@@ -13,6 +13,9 @@
 // concurrency) with byte-identical output at any N. --no-plans evaluates
 // rule bodies through the interpretive matcher instead of compiled query
 // plans (the A/B reference path; output is byte-identical either way).
+// --no-vector-sink buffers each round's derivations through the
+// per-binding hash sink instead of the vectorized sort-dedup sink (also
+// byte-identical; the escape hatch for A/B timing and bug isolation).
 // rewrite rewrites each ?- query and prints the per-level RewriteStats;
 // classify prints class membership + the BDD probe. --threads N fans the
 // independent rewritings of the BDD probe over N workers (the output is
@@ -77,7 +80,7 @@ int Usage() {
                "usage: bddfc <chase|rewrite|classify|model|search> "
                "<program.dlg> [arg] [--threads N] [--no-prune]\n"
                "             [--chase-engine=delta|naive|parallel] "
-               "[--no-plans]\n"
+               "[--no-plans] [--no-vector-sink]\n"
                "             [--deadline-ms N] [--mem-budget-mb N]\n"
                "             [--trace-out=FILE] [--metrics-out=FILE]\n"
                "exit codes: 0 ok, 1 negative outcome, 2 usage/parse error, "
@@ -144,12 +147,14 @@ int ExitFor(const Status& status, int ok_code = kExitOk) {
 }
 
 int CmdChase(Program& p, size_t max_rounds, ChaseEngine engine,
-             size_t threads, bool compiled_plans, ExecutionContext* ctx) {
+             size_t threads, bool compiled_plans, bool vectorized_sink,
+             ExecutionContext* ctx) {
   ChaseOptions opts;
   opts.max_rounds = max_rounds;
   opts.engine = engine;
   opts.threads = threads;
   opts.compiled_plans = compiled_plans;
+  opts.vectorized_sink = vectorized_sink;
   opts.context = ctx;
   ChaseResult r = RunChase(p.theory, p.instance, opts);
   std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
@@ -159,10 +164,11 @@ int CmdChase(Program& p, size_t max_rounds, ChaseEngine engine,
   for (double ms : r.stats.round_ms) total_ms += ms;
   std::printf("stats: bindings=%zu postings_hits=%zu postings_misses=%zu "
               "rows_scanned=%zu triggers_deduped=%zu datalog_deduped=%zu "
-              "chase_ms=%.2f\n",
+              "sink_candidates=%zu sink_contained=%zu chase_ms=%.2f\n",
               r.stats.match.bindings_tried, r.stats.match.postings_hits,
               r.stats.match.postings_misses, r.stats.match.rows_scanned,
-              r.stats.triggers_deduped, r.stats.datalog_deduped, total_ms);
+              r.stats.triggers_deduped, r.stats.datalog_deduped,
+              r.stats.sink_candidates, r.stats.sink_contained, total_ms);
   std::printf("%s", r.structure.ToString().c_str());
   for (size_t i = 0; i < p.queries.size(); ++i) {
     std::printf("query %zu: %s\n", i,
@@ -320,6 +326,7 @@ int main(int argc, char** argv) {
   ChaseEngine chase_engine = ChaseEngine::kDelta;
   size_t chase_threads = 0;
   bool chase_plans = true;
+  bool chase_vsink = true;
   const char* positional = nullptr;
   double deadline_ms = -1;
   double mem_budget_mb = -1;
@@ -344,6 +351,8 @@ int main(int argc, char** argv) {
       ropts.prune_subsumed = false;
     } else if (std::strcmp(argv[i], "--no-plans") == 0) {
       chase_plans = false;
+    } else if (std::strcmp(argv[i], "--no-vector-sink") == 0) {
+      chase_vsink = false;
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
       if (*trace_out == '\0') return Usage();
@@ -384,7 +393,8 @@ int main(int argc, char** argv) {
     rc = CmdChase(p,
                   positional != nullptr ? std::strtoul(positional, nullptr, 10)
                                         : 32,
-                  chase_engine, chase_threads, chase_plans, &ctx);
+                  chase_engine, chase_threads, chase_plans, chase_vsink,
+                  &ctx);
   } else if (std::strcmp(cmd, "rewrite") == 0) {
     rc = CmdRewrite(p, ropts);
   } else if (std::strcmp(cmd, "classify") == 0) {

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   bddfc_fuzz [--runs=N] [--seed=S] [--time-budget=120s]
-//              [--oracle=NAME] [--inject-bug=chase-dedup|torn-exhaust]
+//              [--oracle=NAME]
+//              [--inject-bug=chase-dedup|torn-exhaust|sink-drop-dup]
 //              [--inject-fault=deadline|oom|cancel]
 //              [--corpus-out=DIR] [--no-shrink] [--max-failures=K]
 //              [--replay=FILE-or-DIR] [--list-oracles] [-v]
@@ -22,7 +23,9 @@
 // invariant — the fuzzer's own self-test: the campaign must then fail and
 // minimize. chase-dedup breaks trigger dedup in the delta chase;
 // torn-exhaust makes a governed exhaustion apply a torn half-round, which
-// governor-prefix (run with --inject-fault) must catch.
+// governor-prefix (run with --inject-fault) must catch. sink-drop-dup
+// makes the vectorized sink drop every duplicate-derived tuple group
+// entirely, which chase-agreement must catch.
 //
 // Exit status: 0 = clean, 1 = oracle failures, 2 = usage error.
 
@@ -48,7 +51,8 @@ int Usage() {
       stderr,
       "usage: bddfc_fuzz [--runs=N] [--seed=S] [--time-budget=SECS[s]]\n"
       "                  [--oracle=NAME]\n"
-      "                  [--inject-bug=chase-dedup|torn-exhaust]\n"
+      "                  [--inject-bug=chase-dedup|torn-exhaust|"
+      "sink-drop-dup]\n"
       "                  [--inject-fault=deadline|oom|cancel]\n"
       "                  [--corpus-out=DIR] [--no-shrink]\n"
       "                  [--max-failures=K] [--replay=FILE-or-DIR]\n"
@@ -141,9 +145,13 @@ int main(int argc, char** argv) {
         options.config.chase_fault = ChaseFault::kSkipTriggerDedup;
       } else if (std::strcmp(v, "torn-exhaust") == 0) {
         options.config.chase_fault = ChaseFault::kTornExhaust;
+      } else if (std::strcmp(v, "sink-drop-dup") == 0) {
+        options.config.chase_fault = ChaseFault::kSinkDropDup;
       } else {
         std::fprintf(stderr,
-                     "unknown bug '%s' (have: chase-dedup, torn-exhaust)\n", v);
+                     "unknown bug '%s' (have: chase-dedup, torn-exhaust, "
+                     "sink-drop-dup)\n",
+                     v);
         return 2;
       }
     } else if (const char* v = value("--inject-fault=")) {
