@@ -1,0 +1,124 @@
+// E17 — Paranoia-mode overhead.
+//
+// Paranoia (DESIGN §2.14) promotes the chase's test-only invariants to
+// runtime checks: at kCheap an O(1)-per-round identity pass (sink
+// counters, index watermark freshness, round-prefix consistency on
+// trips), at kFull additionally a re-verification of the round's kept
+// buffers against the frozen structure. The acceptance bar is <= 2%
+// end-to-end overhead at kCheap; kFull is reported for scale (it is a
+// debugging mode, not production default).
+//
+// Methodology is E13/E14's: interleaved ABBA pairs of blocked samples,
+// median paired thread-CPU delta over the median baseline sample, on
+// the E1 chase shapes (Example 9's exponential tree amortizes the
+// per-round check over wide rounds; Example 1's 400-round chain is the
+// adversarial granularity floor, ~6 us rounds) plus the E15b TC
+// saturation family where the vectorized sink — whose counters the
+// cheap identity reads — dominates.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <ctime>
+#include <vector>
+
+#include "bddfc/base/faults.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/workload/generators.h"
+#include "bddfc/workload/paper_examples.h"
+
+namespace {
+
+using namespace bddfc;
+
+double ThreadCpuMs() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+double MedianPairedDelta(const std::vector<double>& off,
+                         const std::vector<double>& on) {
+  std::vector<double> deltas(off.size());
+  for (size_t i = 0; i < off.size(); ++i) deltas[i] = on[i] - off[i];
+  return Median(std::move(deltas));
+}
+
+double TimeChaseMs(const Program& p, size_t max_rounds, ParanoiaLevel level,
+                   int block) {
+  ChaseOptions opts;
+  opts.max_rounds = max_rounds;
+  opts.max_facts = 5000000;
+  opts.paranoia = level;
+  double t0 = ThreadCpuMs();
+  for (int i = 0; i < block; ++i) {
+    ChaseResult r = RunChase(p.theory, p.instance, opts);
+    benchmark::DoNotOptimize(r.structure.NumFacts());
+  }
+  return ThreadCpuMs() - t0;
+}
+
+void PrintOverheadTable() {
+  bddfc_bench::Banner("E17", "paranoia overhead (off vs cheap vs full)");
+  std::printf("%-16s %-10s %-20s %-20s\n", "workload", "off ms",
+              "cheap ms (overhead)", "full ms (overhead)");
+
+  const int kReps = 31;
+
+  auto run = [&](const char* name, int block, auto&& sample) {
+    std::vector<double> off_ms, cheap_ms, full_ms;
+    // Interleave and alternate within-pair order (ABBA) per E13/E14 so
+    // frequency scaling, allocator state and co-tenants hit every mode
+    // equally; the warm-up rep is discarded.
+    for (int rep = -1; rep < kReps; ++rep) {
+      const bool off_first = (rep & 1) == 0;
+      double a = sample(off_first ? ParanoiaLevel::kOff : ParanoiaLevel::kFull);
+      double b = sample(ParanoiaLevel::kCheap);
+      double c = sample(off_first ? ParanoiaLevel::kFull : ParanoiaLevel::kOff);
+      if (rep < 0) continue;
+      off_ms.push_back(off_first ? a : c);
+      cheap_ms.push_back(b);
+      full_ms.push_back(off_first ? c : a);
+    }
+    double off_med = Median(off_ms);
+    double cheap_delta = MedianPairedDelta(off_ms, cheap_ms);
+    double full_delta = MedianPairedDelta(off_ms, full_ms);
+    std::printf("%-16s %-10.3f %-8.3f (%+.2f%%)    %-8.3f (%+.2f%%)\n", name,
+                off_med / block, (off_med + cheap_delta) / block,
+                100.0 * cheap_delta / std::max(off_med, 1e-9),
+                (off_med + full_delta) / block,
+                100.0 * full_delta / std::max(off_med, 1e-9));
+  };
+
+  Program e9 = Example9();
+  run("e1-example9", 1,
+      [&](ParanoiaLevel l) { return TimeChaseMs(e9, 12, l, 1); });
+  Program e1 = Example1();
+  run("e1-example1", 8,
+      [&](ParanoiaLevel l) { return TimeChaseMs(e1, 400, l, 8); });
+
+  // E15b's sink-bound TC workload: datalog closure where every round is
+  // dominated by the vectorized sink whose counters kCheap audits.
+  auto sig = std::make_shared<Signature>();
+  Structure tc = RandomGraph(sig, /*nodes=*/48, /*edges=*/160, /*seed=*/7);
+  PredId e0 = std::move(sig->FindPredicate("e0")).ValueOrDie();
+  Program tc_p(sig);
+  tc_p.instance = std::move(tc);
+  TermId x = MakeVar(0), y = MakeVar(1), z = MakeVar(2);
+  (void)tc_p.theory.AddRule(
+      Rule({Atom(e0, {x, y}), Atom(e0, {y, z})}, {Atom(e0, {x, z})}));
+  run("e15b-tc-48", 4,
+      [&](ParanoiaLevel l) { return TimeChaseMs(tc_p, 64, l, 4); });
+
+  std::printf("acceptance bar: <= 2%% overhead at --paranoia=cheap\n");
+}
+
+}  // namespace
+
+BDDFC_BENCH_MAIN(PrintOverheadTable)

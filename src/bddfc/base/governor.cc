@@ -19,6 +19,8 @@ const char* ResourceKindName(ResourceKind kind) {
     case ResourceKind::kHomChecks: return "hom-checks";
     case ResourceKind::kPatterns: return "patterns";
     case ResourceKind::kStructures: return "structures";
+    case ResourceKind::kFault: return "fault";
+    case ResourceKind::kInvariant: return "invariant";
   }
   return "?";
 }
@@ -113,18 +115,60 @@ double ExecutionContext::RemainingMs() const {
 }
 
 Status ExecutionContext::Trip(ResourceKind kind, std::string detail) {
+  // Fault and invariant trips are internal errors (the run is wrong, not
+  // merely out of budget); everything else keeps the exhaustion contract.
+  StatusCode code =
+      (kind == ResourceKind::kFault || kind == ResourceKind::kInvariant)
+          ? StatusCode::kInternal
+          : StatusCode::kResourceExhausted;
   std::lock_guard<std::mutex> lock(mu_);
   if (kind_ == ResourceKind::kNone) {
     kind_ = kind;
+    code_ = code;
     detail_ = std::move(detail);
     tripped_.store(true, std::memory_order_release);
   }
-  return Status::ResourceExhausted(detail_);
+  return Status(code_, detail_);
 }
 
 Status ExecutionContext::RecordExhaustion(ResourceKind kind,
                                           std::string detail) {
   return Trip(kind, std::move(detail));
+}
+
+void ExecutionContext::InjectFaultAfterChecks(InjectedFault fault,
+                                              size_t after_checks) {
+  if (fault == InjectedFault::kNone) return;
+  ExecutionContext* r = root();
+  r->inject_after_checks_ = after_checks;
+  if (r->faults_ == nullptr) {
+    if (r->owned_faults_ == nullptr) {
+      r->owned_faults_ = std::make_unique<FaultRegistry>();
+    }
+    r->faults_ = r->owned_faults_.get();
+  }
+  FaultSpec spec;
+  spec.site = faults::kGovernorCheck;
+  spec.schedule = FaultSchedule::kAfterN;
+  spec.n = after_checks;
+  spec.action = InjectedFaultName(fault);
+  r->faults_->Arm(std::move(spec));
+}
+
+Status ExecutionContext::CheckFault(const char* site) {
+  FaultRegistry* reg = root()->faults_;
+  if (reg == nullptr || !reg->enabled()) return Status::OK();
+  FaultFire fire = reg->Hit(site);
+  if (!fire.fired) return Status::OK();
+  return Trip(ResourceKind::kFault, std::string("injected fault at ") + site);
+}
+
+Status ExecutionContext::RecordInvariantViolation(std::string detail) {
+  Trip(ResourceKind::kInvariant, detail);
+  // Always surface THIS violation: an earlier governed trip (say the
+  // deadline that interrupted the round) must not mask the corruption the
+  // paranoia check just found while unwinding it.
+  return Status::Internal(std::move(detail));
 }
 
 Status ExecutionContext::CheckPoint(const char* where) {
@@ -136,26 +180,34 @@ Status ExecutionContext::CheckPoint(const char* where) {
   for (ExecutionContext* c = this; c != nullptr; c = c->parent_) {
     if (c->tripped_.load(std::memory_order_acquire)) {
       std::lock_guard<std::mutex> lock(c->mu_);
-      return Status::ResourceExhausted(c->detail_);
+      return Status(c->code_, c->detail_);
     }
   }
+  (void)check;
 
-  // Injected faults fire on the root's shared check counter so a phase
-  // split across child contexts still trips at a deterministic point.
-  if (r->injected_fault_ != InjectedFault::kNone &&
-      check > r->inject_after_checks_) {
-    std::string at = "injected fault after " +
-                     std::to_string(r->inject_after_checks_) +
-                     " checks at " + where;
-    switch (r->injected_fault_) {
-      case InjectedFault::kDeadline:
-        return Trip(ResourceKind::kDeadline, "deadline exceeded (" + at + ")");
-      case InjectedFault::kOom:
-        return Trip(ResourceKind::kMemory, "memory budget exceeded (" + at + ")");
-      case InjectedFault::kCancel:
-        return Trip(ResourceKind::kCancelled, "cancelled (" + at + ")");
-      case InjectedFault::kNone:
-        break;
+  // Registry faults at the governor's own site. Legacy
+  // InjectFaultAfterChecks arms an after-N schedule here whose action
+  // names the resource to fake; a bare (empty-action) fire is a chaos
+  // fail-stop and becomes a kFault → kInternal trip.
+  if (r->faults_ != nullptr && r->faults_->enabled()) {
+    FaultFire fire = r->faults_->Hit(faults::kGovernorCheck);
+    if (fire.fired) {
+      std::string at = "injected fault after " +
+                       std::to_string(r->inject_after_checks_) +
+                       " checks at " + where;
+      switch (InjectedFaultFromName(fire.action)) {
+        case InjectedFault::kDeadline:
+          return Trip(ResourceKind::kDeadline,
+                      "deadline exceeded (" + at + ")");
+        case InjectedFault::kOom:
+          return Trip(ResourceKind::kMemory,
+                      "memory budget exceeded (" + at + ")");
+        case InjectedFault::kCancel:
+          return Trip(ResourceKind::kCancelled, "cancelled (" + at + ")");
+        case InjectedFault::kNone:
+          return Trip(ResourceKind::kFault,
+                      std::string("injected fault at ") + where);
+      }
     }
   }
 

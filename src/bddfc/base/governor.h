@@ -42,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bddfc/base/faults.h"
 #include "bddfc/base/status.h"
 #include "bddfc/obs/trace.h"
 
@@ -60,6 +61,8 @@ enum class ResourceKind {
   kHomChecks,  ///< a hom-search budget (subsumption probing)
   kPatterns,   ///< the type oracle's max_patterns cap
   kStructures, ///< the model search's max_structures cap
+  kFault,      ///< an injected fail-stop fault fired (FaultRegistry site)
+  kInvariant,  ///< a paranoia invariant check failed
 };
 
 /// Stable lowercase name ("deadline", "memory", ...).
@@ -202,10 +205,18 @@ class ExecutionContext {
   CancelToken cancel_token() const { return cancel_; }
   void RequestCancel() { cancel_.Cancel(); }
 
-  void InjectFaultAfterChecks(InjectedFault fault, size_t after_checks) {
-    injected_fault_ = fault;
-    inject_after_checks_ = after_checks;
-  }
+  /// Legacy deterministic fault injection, now a veneer over the fault
+  /// registry: arms an after-N schedule at faults::kGovernorCheck whose
+  /// action names the resource to fake, on the attached registry (or a
+  /// lazily created context-owned one). kNone is a no-op.
+  void InjectFaultAfterChecks(InjectedFault fault, size_t after_checks);
+
+  /// Attaches a fault registry shared by this context tree (stored on the
+  /// root, so children and pool workers see it). The registry must
+  /// outlive the run; pass nullptr to detach.
+  void SetFaultRegistry(FaultRegistry* registry) { root()->faults_ = registry; }
+  /// The attached (or context-owned) registry; nullptr when chaos is off.
+  FaultRegistry* fault_registry() { return root()->faults_; }
 
   /// Creates a sub-context sharing this context's cancel token, deadline
   /// and trip visibility, with a child memory accountant capped at
@@ -225,6 +236,19 @@ class ExecutionContext {
   /// Strided probe for hot enumeration loops: a full CheckPoint every
   /// 64th call, otherwise one relaxed load of the latch. True = stop now.
   bool ShouldStop(const char* where);
+
+  /// Fail-stop fault probe for a named registry site: when a registry is
+  /// attached and a fault fires at `site`, latches a kFault trip on THIS
+  /// context (not the root — a supervisor retry under a fresh child
+  /// starts clean) and returns kInternal. One relaxed load when no
+  /// registry is attached or it is disarmed.
+  Status CheckFault(const char* site);
+
+  /// Reports a paranoia invariant violation: latches a kInvariant trip
+  /// (first trip wins) and returns kInternal carrying `detail` — always
+  /// this violation's detail, even when an earlier governed trip already
+  /// latched, so corruption found while unwinding a trip is never masked.
+  Status RecordInvariantViolation(std::string detail);
 
   /// True once any governed resource (or a recorded count budget) tripped
   /// in this context or an ancestor.
@@ -277,8 +301,9 @@ class ExecutionContext {
   std::chrono::steady_clock::time_point deadline_{};
   MemoryAccountant memory_;
   CancelToken cancel_;
-  InjectedFault injected_fault_ = InjectedFault::kNone;
-  size_t inject_after_checks_ = 0;
+  size_t inject_after_checks_ = 0;  // legacy message formatting only
+  FaultRegistry* faults_ = nullptr;            // meaningful on the root
+  std::unique_ptr<FaultRegistry> owned_faults_;  // lazy legacy-veneer owner
   ExecutionContext* parent_ = nullptr;  // trips in ancestors are visible
   ExecutionContext* root_ = nullptr;    // topmost ancestor (nullptr = self)
 
@@ -287,8 +312,9 @@ class ExecutionContext {
   std::atomic<size_t> checks_{0};
   std::atomic<size_t> stride_{0};  // ShouldStop probe counter (root only)
   std::atomic<bool> tripped_{false};
-  mutable std::mutex mu_;  // guards kind_/detail_/phases_/open_phases_
+  mutable std::mutex mu_;  // guards kind_/code_/detail_/phases_/open_phases_
   ResourceKind kind_ = ResourceKind::kNone;
+  StatusCode code_ = StatusCode::kResourceExhausted;
   std::string detail_;
   std::vector<PhaseProgress> phases_;
   std::vector<std::string> open_phases_;

@@ -40,6 +40,16 @@ class Interner {
 
   int32_t size() const { return static_cast<int32_t>(names_.size()); }
 
+  /// Forgets every id >= n, so the next Intern reuses id n. Rollback hook
+  /// for aborted runs (e.g. a supervised chase attempt whose invented
+  /// nulls must not shift the ids of the retry). Callers must have
+  /// dropped every reference to the removed ids.
+  void TruncateTo(int32_t n) {
+    if (n < 0 || n >= size()) return;
+    for (int32_t id = n; id < size(); ++id) ids_.erase(names_[id]);
+    names_.resize(static_cast<size_t>(n));
+  }
+
  private:
   std::vector<std::string> names_;
   std::unordered_map<std::string, int32_t> ids_;

@@ -15,6 +15,23 @@
 
 namespace bddfc {
 
+const char* ChaseFaultName(ChaseFault fault) {
+  switch (fault) {
+    case ChaseFault::kNone: return "none";
+    case ChaseFault::kSkipTriggerDedup: return "skip-trigger-dedup";
+    case ChaseFault::kTornExhaust: return "torn-exhaust";
+    case ChaseFault::kSinkDropDup: return "sink-drop-dup";
+  }
+  return "?";
+}
+
+ChaseFault ChaseFaultFromName(std::string_view name) {
+  if (name == "skip-trigger-dedup") return ChaseFault::kSkipTriggerDedup;
+  if (name == "torn-exhaust") return ChaseFault::kTornExhaust;
+  if (name == "sink-drop-dup") return ChaseFault::kSinkDropDup;
+  return ChaseFault::kNone;
+}
+
 void ChaseStats::PublishTo(const char* prefix) const {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   if (!reg.enabled()) return;
@@ -94,6 +111,19 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
       options.context != nullptr ? options.context : &local_ctx;
   const bool governed = options.context != nullptr;
   if (governed) out.structure.SetAccountant(&ctx->memory());
+
+  // Resolve the effective behavioral fault once per run: the options knob,
+  // or a registry fire at the chase.bug site whose action names one.
+  ChaseFault fault = options.fault;
+  if (FaultRegistry* freg = ctx->fault_registry();
+      freg != nullptr && freg->enabled()) {
+    FaultFire fire = freg->Hit(faults::kChaseBug);
+    if (fire.fired) {
+      ChaseFault named = ChaseFaultFromName(fire.action);
+      if (named != ChaseFault::kNone) fault = named;
+    }
+  }
+  const ParanoiaLevel paranoia = options.paranoia;
 
   // Detaches the run-scoped accountant and snapshots the resource report;
   // called before every return so results never carry dangling pointers.
@@ -175,6 +205,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     // Round boundary: the structure holds exactly Chase^{round-1}, so a
     // trip here returns a clean prefix.
     Status cp = ctx->CheckPoint("chase round start");
+    if (cp.ok()) cp = ctx->CheckFault(faults::kChaseRound);
     if (!cp.ok()) {
       out.status = std::move(cp);
       finalize();
@@ -187,7 +218,31 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     // Round boundaries are the single-threaded point of the run: extend
     // the sorted per-position indexes over the previous round's additions
     // before any (possibly parallel) scan starts reading them.
-    if (use_plans || use_vsink) out.structure.RefreshIndexes();
+    if (use_plans || use_vsink) {
+      Status fs = ctx->CheckFault(faults::kIndexRefresh);
+      if (!fs.ok()) {
+        out.status = std::move(fs);
+        finalize();
+        return out;
+      }
+      out.structure.RefreshIndexes();
+      if (paranoia != ParanoiaLevel::kOff) {
+        // Index watermark freshness: every scan this round assumes the
+        // sorted indexes cover every stored row.
+        for (PredId p = 0; p < out.structure.NumStoredPredicates(); ++p) {
+          if (out.structure.IndexedRows(p) != out.structure.Rows(p).size()) {
+            out.status = ctx->RecordInvariantViolation(
+                "paranoia: stale sorted index for pred " + std::to_string(p) +
+                " after refresh (" +
+                std::to_string(out.structure.IndexedRows(p)) + " of " +
+                std::to_string(out.structure.Rows(p).size()) +
+                " rows covered) at round " + std::to_string(round));
+            finalize();
+            return out;
+          }
+        }
+      }
+    }
 
     // Enumerate this round's derivations against the Chase^{round-1}
     // snapshot into a buffer; the structure is not touched until the
@@ -198,7 +253,8 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
                        options,
                        ctx,
                        &fired,
-                       use_plans ? &plan_cache : nullptr};
+                       use_plans ? &plan_cache : nullptr,
+                       fault};
     Status barrier = Status::OK();
     if (parallel) {
       barrier = EnumerateRoundParallel(inputs, pool.get(), &buf);
@@ -227,7 +283,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
       // an incomplete round. Discard them so the structure stays the
       // Chase^{round-1} prefix (unless the torn-exhaust fault is injected,
       // which applies them to give the prefix oracle a bug to catch).
-      if (options.fault == ChaseFault::kTornExhaust) {
+      if (fault == ChaseFault::kTornExhaust) {
         std::sort(buf.datalog.begin(), buf.datalog.end());
         for (const Atom& g : buf.datalog) {
           AddFactTracked(&out, g.pred, g.args, static_cast<int>(round));
@@ -236,15 +292,86 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
       Status abort_status = ctx->CheckPoint("chase round abort");
       out.status = !abort_status.ok() ? std::move(abort_status)
                                       : std::move(barrier);
+      // Round-prefix consistency: an interrupted run must still hold
+      // exactly Chase^{round-1}. A mismatch means a torn (non-atomic)
+      // round application leaked into the result — corruption, not a
+      // budget trip, so it overrides the exhaustion status.
+      if (paranoia != ParanoiaLevel::kOff &&
+          out.structure.NumFacts() != out.facts_per_round.back()) {
+        out.status = ctx->RecordInvariantViolation(
+            "paranoia: torn round prefix on trip at round " +
+            std::to_string(round) + " (" +
+            std::to_string(out.structure.NumFacts()) + " facts vs " +
+            std::to_string(out.facts_per_round.back()) +
+            " at the last round boundary)");
+      }
       out.stats.round_ms.push_back(elapsed_ms());
       finalize();
       return out;
+    }
+
+    // Sink counter identity (paranoia): every buffered datalog occurrence
+    // is either contained in the frozen structure, collapsed as an
+    // in-round duplicate, or emitted as a fresh tuple. A sink that drops
+    // or double-counts tuples breaks this identity. Only the vectorized
+    // sink populates sink_candidates, so the check is gated on it.
+    if (paranoia != ParanoiaLevel::kOff && use_vsink &&
+        buf.stats.sink_candidates != buf.stats.sink_contained +
+                                         buf.stats.datalog_deduped +
+                                         buf.datalog.size()) {
+      out.status = ctx->RecordInvariantViolation(
+          "paranoia: sink counter identity violated at round " +
+          std::to_string(round) + " (candidates=" +
+          std::to_string(buf.stats.sink_candidates) + " contained=" +
+          std::to_string(buf.stats.sink_contained) + " deduped=" +
+          std::to_string(buf.stats.datalog_deduped) + " new=" +
+          std::to_string(buf.datalog.size()) + ")");
+      out.stats.round_ms.push_back(elapsed_ms());
+      finalize();
+      return out;
+    }
+
+    // Full paranoia re-verifies the buffer against the frozen structure:
+    // emitted tuples must be pairwise distinct and absent from
+    // Chase^{round-1} (the guarantees the sink's sort-dedup and bulk
+    // containment pass claim to have enforced).
+    if (paranoia == ParanoiaLevel::kFull) {
+      std::vector<Atom> sorted = buf.datalog;
+      std::sort(sorted.begin(), sorted.end());
+      Status verify = Status::OK();
+      for (size_t i = 0; i < sorted.size() && verify.ok(); ++i) {
+        if (i > 0 && sorted[i] == sorted[i - 1]) {
+          verify = ctx->RecordInvariantViolation(
+              "paranoia: duplicate tuple in round buffer at round " +
+              std::to_string(round));
+        } else if (out.structure.Contains(sorted[i].pred, sorted[i].args)) {
+          verify = ctx->RecordInvariantViolation(
+              "paranoia: round buffer re-derives a frozen fact at round " +
+              std::to_string(round));
+        }
+      }
+      if (!verify.ok()) {
+        out.status = std::move(verify);
+        out.stats.round_ms.push_back(elapsed_ms());
+        finalize();
+        return out;
+      }
     }
 
     if (buf.empty()) {
       out.stats.round_ms.push_back(elapsed_ms());
       out.fixpoint_reached = true;
       break;
+    }
+
+    // Last abort point with the buffer still unapplied: a fault here
+    // discards the whole round, so the structure stays a clean prefix.
+    Status alloc_cp = ctx->CheckFault(faults::kChaseAlloc);
+    if (!alloc_cp.ok()) {
+      out.status = std::move(alloc_cp);
+      out.stats.round_ms.push_back(elapsed_ms());
+      finalize();
+      return out;
     }
 
     // Record the round boundary *before* applying this round's additions:

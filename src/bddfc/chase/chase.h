@@ -76,6 +76,14 @@ enum class ChaseFault {
   kSinkDropDup,
 };
 
+/// Stable lowercase name ("none", "skip-trigger-dedup", "torn-exhaust",
+/// "sink-drop-dup") — the spelling used by --inject-bug= flags and by the
+/// fault registry's faults::kChaseBug actions.
+const char* ChaseFaultName(ChaseFault fault);
+
+/// Inverse of ChaseFaultName; kNone when the name is unknown or "none".
+ChaseFault ChaseFaultFromName(std::string_view name);
+
 /// Budgets and variants for a chase run.
 struct ChaseOptions {
   /// Maximum number of rounds (Chase^i levels) to run.
@@ -115,7 +123,14 @@ struct ChaseOptions {
   /// only the sink_* counters are populated exclusively by this path.
   bool vectorized_sink = true;
   /// Fault injection for fuzzer self-tests; kNone in all production paths.
+  /// A FaultRegistry fire at faults::kChaseBug (resolved once at RunChase
+  /// entry) overrides this when its action names a ChaseFault.
   ChaseFault fault = ChaseFault::kNone;
+  /// Runtime invariant checking (DESIGN.md §2.14): kCheap adds O(1)
+  /// per-round identity checks (sink counters, index freshness,
+  /// round-prefix consistency on trips), kFull re-verifies round buffers
+  /// against the frozen structure. Violations surface as kInternal.
+  ParanoiaLevel paranoia = ParanoiaLevel::kOff;
   /// Resource governor (not owned; may be null). When set, the run checks
   /// its deadline / memory budget / cancel token at round boundaries and
   /// (strided) inside body enumeration, charges fact storage to its

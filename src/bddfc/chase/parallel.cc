@@ -96,6 +96,13 @@ Status EnumerateRoundParallelVectorized(const RoundInputs& in,
            in.frozen.DeltaChunks(anchor_pred, kChunkRows)) {
         pool->Submit(
             static_cast<size_t>(anchor_pred), [&, ri, di, chunk]() -> Status {
+              // Fail-stop fault site: the trip latches on the context and
+              // ShouldStop drains the remaining tasks; returning OK keeps
+              // the pool's own status channel for real cancellation. The
+              // round-abort path discards the incomplete buffer.
+              if (!in.ctx->CheckFault(faults::kPoolTask).ok()) {
+                return Status::OK();
+              }
               const auto start = std::chrono::steady_clock::now();
               obs::TraceSpan span("chase.shard");
               ChaseStats local;
@@ -135,9 +142,11 @@ Status EnumerateRoundParallelVectorized(const RoundInputs& in,
   // trigger dedup, then the deferred oblivious filter (dedup-then-filter,
   // matching the striped path's DrainSorted-then-filter order).
   obs::TraceSpan span("chase.sink");
+  // Fail-stop fault site at the barrier merge; a fire latches the context
+  // and the round-abort path in chase.cc discards the merged buffer.
+  (void)in.ctx->CheckFault(faults::kSinkMerge);
   buf->stats = std::move(merged);
-  MergeDatalogRuns(std::move(runs),
-                   in.options.fault == ChaseFault::kSinkDropDup,
+  MergeDatalogRuns(std::move(runs), in.fault == ChaseFault::kSinkDropDup,
                    &buf->datalog, &buf->stats.datalog_deduped);
   std::vector<std::pair<std::string, PendingExistential>> deduped;
   DedupTriggers(std::move(raw_triggers), &deduped,
@@ -190,6 +199,10 @@ Status EnumerateRoundParallel(const RoundInputs& in, ThreadPool* pool,
         // backlog spreads by stealing.
         pool->Submit(
             static_cast<size_t>(anchor_pred), [&, ri, di, chunk]() -> Status {
+              // Fail-stop fault site (see the vectorized task above).
+              if (!in.ctx->CheckFault(faults::kPoolTask).ok()) {
+                return Status::OK();
+              }
               const auto start = std::chrono::steady_clock::now();
               obs::TraceSpan span("chase.shard");
               ChaseStats local;

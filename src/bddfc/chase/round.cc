@@ -467,7 +467,7 @@ VectorSink::VectorSink(const RoundInputs& in, ChaseStats* stats,
     : in_(in),
       stats_(stats),
       bufs_(in.frozen, compact_threshold,
-            in.options.fault == ChaseFault::kSinkDropDup),
+            in.fault == ChaseFault::kSinkDropDup),
       shared_fault_seq_(shared_fault_seq),
       defer_oblivious_(defer_oblivious) {}
 
@@ -491,6 +491,9 @@ void VectorSink::FoldCounters() {
 
 void VectorSink::Finish(RoundBuffer* buf) {
   obs::TraceSpan span("chase.sink");
+  // Fail-stop fault site: a fire latches the context, and the round-abort
+  // path in chase.cc discards this buffer as an incomplete round.
+  (void)in_.ctx->CheckFault(faults::kSinkMerge);
   bufs_.FinishInto(&buf->datalog);
   FoldCounters();
   DedupTriggers(std::move(triggers_), &buf->triggers,
@@ -543,6 +546,10 @@ void EnumerateAnchorVectorized(const RoundInputs& in, size_t ri, size_t di,
     matcher.EnumerateBanded(rule.body, bands, {}, on_binding);
     return;
   }
+  // Fail-stop fault site at the plan boundary: a fire latches the context
+  // and this anchor (and, via Exhausted, the rest of the round) is skipped;
+  // the round-abort path discards the partial buffer.
+  if (!in.ctx->CheckFault(faults::kPlanCompile).ok()) return;
   const std::function<bool()> block_stop = [&in] {
     return in.ctx->ShouldStop("plan block");
   };
@@ -665,6 +672,7 @@ void EnumerateRoundSequential(const RoundInputs& in, bool delta,
         const std::vector<RowBand> bands =
             AnchorBands(in.frozen, rule, di, wm, UINT32_MAX);
         if (in.plans != nullptr) {
+          if (!in.ctx->CheckFault(faults::kPlanCompile).ok()) break;
           // Compiled path: per-(body, anchor) plan from the run cache,
           // vectorized banded execution. The binding *set* matches the
           // interpreter's, which is all ApplyRound depends on.

@@ -99,6 +99,10 @@ struct RoundInputs {
   /// probes always stay on the Matcher: their patterns are grounded per
   /// binding (caching would never hit) and dominated by point lookups.
   PlanCache* plans = nullptr;
+  /// The run's effective behavioral fault, resolved once at RunChase entry
+  /// from options.fault or a FaultRegistry fire at faults::kChaseBug.
+  /// Round code reads this, never options.fault.
+  ChaseFault fault = ChaseFault::kNone;
 };
 
 /// Serializes the oblivious-chase firing key of (rule `ri`, binding `b`).
@@ -155,7 +159,7 @@ bool HandleBinding(const RoundInputs& in, size_t ri, const Binding& b,
   } else {
     if (witness.Exists(pattern, {})) return true;
     key = PatternKey(pattern);
-    if (in.options.fault == ChaseFault::kSkipTriggerDedup) {
+    if (in.fault == ChaseFault::kSkipTriggerDedup) {
       // Injected bug: make every key unique so same-pattern triggers stop
       // collapsing to one witness.
       key += "#" + std::to_string(sink.FaultSeq());

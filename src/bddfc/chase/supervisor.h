@@ -1,0 +1,86 @@
+// Retrying chase supervisor with a graceful-degradation ladder
+// (DESIGN.md §2.14).
+//
+// RunChaseSupervised runs RunChase under a parent ExecutionContext and,
+// when an attempt fails with kInternal (an injected FaultRegistry fault or
+// a paranoia invariant trip — never a budget exhaustion and never a
+// semantic error), retries it under progressively more conservative
+// configurations: compiled plans fall back to the interpretive Matcher,
+// the vectorized sink to the hash sink, the parallel engine to the serial
+// delta engine. Every engine configuration is byte-identical by contract,
+// so degrading never changes the answer — only the speed.
+//
+// Isolation per attempt:
+//   * each attempt runs under a fresh child context, so its fault latch
+//     dies with the child and the parent's report stays clean;
+//   * the shared Signature is marked before each attempt and rolled back
+//     after a failed one, so labeled nulls invented by an aborted attempt
+//     never shift the TermIds of the retry — recovery is byte-identical
+//     to a fault-free run, raw ids included;
+//   * the global MetricsRegistry (when enabled) is reset before each
+//     retry, so a recovered run publishes one clean set of counters
+//     (plus the supervisor's own bddfc.supervisor.* series).
+//
+// Backoff is carved out of the parent's *remaining* deadline (never more
+// than a quarter of it per retry), so a supervised run respects the
+// original --deadline-ms exactly like an unsupervised one. When the retry
+// budget or the deadline is exhausted, the last attempt's result — a
+// complete-prefix partial, per the chase's round-atomic contract — is
+// returned as-is.
+
+#ifndef BDDFC_CHASE_SUPERVISOR_H_
+#define BDDFC_CHASE_SUPERVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "bddfc/base/governor.h"
+#include "bddfc/chase/chase.h"
+
+namespace bddfc {
+
+/// Retry policy of one supervised chase.
+struct SupervisorOptions {
+  /// Parent context the attempts are children of (not owned; may be null —
+  /// the supervisor then creates a local ungoverned parent). Attach the
+  /// FaultRegistry and deadline here.
+  ExecutionContext* context = nullptr;
+  /// Attempts after the first (0 = plain RunChase with child isolation).
+  /// The default covers the worst bounded chaos plan: three specs at two
+  /// fires each, one fire consumed per failed attempt.
+  size_t max_retries = 6;
+  /// Exponential backoff base and cap, in milliseconds of wall sleep
+  /// before each retry. The effective backoff is additionally capped at a
+  /// quarter of the remaining deadline.
+  double backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  /// Byte budget of each attempt's child accountant (0 = uncapped child;
+  /// the parent's limit still governs).
+  size_t child_memory_limit = 0;
+};
+
+/// A supervised run's result plus its recovery history.
+struct SupervisedChase {
+  ChaseResult result;
+  /// Attempts executed (1 = no retry was needed).
+  size_t attempts = 0;
+  /// Degradation-ladder rungs applied, in order ("plans-off",
+  /// "vsink-off", "serial"). Empty when the original configuration
+  /// recovered on its own.
+  std::vector<std::string> degradations;
+  /// True when a retry (not the first attempt) produced the final OK or
+  /// budget-exhausted result.
+  bool recovered = false;
+};
+
+/// Runs the chase under the supervisor. Retries only on kInternal
+/// failures; OK, ResourceExhausted and semantic errors return immediately
+/// with the attempt's result.
+SupervisedChase RunChaseSupervised(const Theory& theory,
+                                   const Structure& instance,
+                                   const ChaseOptions& chase_options,
+                                   const SupervisorOptions& sup_options = {});
+
+}  // namespace bddfc
+
+#endif  // BDDFC_CHASE_SUPERVISOR_H_

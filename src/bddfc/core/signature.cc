@@ -96,6 +96,20 @@ int Signature::MaxArity() const {
   return m;
 }
 
+void Signature::RollbackTo(const Mark& mark) {
+  if (mark.num_predicates >= 0 &&
+      mark.num_predicates < static_cast<int>(predicates_.size())) {
+    pred_names_.TruncateTo(mark.num_predicates);
+    predicates_.resize(static_cast<size_t>(mark.num_predicates));
+  }
+  if (mark.num_constants >= 0 &&
+      mark.num_constants < static_cast<int>(constants_.size())) {
+    const_names_.TruncateTo(mark.num_constants);
+    constants_.resize(static_cast<size_t>(mark.num_constants));
+  }
+  null_counter_ = mark.null_counter;
+}
+
 bool Signature::IsBinary() const {
   return std::all_of(predicates_.begin(), predicates_.end(),
                      [](const PredicateInfo& p) { return p.arity <= 2; });

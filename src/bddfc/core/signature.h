@@ -85,6 +85,24 @@ class Signature {
   /// §2.7: binary relations, unary relations and constants).
   bool IsBinary() const;
 
+  /// Opaque position in the predicate/constant tables, for RollbackTo.
+  struct Mark {
+    int num_predicates = 0;
+    int num_constants = 0;
+    int64_t null_counter = 0;
+  };
+  Mark TakeMark() const {
+    return Mark{num_predicates(), num_constants(), null_counter_};
+  }
+
+  /// Forgets every predicate and constant added after `mark` and restores
+  /// the null counter, so a rerun invents byte-identical ids and names.
+  /// This is the supervisor's attempt-isolation hook: an aborted chase
+  /// attempt's labeled nulls must not shift the retry's TermIds. Callers
+  /// must have discarded every structure/atom referencing the rolled-back
+  /// ids (the aborted attempt's result is dropped before the rollback).
+  void RollbackTo(const Mark& mark);
+
  private:
   std::vector<PredicateInfo> predicates_;
   std::vector<ConstantInfo> constants_;

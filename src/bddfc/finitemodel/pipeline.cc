@@ -6,6 +6,7 @@
 
 #include "bddfc/chase/chase.h"
 #include "bddfc/chase/skeleton.h"
+#include "bddfc/chase/supervisor.h"
 #include "bddfc/classes/recognizers.h"
 #include "bddfc/eval/match.h"
 #include "bddfc/obs/trace.h"
@@ -161,14 +162,32 @@ FiniteModelResult ConstructFiniteCounterModel(
       ChaseOptions copts;
       copts.max_rounds = depth;
       copts.max_facts = options.max_chase_facts;
-      std::unique_ptr<ExecutionContext> chase_ctx =
-          ctx->CreateChild(chase_mem);
-      copts.context = chase_ctx.get();
-      ChaseResult r = RunChase(t, instance, copts);
+      copts.paranoia = options.paranoia;
+      SupervisorOptions sup;
+      sup.context = ctx;
+      sup.max_retries = options.supervisor_max_retries;
+      sup.child_memory_limit = chase_mem;
+      SupervisedChase s = RunChaseSupervised(t, instance, copts, sup);
       scope.set_progress("depth " + std::to_string(depth) + ", " +
-                         std::to_string(r.structure.NumFacts()) + " facts");
-      return r;
+                         std::to_string(s.result.structure.NumFacts()) +
+                         " facts" +
+                         (s.recovered ? ", recovered after " +
+                                            std::to_string(s.attempts) +
+                                            " attempts"
+                                      : std::string()));
+      return std::move(s.result);
     }();
+
+    // An unrecovered kInternal (injected fault / paranoia violation that
+    // survived the whole retry ladder) ends the run with the best prefix:
+    // the chase's round-atomic contract makes it a complete prefix.
+    if (chase.status.code() == StatusCode::kInternal) {
+      result.status = chase.status;
+      result.partial_chase = std::move(chase.structure);
+      result.partial_chase_rounds = chase.rounds_run;
+      finalize();
+      return result;
+    }
 
     Status chase_cp = ctx->CheckPoint("pipeline chase");
     if (!chase_cp.ok()) {
@@ -297,12 +316,22 @@ FiniteModelResult ConstructFiniteCounterModel(
         sat.datalog_only = true;
         sat.max_rounds = options.max_saturation_rounds;
         sat.max_facts = options.max_chase_facts;
-        std::unique_ptr<ExecutionContext> sat_ctx = ctx->CreateChild(0);
-        sat.context = sat_ctx.get();
-        ChaseResult r = RunChase(t, quotient.structure, sat);
-        scope.set_progress(std::to_string(r.structure.NumFacts()) + " facts");
-        return r;
+        sat.paranoia = options.paranoia;
+        SupervisorOptions sup;
+        sup.context = ctx;
+        sup.max_retries = options.supervisor_max_retries;
+        SupervisedChase s = RunChaseSupervised(t, quotient.structure, sat, sup);
+        scope.set_progress(std::to_string(s.result.structure.NumFacts()) +
+                           " facts");
+        return std::move(s.result);
       }();
+      if (saturated.status.code() == StatusCode::kInternal) {
+        result.status = saturated.status;
+        result.partial_chase = std::move(chase.structure);
+        result.partial_chase_rounds = chase.rounds_run;
+        finalize();
+        return result;
+      }
       if (!saturated.status.ok()) {
         Status sat_cp = ctx->CheckPoint("pipeline saturation");
         if (!sat_cp.ok()) {

@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "bddfc/base/faults.h"
+
 namespace bddfc {
 
 namespace {
@@ -308,6 +310,15 @@ class Parser {
 }  // namespace
 
 Result<Program> ParseProgram(std::string_view text, SignaturePtr sig) {
+  // Chaos site: the parser has no ExecutionContext, so the process-global
+  // registry hosts its fault point (fail-stop; the CLI surfaces kInternal
+  // as an ordinary error). One relaxed load when chaos is off.
+  if (FaultRegistry& reg = FaultRegistry::Global(); reg.enabled()) {
+    FaultFire fire = reg.Hit(faults::kParserParse);
+    if (fire.fired) {
+      return Status(StatusCode::kInternal, "injected fault at parser.parse");
+    }
+  }
   if (sig == nullptr) sig = std::make_shared<Signature>();
   BDDFC_ASSIGN_OR_RETURN(std::vector<Token> toks, Lexer(text).Run());
   Program program(sig);

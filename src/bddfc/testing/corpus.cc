@@ -41,6 +41,12 @@ std::string CorpusEntryToText(const CorpusEntry& entry) {
     out += "% seed: " + std::to_string(entry.seed) + "\n";
   }
   if (!entry.fault.empty()) out += "% fault: " + entry.fault + "\n";
+  if (entry.chaos != 0) {
+    out += "% chaos: " + std::to_string(entry.chaos) + "\n";
+    if (entry.chaos_seed != 0) {
+      out += "% chaos-seed: " + std::to_string(entry.chaos_seed) + "\n";
+    }
+  }
   if (!entry.note.empty()) out += "% note: " + OneLine(entry.note) + "\n";
   out += entry.program;
   if (!entry.program.empty() && entry.program.back() != '\n') out += "\n";
@@ -71,6 +77,10 @@ Result<CorpusEntry> ParseCorpusText(std::string_view text) {
       entry.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "fault") {
       entry.fault = value;
+    } else if (key == "chaos") {
+      entry.chaos = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "chaos-seed") {
+      entry.chaos_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "note") {
       entry.note = value;
     }
@@ -128,6 +138,13 @@ OracleOutcome ReplayCorpusEntry(const CorpusEntry& entry,
                                  "'");
     }
     replay_config.inject_fault = fault;
+  }
+  // Likewise '% chaos:' re-arms the recorded fault-plan count (and seed
+  // stream) so chaos-recovery entries replay their supervised recovery
+  // instead of skipping under the default chaos-off config.
+  if (entry.chaos != 0) {
+    replay_config.chaos_plans = entry.chaos;
+    if (entry.chaos_seed != 0) replay_config.chaos_seed = entry.chaos_seed;
   }
   return oracle->Check(scenario.value(), replay_config);
 }

@@ -37,6 +37,9 @@ struct CorpusEntry {
   uint64_t seed = 0;    ///< originating fuzzer scenario seed (0 = crafted)
   std::string fault;    ///< injected fault to arm on replay ("", "deadline",
                         ///< "oom", "cancel") — governor-prefix entries only
+  size_t chaos = 0;     ///< fault plans to arm on replay (chaos-recovery
+                        ///< entries only; 0 = none)
+  uint64_t chaos_seed = 0;  ///< plan-stream seed recorded with `chaos`
   std::string note;     ///< free-form provenance (failure detail, PR, ...)
   std::string program;  ///< .dlg program text (no header lines)
 };

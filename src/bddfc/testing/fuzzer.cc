@@ -95,6 +95,10 @@ FuzzReport RunFuzzer(const FuzzOptions& options) {
           if (options.config.inject_fault != InjectedFault::kNone) {
             entry.fault = InjectedFaultName(options.config.inject_fault);
           }
+          if (options.config.chaos_plans != 0) {
+            entry.chaos = options.config.chaos_plans;
+            entry.chaos_seed = options.config.chaos_seed;
+          }
           entry.note = outcome.detail;
           entry.program = ScenarioToText(failure.minimized);
           failure.corpus_text = CorpusEntryToText(entry);

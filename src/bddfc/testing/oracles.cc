@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bddfc/chase/supervisor.h"
 #include "bddfc/classes/recognizers.h"
 #include "bddfc/eval/answers.h"
 #include "bddfc/eval/match.h"
@@ -92,14 +93,18 @@ class ChaseAgreementOracle : public Oracle {
 
       opts.engine = ChaseEngine::kNaive;
       opts.fault = ChaseFault::kNone;
+      opts.paranoia = ParanoiaLevel::kOff;
       ChaseResult naive = RunChase(s.theory, s.instance, opts);
 
       // The injected fault (the fuzzer's self-test) rides on the engines
       // under test, never on the baseline. (kNaive keeps the hash sink, so
       // the baseline is also immune to kSinkDropDup by construction.)
+      // Paranoia likewise guards only the engines under test: a corruption
+      // its checks catch becomes a kInternal status divergence here.
       for (const EngineConfig& ec : DeltaFamilyConfigs()) {
         opts.engine = ec.engine;
         opts.fault = config.chase_fault;
+        opts.paranoia = config.paranoia;
         opts.threads = ec.threads;
         opts.compiled_plans = ec.plans;
         opts.vectorized_sink = ec.vsink;
@@ -541,6 +546,134 @@ class GovernorPrefixOracle : public Oracle {
   }
 };
 
+// ---------------------------------------------------------------------------
+// chaos-recovery: a supervised chase under a random bounded fault plan
+// must end byte-identical — raw TermIds, nulls, provenance, per-round
+// counts — to the fault-free run. Recovery is mandatory, not best-effort.
+// ---------------------------------------------------------------------------
+
+/// Byte-exact dump of everything the recovery contract covers. Mirrors
+/// chase_ab_test's ExactDump: raw TermIds (not names), so it only compares
+/// runs whose signatures interned identically — which the per-run
+/// CloneScenario below guarantees.
+std::string ExactChaseDump(const ChaseResult& r) {
+  std::string s;
+  s += "status=" + r.status.ToString() + " fixpoint=";
+  s += r.fixpoint_reached ? '1' : '0';
+  s += " rounds=" + std::to_string(r.rounds_run);
+  s += " nulls=" + std::to_string(r.nulls_created);
+  s += " bindings=" + std::to_string(r.stats.match.bindings_tried);
+  s += " tdedup=" + std::to_string(r.stats.triggers_deduped);
+  s += " ddedup=" + std::to_string(r.stats.datalog_deduped);
+  s += "\nfacts_per_round:";
+  for (size_t n : r.facts_per_round) s += " " + std::to_string(n);
+  s += "\n";
+  for (PredId p = 0; p < r.structure.NumStoredPredicates(); ++p) {
+    s += "pred " + std::to_string(p) + ":";
+    for (const auto& row : r.structure.Rows(p)) {
+      s += " (";
+      for (TermId t : row) s += std::to_string(t) + ",";
+      s += ")";
+    }
+    s += "\n";
+  }
+  std::map<TermId, NullProvenance> prov(r.null_provenance.begin(),
+                                        r.null_provenance.end());
+  for (const auto& [null_id, np] : prov) {
+    s += "null " + std::to_string(null_id) + ": r" +
+         std::to_string(np.birth_round) + " rule" +
+         std::to_string(np.rule_index) + " head p" +
+         std::to_string(np.head_atom.pred) + "(";
+    for (TermId t : np.head_atom.args) s += std::to_string(t) + ",";
+    s += ")\n";
+  }
+  return s;
+}
+
+class ChaosRecoveryOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "chaos-recovery"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    if (config.chaos_plans == 0) {
+      return OracleOutcome::Skip("chaos disabled (--chaos)");
+    }
+    // The richest configuration — every degradation rung available.
+    ChaseOptions opts;
+    opts.max_rounds = config.max_rounds;
+    opts.max_facts = config.max_facts;
+    opts.engine = ChaseEngine::kParallel;
+    opts.threads = 4;
+    opts.paranoia = config.paranoia;
+
+    // Every run (reference and chaos) chases its own print+parse clone:
+    // cloning interns identically, so invented nulls land on the same raw
+    // TermIds in every run and the dumps compare as plain bytes.
+    auto run_plan = [&](const FaultPlan* plan, std::string* dump) -> Status {
+      Result<Scenario> c = CloneScenario(s);
+      if (!c.ok()) return c.status();
+      FaultRegistry reg;
+      ExecutionContext parent;
+      if (plan != nullptr) {
+        reg.ArmPlan(*plan);
+        parent.SetFaultRegistry(&reg);
+      }
+      SupervisorOptions sup;
+      sup.context = &parent;
+      SupervisedChase out =
+          RunChaseSupervised(c.value().theory, c.value().instance, opts, sup);
+      *dump = ExactChaseDump(out.result);
+      return Status::OK();
+    };
+
+    std::string ref;
+    if (Status st = run_plan(nullptr, &ref); !st.ok()) {
+      return OracleOutcome::Skip("clone failed: " + st.ToString());
+    }
+
+    for (size_t k = 0; k < config.chaos_plans; ++k) {
+      const uint64_t plan_seed =
+          (config.chaos_seed ^ s.seed) + 0x9e3779b97f4a7c15ull * (k + 1);
+      FaultPlan plan = RandomFaultPlan(plan_seed);
+      std::string dump;
+      if (Status st = run_plan(&plan, &dump); !st.ok()) {
+        return OracleOutcome::Skip("clone failed: " + st.ToString());
+      }
+      if (dump == ref) continue;
+
+      // ddmin the plan (greedy single-spec drops to a fixpoint) so the
+      // failure names the smallest sub-plan that still breaks recovery.
+      FaultPlan min = plan;
+      bool shrunk = true;
+      while (shrunk && min.faults.size() > 1) {
+        shrunk = false;
+        for (size_t i = 0; i < min.faults.size(); ++i) {
+          FaultPlan cand;
+          for (size_t j = 0; j < min.faults.size(); ++j) {
+            if (j != i) cand.faults.push_back(min.faults[j]);
+          }
+          std::string d;
+          if (!run_plan(&cand, &d).ok()) continue;
+          if (d != ref) {
+            min = std::move(cand);
+            shrunk = true;
+            break;
+          }
+        }
+      }
+      size_t at = 0;
+      while (at < dump.size() && at < ref.size() && dump[at] == ref[at]) ++at;
+      return OracleOutcome::Fail(
+          "chaos plan (seed " + std::to_string(plan_seed) +
+          ") did not recover byte-identically (first divergence at byte " +
+          std::to_string(at) + ")\n--- minimized plan ---\n" + min.ToString() +
+          "--- fault-free ---\n" + ref + "--- chaos ---\n" + dump);
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -550,9 +683,11 @@ const std::vector<const Oracle*>& AllOracles() {
   static const RewriteVsChaseOracle rewrite_vs_chase;
   static const PipelineCertifyOracle pipeline_certify;
   static const GovernorPrefixOracle governor_prefix;
+  static const ChaosRecoveryOracle chaos_recovery;
   static const std::vector<const Oracle*> kAll = {
       &chase_agreement, &parser_roundtrip, &rewrite_determinism,
-      &rewrite_vs_chase, &pipeline_certify, &governor_prefix};
+      &rewrite_vs_chase, &pipeline_certify, &governor_prefix,
+      &chaos_recovery};
   return kAll;
 }
 

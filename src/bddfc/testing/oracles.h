@@ -50,6 +50,17 @@ struct OracleConfig {
   /// after a fixed number of cooperative checks and is compared against
   /// the uninterrupted baseline. kNone disables the oracle (skip).
   InjectedFault inject_fault = InjectedFault::kNone;
+  /// Paranoia level (--paranoia) for the chase runs *under test* — never
+  /// the naive baseline, so an injected corruption the paranoia checks
+  /// catch surfaces as a status divergence against the immune baseline.
+  ParanoiaLevel paranoia = ParanoiaLevel::kOff;
+  /// Chaos-recovery oracle (--chaos): random fault plans per scenario to
+  /// run under the supervisor and compare byte-for-byte against the
+  /// fault-free run. 0 disables the oracle (skip).
+  size_t chaos_plans = 0;
+  /// Stream seed for the chaos fault plans (--chaos-seed); combined with
+  /// the scenario seed so every scenario sees different plans.
+  uint64_t chaos_seed = 0;
 };
 
 /// Outcome of one oracle check.

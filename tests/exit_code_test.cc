@@ -81,6 +81,7 @@ TEST(CliExitCodeTest, UsageAndParseErrorsAreTwo) {
   std::string prog = WriteProgram("tc.dlg", kInfiniteTc);
   EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog + " --deadline-ms -5"), 2);
   EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog + " --mem-budget-mb junk"), 2);
+  EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "chase " + prog + " --paranoia=bogus"), 2);
 }
 
 TEST(CliExitCodeTest, NegativeSemanticOutcomeIsOne) {
@@ -110,13 +111,14 @@ TEST(CliExitCodeTest, ResourceExhaustionIsThree) {
   EXPECT_EQ(RunBinary(BDDFC_CLI_PATH, "model " + tc + " --deadline-ms 1"), 3);
 }
 
-TEST(CliExitCodeTest, SigintCancelsCooperativelyAsExhausted) {
-  // SIGINT mid-run flips the CancelToken: the command must drain at the
-  // next cooperative check and exit 3 (resource exhausted), not die on
-  // the signal. Spawn the diverging chase, interrupt it shortly after,
-  // and bound how long the cooperative drain may take. Both delays scale
-  // under sanitizers (timescale.h).
-  std::string tc = WriteProgram("sigint_tc.dlg", kInfiniteTc);
+// A cancellation signal mid-run flips the CancelToken: the command must
+// drain at the next cooperative check and exit 3 (resource exhausted),
+// not die on the signal. SIGINT (Ctrl-C) and SIGTERM (the kill(1) and
+// service-manager default) share one handler and one contract. Spawns
+// the diverging chase, signals it shortly after, and bounds how long the
+// cooperative drain may take; delays scale under sanitizers (timescale.h).
+void ExpectSignalDrainsAsExhausted(int sig, const std::string& prog_name) {
+  std::string tc = WriteProgram(prog_name, kInfiniteTc);
   std::string cli = BDDFC_CLI_PATH;
   std::vector<std::string> arg_strings = {cli, "chase", tc, "1000000"};
   std::vector<char*> argv;
@@ -133,9 +135,9 @@ TEST(CliExitCodeTest, SigintCancelsCooperativelyAsExhausted) {
             0);
   posix_spawn_file_actions_destroy(&actions);
 
-  // Let it get into the chase, then interrupt.
+  // Let it get into the chase, then signal it.
   std::this_thread::sleep_for(std::chrono::milliseconds(ScaledMs(100)));
-  ASSERT_EQ(kill(pid, SIGINT), 0);
+  ASSERT_EQ(kill(pid, sig), 0);
 
   // The cooperative drain happens at the next round boundary; poll with a
   // generous scaled timeout rather than blocking forever on a hang.
@@ -150,11 +152,21 @@ TEST(CliExitCodeTest, SigintCancelsCooperativelyAsExhausted) {
   if (done == 0) {
     kill(pid, SIGKILL);
     waitpid(pid, &status, 0);
-    FAIL() << "CLI did not drain within the scaled timeout after SIGINT";
+    FAIL() << "CLI did not drain within the scaled timeout after signal "
+           << sig;
   }
   ASSERT_TRUE(WIFEXITED(status))
-      << "CLI died on the signal instead of draining cooperatively";
+      << "CLI died on signal " << sig
+      << " instead of draining cooperatively";
   EXPECT_EQ(WEXITSTATUS(status), 3);
+}
+
+TEST(CliExitCodeTest, SigintCancelsCooperativelyAsExhausted) {
+  ExpectSignalDrainsAsExhausted(SIGINT, "sigint_tc.dlg");
+}
+
+TEST(CliExitCodeTest, SigtermCancelsCooperativelyAsExhausted) {
+  ExpectSignalDrainsAsExhausted(SIGTERM, "sigterm_tc.dlg");
 }
 
 TEST(CliExitCodeTest, TraceAndMetricsOutWriteValidatedFiles) {
@@ -210,6 +222,23 @@ TEST(FuzzExitCodeTest, ContractIsZeroOneTwo) {
   EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH,
                 "--runs=60 --oracle=governor-prefix --inject-fault=deadline "
                 "--inject-bug=torn-exhaust --no-shrink"),
+            1);
+}
+
+TEST(FuzzExitCodeTest, ChaosAndParanoiaFlags) {
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH, "--paranoia=bogus"), 2);
+  // A small chaos campaign: every random fault plan must recover to the
+  // byte-identical fault-free result under the supervisor.
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH,
+                "--runs=6 --seed=11 --oracle=chaos-recovery --chaos=3 "
+                "--chaos-seed=2 --paranoia=cheap"),
+            0);
+  // Inverted self-test: a non-recoverable injected corruption (the sink
+  // dropping duplicate-derived groups) MUST be caught when paranoia is
+  // on — the campaign has to fail, or the checks are dead code.
+  EXPECT_EQ(RunBinary(BDDFC_FUZZ_PATH,
+                "--runs=60 --seed=1 --oracle=chase-agreement "
+                "--inject-bug=sink-drop-dup --paranoia=cheap --no-shrink"),
             1);
 }
 

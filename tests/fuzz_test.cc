@@ -2,13 +2,23 @@
 // generation determinism and stratification, oracle agreement on seeded
 // batches, fault-injection self-test (the fuzzer must catch a deliberately
 // broken delta chase and shrink it to a handful of components), shrinker
-// determinism, and corpus round-trips.
+// determinism, and corpus round-trips. Plus the chaos harness (§2.14):
+// hundreds of random seeded fault plans must recover byte-identically
+// under the supervisor, every recoverable fault site must actually fire
+// and recover, and paranoia checks must turn silent sink corruption into
+// a structured kInternal error.
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <string>
 
+#include "bddfc/base/faults.h"
+#include "bddfc/base/governor.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/chase/supervisor.h"
+#include "bddfc/parser/parser.h"
 #include "bddfc/testing/corpus.h"
 #include "bddfc/testing/fuzzer.h"
 #include "bddfc/testing/oracles.h"
@@ -198,6 +208,159 @@ TEST(CorpusTest, MissingOracleHeaderIsRejected) {
   entry.oracle = "no-such-oracle";
   entry.program = "p(a).\n";
   EXPECT_TRUE(ReplayCorpusEntry(entry).failed());
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness (DESIGN.md §2.14).
+// ---------------------------------------------------------------------------
+
+/// Byte-identity serialization of a chase result (raw TermIds, row order,
+/// per-round growth, null provenance) — the chaos recovery contract.
+std::string ExactChaseDump(const ChaseResult& r) {
+  std::string s;
+  s += "status=" + r.status.ToString() + " fixpoint=";
+  s += r.fixpoint_reached ? '1' : '0';
+  s += " rounds=" + std::to_string(r.rounds_run);
+  s += " nulls=" + std::to_string(r.nulls_created);
+  s += "\nfacts_per_round:";
+  for (size_t n : r.facts_per_round) s += " " + std::to_string(n);
+  s += "\n";
+  for (PredId p = 0; p < r.structure.NumStoredPredicates(); ++p) {
+    s += "pred " + std::to_string(p) + ":";
+    for (const auto& row : r.structure.Rows(p)) {
+      s += " (";
+      for (TermId t : row) s += std::to_string(t) + ",";
+      s += ")";
+    }
+    s += "\n";
+  }
+  std::map<TermId, NullProvenance> prov(r.null_provenance.begin(),
+                                        r.null_provenance.end());
+  for (const auto& [null_id, np] : prov) {
+    s += "null " + std::to_string(null_id) + ": r" +
+         std::to_string(np.birth_round) + "\n";
+  }
+  return s;
+}
+
+/// Chases a fresh clone of `s` (print+parse clones intern identically, so
+/// dumps are byte-comparable) under the supervisor, with an optional
+/// single armed fault. Reports whether the fault actually fired and how
+/// the supervisor fared.
+std::string SupervisedDump(const Scenario& s, const FaultSpec* spec,
+                           bool* fired, bool* recovered, size_t* attempts) {
+  Result<Scenario> clone = CloneScenario(s);
+  EXPECT_TRUE(clone.ok()) << clone.status().ToString();
+  ChaseOptions opts;
+  opts.max_rounds = 24;
+  opts.max_facts = 20000;
+  opts.engine = ChaseEngine::kParallel;
+  opts.threads = 4;
+  opts.compiled_plans = true;
+  opts.vectorized_sink = true;
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  if (spec != nullptr) {
+    reg.Arm(*spec);
+    ctx.SetFaultRegistry(&reg);
+  }
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.backoff_ms = 0.0;
+  SupervisedChase got = RunChaseSupervised(clone.value().theory,
+                                           clone.value().instance, opts, sup);
+  if (fired != nullptr) {
+    *fired = spec != nullptr && reg.FireCount(spec->site) > 0;
+  }
+  if (recovered != nullptr) *recovered = got.recovered;
+  if (attempts != nullptr) *attempts = got.attempts;
+  return ExactChaseDump(got.result);
+}
+
+// The acceptance bar for the chaos harness: >= 200 random seeded fault
+// plans across seeded scenarios, every one of which must end
+// byte-identical to the fault-free run (nightly CI runs the same sweep
+// through bddfc_fuzz --chaos).
+TEST(ChaosTest, TwoHundredRandomFaultPlansRecoverByteIdentically) {
+  const Oracle* oracle = FindOracle("chaos-recovery");
+  ASSERT_NE(oracle, nullptr);
+  OracleConfig config;
+  config.chaos_plans = 8;
+  config.chaos_seed = 7;
+  config.paranoia = ParanoiaLevel::kCheap;
+  size_t plans = 0;
+  for (uint64_t i = 0; plans < 200; ++i) {
+    ASSERT_LT(i, 100u) << "scenario generator starved the plan budget";
+    Scenario s = GenerateScenario(Rng::Mix(31, i));
+    OracleOutcome out = oracle->Check(s, config);
+    ASSERT_FALSE(out.failed())
+        << "chaos plan diverged on seed " << s.seed << " (" << s.family
+        << "): " << out.detail;
+    if (out.kind == OracleOutcome::Kind::kPass) plans += config.chaos_plans;
+  }
+  EXPECT_GE(plans, 200u);
+}
+
+// Coverage half of the chaos contract: every recoverable fault site must
+// actually fire at least once over the scenario sweep, and each fire must
+// recover to the fault-free bytes. A site that never fires is dead
+// instrumentation the random plans only *appear* to exercise.
+TEST(ChaosTest, EveryRecoverableSiteFiresAndRecovers) {
+  std::set<std::string> uncovered(RecoverableFaultSites().begin(),
+                                  RecoverableFaultSites().end());
+  ASSERT_EQ(uncovered.size(), 7u);
+  for (uint64_t i = 0; i < 40 && !uncovered.empty(); ++i) {
+    Scenario s = GenerateScenario(Rng::Mix(53, i));
+    std::string reference =
+        SupervisedDump(s, nullptr, nullptr, nullptr, nullptr);
+    for (auto it = uncovered.begin(); it != uncovered.end();) {
+      FaultSpec spec{.site = *it,
+                     .schedule = FaultSchedule::kAfterN,
+                     .n = 0,
+                     .max_fires = 1};
+      bool fired = false;
+      bool recovered = false;
+      size_t attempts = 0;
+      std::string dump = SupervisedDump(s, &spec, &fired, &recovered, &attempts);
+      EXPECT_EQ(dump, reference)
+          << "site " << *it << " diverged on seed " << s.seed;
+      if (fired) {
+        EXPECT_TRUE(recovered) << *it;
+        EXPECT_GE(attempts, 2u) << *it;
+        it = uncovered.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  EXPECT_TRUE(uncovered.empty())
+      << "site never fired over 40 scenarios: " << *uncovered.begin();
+}
+
+TEST(ParanoiaTest, CheapChecksTurnSinkCorruptionIntoInternalError) {
+  // t(b) is derived twice in round 1; kSinkDropDup drops the whole
+  // duplicate group, which breaks the sink counter identity. With
+  // paranoia off the corruption is silent (only cross-engine agreement
+  // would notice); at kCheap the run itself fails with a structured
+  // kInternal naming the violated invariant.
+  constexpr char kDup[] = "e(a, b). e(c, b). e(X, Y) -> t(Y).";
+  auto silent = ParseProgram(kDup);
+  ASSERT_TRUE(silent.ok());
+  ChaseOptions opts;
+  opts.vectorized_sink = true;
+  opts.fault = ChaseFault::kSinkDropDup;
+  ChaseResult off =
+      RunChase(silent.value().theory, silent.value().instance, opts);
+  EXPECT_TRUE(off.status.ok()) << off.status.ToString();
+
+  auto caught = ParseProgram(kDup);
+  ASSERT_TRUE(caught.ok());
+  opts.paranoia = ParanoiaLevel::kCheap;
+  ChaseResult on =
+      RunChase(caught.value().theory, caught.value().instance, opts);
+  EXPECT_EQ(on.status.code(), StatusCode::kInternal);
+  EXPECT_NE(on.status.ToString().find("paranoia"), std::string::npos)
+      << on.status.ToString();
 }
 
 }  // namespace

@@ -1,0 +1,302 @@
+// Tests for the retrying pipeline supervisor (DESIGN.md §2.14): recovery
+// from injected fail-stop faults must be byte-identical to the fault-free
+// run (including invented null TermIds, via signature rollback), the
+// degradation ladder must walk plans-off → vsink-off → serial in order,
+// an exhausted retry budget must still return a complete Chase^L prefix
+// under kInternal, backoff must stay inside the parent deadline, and
+// recovered runs must report clean metrics / phase notes (no
+// double-counted publications from failed attempts).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+
+#include "bddfc/base/faults.h"
+#include "bddfc/base/governor.h"
+#include "bddfc/base/timescale.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/chase/supervisor.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/parser/parser.h"
+
+namespace bddfc {
+namespace {
+
+// Terminates in 3 rounds with 3 invented nulls — enough structure that a
+// fault after round 1 aborts *after* nulls were interned, so recovery
+// byte-identity genuinely exercises the signature rollback.
+constexpr char kProgram[] = R"(
+  s(X) -> exists Y: e(X, Y).
+  e(X, Y) -> r(Y, X).
+  s(a). s(b). s(c).
+)";
+
+Program Parse() {
+  auto parsed = ParseProgram(kProgram);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed.value());
+}
+
+/// Richest configuration: every ladder rung below it is a real change.
+ChaseOptions RichOptions() {
+  ChaseOptions o;
+  o.engine = ChaseEngine::kParallel;
+  o.threads = 4;
+  o.compiled_plans = true;
+  o.vectorized_sink = true;
+  return o;
+}
+
+/// Byte-identity serialization (mirrors chase_ab_test): row order, raw
+/// TermIds, null provenance, per-round growth.
+std::string Dump(const ChaseResult& r) {
+  std::string s;
+  s += "status=" + r.status.ToString() + " fixpoint=";
+  s += r.fixpoint_reached ? '1' : '0';
+  s += " rounds=" + std::to_string(r.rounds_run);
+  s += " nulls=" + std::to_string(r.nulls_created);
+  s += "\nfacts_per_round:";
+  for (size_t n : r.facts_per_round) s += " " + std::to_string(n);
+  s += "\n";
+  for (PredId p = 0; p < r.structure.NumStoredPredicates(); ++p) {
+    s += "pred " + std::to_string(p) + ":";
+    for (const auto& row : r.structure.Rows(p)) {
+      s += " (";
+      for (TermId t : row) s += std::to_string(t) + ",";
+      s += ")";
+    }
+    s += "\n";
+  }
+  std::map<TermId, NullProvenance> prov(r.null_provenance.begin(),
+                                        r.null_provenance.end());
+  for (const auto& [null_id, np] : prov) {
+    s += "null " + std::to_string(null_id) + ": r" +
+         std::to_string(np.birth_round) + " rule" +
+         std::to_string(np.rule_index) + "\n";
+  }
+  return s;
+}
+
+TEST(SupervisorTest, FaultFreeRunIsOneAttemptAndMatchesPlainChase) {
+  Program a = Parse();
+  ChaseResult plain = RunChase(a.theory, a.instance, RichOptions());
+  ASSERT_TRUE(plain.status.ok());
+  ASSERT_TRUE(plain.fixpoint_reached);
+  ASSERT_EQ(plain.nulls_created, 3u);
+
+  Program b = Parse();
+  SupervisedChase s =
+      RunChaseSupervised(b.theory, b.instance, RichOptions(), {});
+  EXPECT_EQ(s.attempts, 1u);
+  EXPECT_FALSE(s.recovered);
+  EXPECT_TRUE(s.degradations.empty());
+  EXPECT_EQ(Dump(s.result), Dump(plain));
+}
+
+TEST(SupervisorTest, RecoversByteIdenticallyIncludingNullTermIds) {
+  Program a = Parse();
+  ChaseResult plain = RunChase(a.theory, a.instance, RichOptions());
+  ASSERT_TRUE(plain.status.ok());
+
+  // after-n=1 fires at the round-2 boundary: round 1 has already interned
+  // 3 nulls, so the retry must roll the signature back or every null in
+  // the recovered run would shift by 3.
+  Program b = Parse();
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 1,
+           .max_fires = 1});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.backoff_ms = 0.0;
+  SupervisedChase s = RunChaseSupervised(b.theory, b.instance, RichOptions(), sup);
+
+  EXPECT_EQ(reg.FireCount(faults::kChaseRound), 1u);
+  EXPECT_EQ(s.attempts, 2u);
+  EXPECT_TRUE(s.recovered);
+  ASSERT_EQ(s.degradations.size(), 1u);
+  EXPECT_EQ(s.degradations[0], "plans-off");
+  EXPECT_TRUE(s.result.status.ok());
+  EXPECT_EQ(Dump(s.result), Dump(plain));
+  // The parent context stays clean: the fault tripped only child attempts.
+  EXPECT_EQ(ctx.report().exhausted, ResourceKind::kNone);
+  EXPECT_TRUE(ctx.report().open_phases.empty());
+}
+
+TEST(SupervisorTest, DegradationLadderWalksEveryRungInOrder) {
+  Program a = Parse();
+  ChaseResult plain = RunChase(a.theory, a.instance, RichOptions());
+
+  // Three fires: attempts 1-3 each trip at the first round boundary, so
+  // attempt 4 runs fully degraded (interpretive Matcher, hash sink,
+  // serial engine) and must still be byte-identical.
+  Program b = Parse();
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 0,
+           .max_fires = 3});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.backoff_ms = 0.0;
+  SupervisedChase s = RunChaseSupervised(b.theory, b.instance, RichOptions(), sup);
+
+  EXPECT_EQ(s.attempts, 4u);
+  EXPECT_TRUE(s.recovered);
+  ASSERT_EQ(s.degradations.size(), 3u);
+  EXPECT_EQ(s.degradations[0], "plans-off");
+  EXPECT_EQ(s.degradations[1], "vsink-off");
+  EXPECT_EQ(s.degradations[2], "serial");
+  EXPECT_TRUE(s.result.status.ok());
+  EXPECT_EQ(Dump(s.result), Dump(plain));
+}
+
+TEST(SupervisorTest, ExhaustedRetryBudgetReturnsCompletePrefix) {
+  // Unlimited fires past hit 2 of the (cross-attempt) chase.round hit
+  // counter: attempt 1 completes rounds 1-2 and trips at the round-3
+  // boundary; every retry's first round boundary is already past n, so no
+  // attempt can recover. The supervisor gives up after max_retries and
+  // must hand back the last attempt's complete prefix (here: just the
+  // instance facts) under kInternal — never a torn half-round.
+  Program p = Parse();
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 2,
+           .max_fires = 0});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.max_retries = 2;
+  sup.backoff_ms = 0.0;
+  SupervisedChase s = RunChaseSupervised(p.theory, p.instance, RichOptions(), sup);
+
+  EXPECT_EQ(s.attempts, 3u);
+  EXPECT_FALSE(s.recovered);
+  EXPECT_EQ(s.result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.result.report.exhausted, ResourceKind::kFault);
+  EXPECT_TRUE(s.result.report.partial_result);
+  EXPECT_EQ(s.result.rounds_run, 0u);
+  ASSERT_EQ(s.result.facts_per_round.size(), 1u);
+  EXPECT_EQ(s.result.structure.NumFacts(), s.result.facts_per_round.back());
+  EXPECT_EQ(s.result.structure.NumFacts(), 3u);
+}
+
+TEST(SupervisorTest, RetryBackoffStaysInsideTheParentDeadline) {
+  // A fault that fires at every round boundary forever, a huge retry
+  // budget, and aggressive backoff growth: the only thing that may stop
+  // the loop is the deadline, and backoff is carved from the remaining
+  // budget (remaining/4 cap), so the whole supervised run must end within
+  // a small multiple of the deadline instead of sleeping past it.
+  const int deadline_ms = ScaledMs(300);
+  Program p = Parse();
+  ExecutionContext ctx;
+  ctx.SetDeadlineAfterMs(deadline_ms);
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 0,
+           .max_fires = 0});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.max_retries = 1000000;
+  sup.backoff_ms = 50.0;
+  sup.max_backoff_ms = 1e9;
+
+  auto t0 = std::chrono::steady_clock::now();
+  SupervisedChase s = RunChaseSupervised(p.theory, p.instance, RichOptions(), sup);
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  EXPECT_GT(s.attempts, 1u);
+  EXPECT_FALSE(s.result.status.ok());
+  EXPECT_LT(elapsed_ms, 3.0 * deadline_ms)
+      << "supervisor slept past the deadline";
+}
+
+TEST(SupervisorTest, RecoveredRunPublishesCleanMetricsAndPhases) {
+  // Regression test: the failed attempt publishes chase counters before
+  // its trip surfaces; the per-retry metrics reset must wipe them so a
+  // recovered run reports exactly one chase, and the supervisor's own
+  // counters must be published after the loop (a reset inside the loop
+  // must not eat them).
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  metrics.Reset();
+
+  Program p = Parse();
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 1,
+           .max_fires = 1});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.backoff_ms = 0.0;
+  SupervisedChase s = RunChaseSupervised(p.theory, p.instance, RichOptions(), sup);
+  ASSERT_TRUE(s.recovered);
+  ASSERT_EQ(s.attempts, 2u);
+
+  EXPECT_EQ(metrics.GetCounter("bddfc.chase.runs")->Value(), 1u)
+      << "failed attempt's publication leaked through the retry reset";
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.retries")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.recoveries")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.degradations")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.gave_up")->Value(), 0u);
+
+  metrics.set_enabled(false);
+  metrics.Reset();
+
+  // The parent report carries one retry note and no dangling open phase —
+  // a recovered run must not read as a half-finished one.
+  ResourceReport report = ctx.report();
+  EXPECT_TRUE(report.open_phases.empty());
+  size_t retry_notes = 0;
+  for (const PhaseProgress& phase : report.phases) {
+    if (phase.phase == "supervisor.retry") ++retry_notes;
+  }
+  EXPECT_EQ(retry_notes, 1u);
+}
+
+TEST(SupervisorTest, GivingUpIsCountedOnce) {
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.set_enabled(true);
+  metrics.Reset();
+
+  Program p = Parse();
+  ExecutionContext ctx;
+  FaultRegistry reg;
+  reg.Arm({.site = faults::kChaseRound,
+           .schedule = FaultSchedule::kAfterN,
+           .n = 0,
+           .max_fires = 0});
+  ctx.SetFaultRegistry(&reg);
+  SupervisorOptions sup;
+  sup.context = &ctx;
+  sup.max_retries = 3;
+  sup.backoff_ms = 0.0;
+  SupervisedChase s = RunChaseSupervised(p.theory, p.instance, RichOptions(), sup);
+
+  EXPECT_EQ(s.result.status.code(), StatusCode::kInternal);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.gave_up")->Value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.retries")->Value(), 3u);
+  EXPECT_EQ(metrics.GetCounter("bddfc.supervisor.recoveries")->Value(), 0u);
+
+  metrics.set_enabled(false);
+  metrics.Reset();
+}
+
+}  // namespace
+}  // namespace bddfc

@@ -24,9 +24,14 @@
 //
 // Resource governance (all commands): --deadline-ms N bounds wall-clock
 // time, --mem-budget-mb N bounds accounted memory, and SIGINT (Ctrl-C)
-// requests cooperative cancellation. On any of the three the command
-// stops at the next round/level/frontier boundary, prints the best
-// partial result plus the resource report, and exits with code 3.
+// or SIGTERM requests cooperative cancellation. On any of the three the
+// command stops at the next round/level/frontier boundary, prints the
+// best partial result plus the resource report, and exits with code 3.
+//
+// Robustness (chase/model): --paranoia=off|cheap|full promotes the
+// chase's test-only invariants to runtime checks (DESIGN.md §2.14);
+// a violation is retried by the supervisor under progressively more
+// conservative engine configurations before surfacing as an error.
 //
 // Observability (all commands, off by default — see obs/):
 //   --trace-out=FILE    record stage/round/level spans and write Chrome
@@ -54,6 +59,7 @@
 
 #include "bddfc/base/governor.h"
 #include "bddfc/chase/chase.h"
+#include "bddfc/chase/supervisor.h"
 #include "bddfc/classes/recognizers.h"
 #include "bddfc/eval/match.h"
 #include "bddfc/finitemodel/model_search.h"
@@ -82,6 +88,7 @@ int Usage() {
                "             [--chase-engine=delta|naive|parallel] "
                "[--no-plans] [--no-vector-sink]\n"
                "             [--deadline-ms N] [--mem-budget-mb N]\n"
+               "             [--paranoia=off|cheap|full]\n"
                "             [--trace-out=FILE] [--metrics-out=FILE]\n"
                "exit codes: 0 ok, 1 negative outcome, 2 usage/parse error, "
                "3 resource exhausted\n");
@@ -114,14 +121,15 @@ int WriteObservability(const char* trace_out, const char* metrics_out,
   return rc;
 }
 
-// SIGINT flips the shared CancelToken; every engine drains at its next
-// cooperative check and the command prints its partial result. A second
-// Ctrl-C kills the process the default way.
+// SIGINT and SIGTERM flip the shared CancelToken; every engine drains at
+// its next cooperative check and the command prints its partial result
+// (and exits 3, like any other governed trip). A second delivery of the
+// same signal kills the process the default way.
 CancelToken* g_cancel = nullptr;
 
-extern "C" void OnSigInt(int) {
+extern "C" void OnSignal(int sig) {
   if (g_cancel != nullptr) g_cancel->Cancel();
-  std::signal(SIGINT, SIG_DFL);
+  std::signal(sig, SIG_DFL);
 }
 
 Result<Program> Load(const char* path) {
@@ -148,15 +156,28 @@ int ExitFor(const Status& status, int ok_code = kExitOk) {
 
 int CmdChase(Program& p, size_t max_rounds, ChaseEngine engine,
              size_t threads, bool compiled_plans, bool vectorized_sink,
-             ExecutionContext* ctx) {
+             ParanoiaLevel paranoia, ExecutionContext* ctx) {
   ChaseOptions opts;
   opts.max_rounds = max_rounds;
   opts.engine = engine;
   opts.threads = threads;
   opts.compiled_plans = compiled_plans;
   opts.vectorized_sink = vectorized_sink;
-  opts.context = ctx;
-  ChaseResult r = RunChase(p.theory, p.instance, opts);
+  opts.paranoia = paranoia;
+  // Supervised: a paranoia trip (or injected fault, under a test harness)
+  // is retried on the degradation ladder before surfacing as an error.
+  SupervisorOptions sup;
+  sup.context = ctx;
+  SupervisedChase s = RunChaseSupervised(p.theory, p.instance, opts, sup);
+  ChaseResult& r = s.result;
+  if (s.recovered) {
+    std::string rungs;
+    for (const std::string& d : s.degradations) {
+      rungs += (rungs.empty() ? "" : ", ") + d;
+    }
+    std::printf("supervisor: recovered after %zu attempts (degraded: %s)\n",
+                s.attempts, rungs.empty() ? "none" : rungs.c_str());
+  }
   std::printf("rounds=%zu facts=%zu nulls=%zu fixpoint=%s status=%s\n",
               r.rounds_run, r.structure.NumFacts(), r.nulls_created,
               r.fixpoint_reached ? "yes" : "no", r.status.ToString().c_str());
@@ -251,7 +272,7 @@ int CmdClassify(Program& p, const RewriteOptions& opts) {
   return kExitOk;
 }
 
-int CmdModel(Program& p, ExecutionContext* ctx) {
+int CmdModel(Program& p, ParanoiaLevel paranoia, ExecutionContext* ctx) {
   if (p.queries.empty()) {
     std::printf("no ?- queries in the program\n");
     return kExitNegative;
@@ -260,6 +281,7 @@ int CmdModel(Program& p, ExecutionContext* ctx) {
   for (size_t i = 0; i < p.queries.size(); ++i) {
     PipelineOptions opts;
     opts.context = ctx;
+    opts.paranoia = paranoia;
     FiniteModelResult r =
         ConstructFiniteCounterModel(p.theory, p.instance, p.queries[i], opts);
     if (r.status.ok()) {
@@ -327,6 +349,7 @@ int main(int argc, char** argv) {
   size_t chase_threads = 0;
   bool chase_plans = true;
   bool chase_vsink = true;
+  ParanoiaLevel paranoia = ParanoiaLevel::kOff;
   const char* positional = nullptr;
   double deadline_ms = -1;
   double mem_budget_mb = -1;
@@ -353,6 +376,8 @@ int main(int argc, char** argv) {
       chase_plans = false;
     } else if (std::strcmp(argv[i], "--no-vector-sink") == 0) {
       chase_vsink = false;
+    } else if (std::strncmp(argv[i], "--paranoia=", 11) == 0) {
+      if (!ParanoiaLevelFromName(argv[i] + 11, &paranoia)) return Usage();
     } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
       trace_out = argv[i] + 12;
       if (*trace_out == '\0') return Usage();
@@ -380,7 +405,8 @@ int main(int argc, char** argv) {
   }
   static CancelToken cancel = ctx.cancel_token();
   g_cancel = &cancel;
-  std::signal(SIGINT, OnSigInt);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
   ropts.context = &ctx;
 
   // Observability stays off unless asked for: enabling costs a ring
@@ -394,13 +420,13 @@ int main(int argc, char** argv) {
                   positional != nullptr ? std::strtoul(positional, nullptr, 10)
                                         : 32,
                   chase_engine, chase_threads, chase_plans, chase_vsink,
-                  &ctx);
+                  paranoia, &ctx);
   } else if (std::strcmp(cmd, "rewrite") == 0) {
     rc = CmdRewrite(p, ropts);
   } else if (std::strcmp(cmd, "classify") == 0) {
     rc = CmdClassify(p, ropts);
   } else if (std::strcmp(cmd, "model") == 0) {
-    rc = CmdModel(p, &ctx);
+    rc = CmdModel(p, paranoia, &ctx);
   } else if (std::strcmp(cmd, "search") == 0) {
     rc = CmdSearch(p, positional != nullptr ? std::atoi(positional) : 1,
                    &ctx);

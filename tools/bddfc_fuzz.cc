@@ -5,6 +5,7 @@
 //              [--oracle=NAME]
 //              [--inject-bug=chase-dedup|torn-exhaust|sink-drop-dup]
 //              [--inject-fault=deadline|oom|cancel]
+//              [--chaos=N] [--chaos-seed=S] [--paranoia=off|cheap|full]
 //              [--corpus-out=DIR] [--no-shrink] [--max-failures=K]
 //              [--replay=FILE-or-DIR] [--list-oracles] [-v]
 //              [--trace-out=FILE] [--metrics-out=FILE]
@@ -26,6 +27,12 @@
 // governor-prefix (run with --inject-fault) must catch. sink-drop-dup
 // makes the vectorized sink drop every duplicate-derived tuple group
 // entirely, which chase-agreement must catch.
+//
+// --chaos=N arms the chaos-recovery oracle: per scenario, N random seeded
+// fault plans (base/faults.h RandomFaultPlan) run under the retrying
+// supervisor and must end byte-identical to the fault-free run; failing
+// plans are ddmin-minimized. --paranoia promotes the chase's test-only
+// invariants to runtime checks on the engines under test.
 //
 // Exit status: 0 = clean, 1 = oracle failures, 2 = usage error.
 
@@ -54,6 +61,8 @@ int Usage() {
       "                  [--inject-bug=chase-dedup|torn-exhaust|"
       "sink-drop-dup]\n"
       "                  [--inject-fault=deadline|oom|cancel]\n"
+      "                  [--chaos=N] [--chaos-seed=S]\n"
+      "                  [--paranoia=off|cheap|full]\n"
       "                  [--corpus-out=DIR] [--no-shrink]\n"
       "                  [--max-failures=K] [--replay=FILE-or-DIR]\n"
       "                  [--list-oracles] [-v]\n"
@@ -164,6 +173,16 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "unknown fault '%s' (have: deadline, oom, cancel)\n", v);
+        return 2;
+      }
+    } else if (const char* v = value("--chaos=")) {
+      options.config.chaos_plans = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--chaos-seed=")) {
+      options.config.chaos_seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--paranoia=")) {
+      if (!ParanoiaLevelFromName(v, &options.config.paranoia)) {
+        std::fprintf(stderr, "unknown paranoia level '%s' (off, cheap, full)\n",
+                     v);
         return 2;
       }
     } else if (const char* v = value("--corpus-out=")) {
