@@ -156,7 +156,7 @@ void ExecutionContext::InjectFaultAfterChecks(InjectedFault fault,
 }
 
 Status ExecutionContext::CheckFault(const char* site) {
-  FaultRegistry* reg = root()->faults_;
+  FaultRegistry* reg = resolved_faults();
   if (reg == nullptr || !reg->enabled()) return Status::OK();
   FaultFire fire = reg->Hit(site);
   if (!fire.fired) return Status::OK();
@@ -189,8 +189,9 @@ Status ExecutionContext::CheckPoint(const char* where) {
   // InjectFaultAfterChecks arms an after-N schedule here whose action
   // names the resource to fake; a bare (empty-action) fire is a chaos
   // fail-stop and becomes a kFault → kInternal trip.
-  if (r->faults_ != nullptr && r->faults_->enabled()) {
-    FaultFire fire = r->faults_->Hit(faults::kGovernorCheck);
+  if (FaultRegistry* freg = resolved_faults();
+      freg != nullptr && freg->enabled()) {
+    FaultFire fire = freg->Hit(faults::kGovernorCheck);
     if (fire.fired) {
       std::string at = "injected fault after " +
                        std::to_string(r->inject_after_checks_) +
@@ -245,7 +246,11 @@ void ExecutionContext::NotePhase(std::string phase, std::string progress) {
 }
 
 PhaseScope::PhaseScope(ExecutionContext* ctx, const char* phase)
-    : ctx_(ctx), phase_(phase), span_(phase) {
+    : ctx_(ctx),
+      phase_(phase),
+      // The phase span follows the run's tracer (a session ring when a
+      // RunContext is attached, the process ring otherwise).
+      span_(ctx != nullptr ? &ctx->tracer() : nullptr, phase) {
   if (ctx_ != nullptr) {
     std::lock_guard<std::mutex> lock(ctx_->mu_);
     ctx_->open_phases_.emplace_back(phase);

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bddfc/base/faults.h"
+#include "bddfc/base/run_context.h"
 #include "bddfc/base/status.h"
 #include "bddfc/obs/trace.h"
 
@@ -211,12 +212,45 @@ class ExecutionContext {
   /// lazily created context-owned one). kNone is a no-op.
   void InjectFaultAfterChecks(InjectedFault fault, size_t after_checks);
 
-  /// Attaches a fault registry shared by this context tree (stored on the
-  /// root, so children and pool workers see it). The registry must
-  /// outlive the run; pass nullptr to detach.
-  void SetFaultRegistry(FaultRegistry* registry) { root()->faults_ = registry; }
-  /// The attached (or context-owned) registry; nullptr when chaos is off.
-  FaultRegistry* fault_registry() { return root()->faults_; }
+  /// Attaches a fault registry for this context and its descendants
+  /// (resolution walks the parent chain: the nearest attachment wins, so
+  /// per-request children of a shared server root can carry their own
+  /// session registry without clobbering siblings). The registry must
+  /// outlive the run; pass nullptr to detach this level.
+  void SetFaultRegistry(FaultRegistry* registry) { faults_ = registry; }
+  /// The nearest attached (or context-owned) registry up the parent
+  /// chain; nullptr when chaos is off.
+  FaultRegistry* fault_registry() { return resolved_faults(); }
+
+  /// Attaches the session/run-scoped observability destinations
+  /// (DESIGN.md §2.15) to this context and its descendants. Like
+  /// SetFaultRegistry, resolution is nearest-ancestor-wins — the serving
+  /// layer hangs every request off one server root, each with its own
+  /// RunContext, and the root itself carries none. A RunContext carrying
+  /// a fault registry also becomes this subtree's CheckFault registry.
+  /// The RunContext and everything it points at must outlive the run;
+  /// pass nullptr to detach and fall back to the process-wide singletons.
+  void SetRunContext(const RunContext* rc) {
+    run_ctx_ = rc;
+    if (rc != nullptr && rc->faults != nullptr) faults_ = rc->faults;
+  }
+  const RunContext* run_context() const { return resolved_run_context(); }
+
+  /// The metrics registry this run publishes into: the nearest attached
+  /// RunContext's, else the process-wide registry. Engines resolve their
+  /// publication target through this instead of MetricsRegistry::Global()
+  /// so concurrent sessions never interleave counters.
+  obs::MetricsRegistry& metrics_registry() const {
+    const RunContext* rc = resolved_run_context();
+    return rc != nullptr ? rc->metrics_or_global()
+                         : obs::MetricsRegistry::Global();
+  }
+
+  /// The tracer this run's phase and run-level spans record to.
+  obs::Tracer& tracer() const {
+    const RunContext* rc = resolved_run_context();
+    return rc != nullptr ? rc->tracer_or_global() : obs::Tracer::Global();
+  }
 
   /// Creates a sub-context sharing this context's cancel token, deadline
   /// and trip visibility, with a child memory accountant capped at
@@ -292,6 +326,22 @@ class ExecutionContext {
     return parent_ == nullptr ? this : root_;
   }
 
+  /// Nearest fault registry up the parent chain (nullptr = none attached).
+  FaultRegistry* resolved_faults() const {
+    for (const ExecutionContext* c = this; c != nullptr; c = c->parent_) {
+      if (c->faults_ != nullptr) return c->faults_;
+    }
+    return nullptr;
+  }
+
+  /// Nearest RunContext up the parent chain (nullptr = none attached).
+  const RunContext* resolved_run_context() const {
+    for (const ExecutionContext* c = this; c != nullptr; c = c->parent_) {
+      if (c->run_ctx_ != nullptr) return c->run_ctx_;
+    }
+    return nullptr;
+  }
+
   /// Latches (kind, detail) as the first trip if none is recorded yet and
   /// returns the ResourceExhausted status for the recorded trip.
   Status Trip(ResourceKind kind, std::string detail);
@@ -302,8 +352,9 @@ class ExecutionContext {
   MemoryAccountant memory_;
   CancelToken cancel_;
   size_t inject_after_checks_ = 0;  // legacy message formatting only
-  FaultRegistry* faults_ = nullptr;            // meaningful on the root
+  FaultRegistry* faults_ = nullptr;  // nearest-ancestor resolution
   std::unique_ptr<FaultRegistry> owned_faults_;  // lazy legacy-veneer owner
+  const RunContext* run_ctx_ = nullptr;  // nearest-ancestor resolution
   ExecutionContext* parent_ = nullptr;  // trips in ancestors are visible
   ExecutionContext* root_ = nullptr;    // topmost ancestor (nullptr = self)
 
@@ -319,6 +370,19 @@ class ExecutionContext {
   std::vector<PhaseProgress> phases_;
   std::vector<std::string> open_phases_;
 };
+
+/// Resolves the metrics registry for an engine whose context pointer may
+/// be null (ungoverned runs publish to the process-wide registry, exactly
+/// the pre-serve behaviour).
+inline obs::MetricsRegistry& ContextMetrics(const ExecutionContext* ctx) {
+  return ctx != nullptr ? ctx->metrics_registry()
+                        : obs::MetricsRegistry::Global();
+}
+
+/// Resolves the tracer for an engine whose context pointer may be null.
+inline obs::Tracer& ContextTracer(const ExecutionContext* ctx) {
+  return ctx != nullptr ? ctx->tracer() : obs::Tracer::Global();
+}
 
 /// RAII phase marker: one object is both the governor's phase bookkeeping
 /// and the tracing span for the phase. Construction pushes the phase onto

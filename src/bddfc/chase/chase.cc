@@ -32,13 +32,15 @@ ChaseFault ChaseFaultFromName(std::string_view name) {
   return ChaseFault::kNone;
 }
 
-void ChaseStats::PublishTo(const char* prefix) const {
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+void ChaseStats::PublishTo(const char* prefix,
+                           obs::MetricsRegistry& reg) const {
   if (!reg.enabled()) return;
-  // Registry handles are stable for the process lifetime (Reset zeroes
-  // values but never erases entries), so resolve the names once: the
-  // string assembly and map lookups are microsecond-scale, which is real
-  // overhead against a sub-millisecond chase.
+  // Handles are resolved per call: registries are per-session now
+  // (DESIGN.md §2.15), so a static cache keyed on the first caller's
+  // registry would silently publish one session's counters into
+  // another's — the exact cross-request interleaving bug the RunContext
+  // refactor removes. Publication happens once per run, so the string
+  // assembly and map lookups are off every hot loop.
   struct Handles {
     std::string prefix;
     obs::Counter* bindings_tried;
@@ -80,12 +82,7 @@ void ChaseStats::PublishTo(const char* prefix) const {
       h.round_us->Record(static_cast<uint64_t>(ms * 1000.0));
     }
   };
-  static const Handles first = resolve(prefix);
-  if (first.prefix == prefix) {
-    publish(first);
-  } else {
-    publish(resolve(prefix));
-  }
+  publish(resolve(prefix));
 }
 
 using chase_internal::AddFactTracked;
@@ -100,7 +97,8 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
   assert(theory.signature_ptr().get() == instance.signature_ptr().get() &&
          "theory and instance must share one Signature object");
   ChaseResult out(instance.signature_ptr());
-  obs::TraceSpan run_span(options.datalog_only ? "chase.datalog"
+  obs::TraceSpan run_span(&ContextTracer(options.context),
+                          options.datalog_only ? "chase.datalog"
                                                : "chase.run");
 
   // Ungoverned runs get a cheap local context (no deadline, no limits, no
@@ -141,25 +139,16 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     // Stats carry the run's peak accounted bytes so shard merges (which
     // max, never sum — one accountant is shared) have a single source.
     out.stats.peak_bytes = out.report.peak_bytes;
-    out.stats.PublishTo("bddfc.chase");
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    // The run publishes into its context's registry (a per-request one
+    // under the serving layer, the process registry otherwise). No static
+    // handle cache: handles are registry-specific.
+    obs::MetricsRegistry& reg = ctx->metrics_registry();
+    out.stats.PublishTo("bddfc.chase", reg);
     if (reg.enabled()) {
-      struct RunMetrics {
-        obs::Counter* runs;
-        obs::Counter* rounds;
-        obs::Counter* nulls_created;
-        obs::Gauge* last_facts;
-      };
-      static const RunMetrics rm{
-          obs::MetricsRegistry::Global().GetCounter("bddfc.chase.runs"),
-          obs::MetricsRegistry::Global().GetCounter("bddfc.chase.rounds"),
-          obs::MetricsRegistry::Global().GetCounter(
-              "bddfc.chase.nulls_created"),
-          obs::MetricsRegistry::Global().GetGauge("bddfc.chase.last_facts")};
-      rm.runs->Add(1);
-      rm.rounds->Add(out.rounds_run);
-      rm.nulls_created->Add(out.nulls_created);
-      rm.last_facts->Set(out.structure.NumFacts());
+      reg.GetCounter("bddfc.chase.runs")->Add(1);
+      reg.GetCounter("bddfc.chase.rounds")->Add(out.rounds_run);
+      reg.GetCounter("bddfc.chase.nulls_created")->Add(out.nulls_created);
+      reg.GetGauge("bddfc.chase.last_facts")->Set(out.structure.NumFacts());
     }
   };
 
@@ -213,7 +202,7 @@ ChaseResult RunChase(const Theory& theory, const Structure& instance,
     }
 
     const auto round_start = std::chrono::steady_clock::now();
-    obs::TraceSpan round_span("chase.round");
+    obs::TraceSpan round_span(&ctx->tracer(), "chase.round");
 
     // Round boundaries are the single-threaded point of the run: extend
     // the sorted per-position indexes over the previous round's additions

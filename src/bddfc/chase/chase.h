@@ -195,11 +195,12 @@ struct ChaseStats {
     return *this;
   }
 
-  /// Publishes these counters into the global metrics registry under
-  /// `<prefix>.*` keys ("bddfc.chase" for RunChase). Called once at the
-  /// end of a run; a no-op (one relaxed load) when the registry is
-  /// disabled, so ungoverned hot paths pay nothing.
-  void PublishTo(const char* prefix) const;
+  /// Publishes these counters into `reg` under `<prefix>.*` keys
+  /// ("bddfc.chase" for RunChase). The registry is the run's — resolved
+  /// through the ExecutionContext's RunContext, so concurrent sessions
+  /// never interleave counters. Called once at the end of a run; a no-op
+  /// (one relaxed load) when the registry is disabled.
+  void PublishTo(const char* prefix, obs::MetricsRegistry& reg) const;
 };
 
 /// Provenance of a labeled null invented by the chase.

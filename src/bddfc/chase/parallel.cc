@@ -104,7 +104,7 @@ Status EnumerateRoundParallelVectorized(const RoundInputs& in,
                 return Status::OK();
               }
               const auto start = std::chrono::steady_clock::now();
-              obs::TraceSpan span("chase.shard");
+              obs::TraceSpan span(&in.ctx->tracer(), "chase.shard");
               ChaseStats local;
               Matcher witness(in.frozen);
               VectorSink sink(in, &local, kSinkCompactTuples, &fault_seq,
@@ -141,7 +141,7 @@ Status EnumerateRoundParallelVectorized(const RoundInputs& in,
   // Canonical merge under the sink span: cross-run datalog dedup, keep-min
   // trigger dedup, then the deferred oblivious filter (dedup-then-filter,
   // matching the striped path's DrainSorted-then-filter order).
-  obs::TraceSpan span("chase.sink");
+  obs::TraceSpan span(&in.ctx->tracer(), "chase.sink");
   // Fail-stop fault site at the barrier merge; a fire latches the context
   // and the round-abort path in chase.cc discards the merged buffer.
   (void)in.ctx->CheckFault(faults::kSinkMerge);
@@ -204,7 +204,7 @@ Status EnumerateRoundParallel(const RoundInputs& in, ThreadPool* pool,
                 return Status::OK();
               }
               const auto start = std::chrono::steady_clock::now();
-              obs::TraceSpan span("chase.shard");
+              obs::TraceSpan span(&in.ctx->tracer(), "chase.shard");
               ChaseStats local;
               Matcher witness(in.frozen);
               StripedSink sink{in, &shared};

@@ -22,11 +22,12 @@ namespace bddfc {
 SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
                                const SaturateOptions& options) {
   SaturateResult out(instance.signature_ptr());
-  obs::TraceSpan run_span("saturate.run");
 
   ExecutionContext local_ctx;
   ExecutionContext* ctx =
       options.context != nullptr ? options.context : &local_ctx;
+  obs::Tracer& tracer = ctx->tracer();
+  obs::TraceSpan run_span(&tracer, "saturate.run");
   if (options.context != nullptr) out.structure.SetAccountant(&ctx->memory());
   auto finalize = [&] {
     out.structure.SetAccountant(nullptr);
@@ -35,25 +36,15 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
     out.report = ctx->report();
     out.report.partial_result =
         !out.status.ok() && out.structure.NumFacts() > 0;
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    // Per-run registry (a session's under the serving layer); no static
+    // handle cache — handles are registry-specific.
+    obs::MetricsRegistry& reg = ctx->metrics_registry();
     if (reg.enabled()) {
-      struct RunMetrics {
-        obs::Counter* runs;
-        obs::Counter* rounds;
-        obs::Counter* facts_derived;
-        obs::Counter* bindings_tried;
-      };
-      static const RunMetrics rm{
-          obs::MetricsRegistry::Global().GetCounter("bddfc.saturate.runs"),
-          obs::MetricsRegistry::Global().GetCounter("bddfc.saturate.rounds"),
-          obs::MetricsRegistry::Global().GetCounter(
-              "bddfc.saturate.facts_derived"),
-          obs::MetricsRegistry::Global().GetCounter(
-              "bddfc.saturate.bindings_tried")};
-      rm.runs->Add(1);
-      rm.rounds->Add(out.rounds_run);
-      rm.facts_derived->Add(out.facts_derived);
-      rm.bindings_tried->Add(out.bindings_tried);
+      reg.GetCounter("bddfc.saturate.runs")->Add(1);
+      reg.GetCounter("bddfc.saturate.rounds")->Add(out.rounds_run);
+      reg.GetCounter("bddfc.saturate.facts_derived")->Add(out.facts_derived);
+      reg.GetCounter("bddfc.saturate.bindings_tried")
+          ->Add(out.bindings_tried);
     }
   };
 
@@ -107,7 +98,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       finalize();
       return out;
     }
-    obs::TraceSpan round_span("saturate.round");
+    obs::TraceSpan round_span(&tracer, "saturate.round");
     std::vector<Atom> additions;
     Status barrier = Status::OK();
 
@@ -171,7 +162,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
           }
         }
       }
-      obs::TraceSpan sink_span("saturate.sink");
+      obs::TraceSpan sink_span(&tracer, "saturate.sink");
       sink.FinishInto(&additions);
     } else if (pool == nullptr) {
       std::unordered_set<Atom, AtomHash> buffered;
@@ -231,7 +222,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
             pool->Submit(
                 static_cast<size_t>(anchor_pred),
                 [&, rule, di, chunk]() -> Status {
-                  obs::TraceSpan span("saturate.shard");
+                  obs::TraceSpan span(&tracer, "saturate.shard");
                   chase_internal::DatalogSinkBuffers sink(
                       frozen, chase_internal::kSinkCompactTuples,
                       /*drop_dup_groups=*/false);
@@ -299,7 +290,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
       }
       barrier = pool->Wait();
       out.bindings_tried += bindings.load(std::memory_order_relaxed);
-      obs::TraceSpan sink_span("saturate.sink");
+      obs::TraceSpan sink_span(&tracer, "saturate.sink");
       size_t cross_run_dups = 0;
       chase_internal::MergeDatalogRuns(std::move(runs),
                                        /*drop_dup_groups=*/false, &additions,
@@ -320,7 +311,7 @@ SaturateResult SaturateDatalog(const Theory& theory, const Structure& instance,
             pool->Submit(
                 static_cast<size_t>(anchor_pred),
                 [&, rule, di, chunk]() -> Status {
-                  obs::TraceSpan span("saturate.shard");
+                  obs::TraceSpan span(&tracer, "saturate.shard");
                   size_t local_bindings = 0;
                   const std::vector<RowBand> bands =
                       chase_internal::AnchorBands(frozen, *rule, di,

@@ -57,7 +57,10 @@ SupervisedChase RunChaseSupervised(const Theory& theory,
   size_t next_rung = 0;
 
   SupervisedChase out{ChaseResult(instance.signature_ptr()), 0, {}, false};
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  // The run's registry, not the process-wide one: the per-retry Reset below
+  // must only wipe THIS run's counters. With the global registry a retry in
+  // one request erased every concurrent request's series.
+  obs::MetricsRegistry& metrics = ContextMetrics(parent);
 
   for (size_t attempt = 0;; ++attempt) {
     // Attempt isolation: fresh child context (fault latches die with it)
@@ -106,7 +109,7 @@ SupervisedChase RunChaseSupervised(const Theory& theory,
       ++next_rung;
     }
 
-    obs::TraceSpan span("supervisor.retry");
+    obs::TraceSpan span(&parent->tracer(), "supervisor.retry");
     std::string note = "attempt " + std::to_string(attempt + 2) +
                        (degraded.empty() ? std::string()
                                          : ", degraded: " + degraded) +

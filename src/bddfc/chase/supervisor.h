@@ -17,9 +17,12 @@
 //     after a failed one, so labeled nulls invented by an aborted attempt
 //     never shift the TermIds of the retry — recovery is byte-identical
 //     to a fault-free run, raw ids included;
-//   * the global MetricsRegistry (when enabled) is reset before each
-//     retry, so a recovered run publishes one clean set of counters
-//     (plus the supervisor's own bddfc.supervisor.* series).
+//   * the run's MetricsRegistry — whatever the parent context resolves
+//     through its RunContext chain, the process-wide registry only as the
+//     unattached fallback — is reset before each retry (when enabled), so
+//     a recovered run publishes one clean set of counters (plus the
+//     supervisor's own bddfc.supervisor.* series) and a retry in one
+//     session never wipes another session's numbers.
 //
 // Backoff is carved out of the parent's *remaining* deadline (never more
 // than a quarter of it per retry), so a supervised run respects the

@@ -36,24 +36,26 @@ ModelSearchResult FindFiniteModel(const Theory& theory,
                                   const ConjunctiveQuery* avoid,
                                   const ModelSearchOptions& options) {
   ModelSearchResult result;
-  obs::TraceSpan span("model_search.run");
-  // Publishes on every return path (the search exits from several places).
+  ExecutionContext local_ctx;
+  ExecutionContext* ctx =
+      options.context != nullptr ? options.context : &local_ctx;
+
+  obs::TraceSpan span(&ctx->tracer(), "model_search.run");
+  // Publishes on every return path (the search exits from several places)
+  // into the run's registry — resolved here, not at publication, so the
+  // destructor never touches process-global state.
   struct Publish {
     const ModelSearchResult& r;
+    obs::MetricsRegistry& reg;
     ~Publish() {
-      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
       if (reg.enabled()) {
         reg.GetCounter("bddfc.model_search.runs")->Add(1);
         reg.GetCounter("bddfc.model_search.structures_checked")
             ->Add(r.structures_checked);
       }
     }
-  } publish{result};
+  } publish{result, ctx->metrics_registry()};
   SignaturePtr sig = theory.signature_ptr();
-
-  ExecutionContext local_ctx;
-  ExecutionContext* ctx =
-      options.context != nullptr ? options.context : &local_ctx;
 
   for (int extra = 0; extra <= options.max_extra_elements; ++extra) {
     std::vector<TermId> domain = instance.Domain();

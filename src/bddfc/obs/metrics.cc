@@ -20,6 +20,16 @@ void Histogram::Record(uint64_t sample) {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::MergeFrom(const HistogramPoint& point) {
+  count_.fetch_add(point.count, std::memory_order_relaxed);
+  sum_.fetch_add(point.sum, std::memory_order_relaxed);
+  for (const auto& [bucket, n] : point.buckets) {
+    if (bucket < kBuckets) {
+      buckets_[bucket].fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
@@ -81,6 +91,14 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     snap.histograms.push_back(std::move(p));
   }
   return snap;  // maps iterate in name order: the snapshot is sorted
+}
+
+void MetricsRegistry::MergeFrom(const MetricsSnapshot& snap) {
+  for (const MetricPoint& p : snap.counters) GetCounter(p.name)->Add(p.value);
+  for (const MetricPoint& p : snap.gauges) GetGauge(p.name)->Set(p.value);
+  for (const HistogramPoint& p : snap.histograms) {
+    GetHistogram(p.name)->MergeFrom(p);
+  }
 }
 
 void MetricsRegistry::Reset() {

@@ -88,6 +88,8 @@ class Gauge {
   std::atomic<uint64_t> v_{0};
 };
 
+struct HistogramPoint;
+
 /// Log2-bucketed histogram of non-negative samples (bucket i counts
 /// samples in (2^(i-1), 2^i], bucket 0 counts zeros and ones). Tracks
 /// count and sum so exports can report a mean without bucket math.
@@ -96,6 +98,10 @@ class Histogram {
   static constexpr size_t kBuckets = 32;
 
   void Record(uint64_t sample);
+  /// Adds another histogram's exported state into this one (bucket-wise;
+  /// count and sum add). The serve layer folds per-request histograms
+  /// into session and server totals with this.
+  void MergeFrom(const HistogramPoint& point);
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   uint64_t BucketCount(size_t i) const {
@@ -159,6 +165,15 @@ class MetricsRegistry {
   Histogram* GetHistogram(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Adds a snapshot's values into this registry by name: counters and
+  /// histograms add, gauges last-write. This is the serve layer's
+  /// aggregation primitive — a request-scoped registry is snapshotted
+  /// once at request end and folded into the session's cumulative
+  /// registry and the server totals, so per-session counters sum to the
+  /// server's by construction. Ignores enabled(): aggregation is not a
+  /// hot path.
+  void MergeFrom(const MetricsSnapshot& snap);
 
   /// Zeroes every value. Handles stay valid (tests and benchmarks reuse
   /// them across runs).

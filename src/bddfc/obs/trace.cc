@@ -242,25 +242,32 @@ std::string Tracer::ExportChromeJson() const {
 
 TraceSpan::TraceSpan(const char* name) {
   if (!Tracer::Global().enabled()) return;
-  Open(name, Tracer::CurrentSpanId());
+  Open(Tracer::Global(), name, Tracer::CurrentSpanId());
 }
 
 TraceSpan::TraceSpan(const char* name, uint64_t explicit_parent) {
   if (!Tracer::Global().enabled()) return;
-  Open(name, explicit_parent);
+  Open(Tracer::Global(), name, explicit_parent);
 }
 
-void TraceSpan::Open(const char* name, uint64_t parent) {
+TraceSpan::TraceSpan(Tracer* tracer, const char* name) {
+  Tracer& t = tracer != nullptr ? *tracer : Tracer::Global();
+  if (!t.enabled()) return;
+  Open(t, name, Tracer::CurrentSpanId());
+}
+
+void TraceSpan::Open(Tracer& tracer, const char* name, uint64_t parent) {
+  tracer_ = &tracer;
   name_ = name;
   parent_ = parent;
-  id_ = Tracer::Global().Begin(name, parent);
+  id_ = tracer.Begin(name, parent);
   active_ = true;
   pushed_ = PushSpan(id_);
 }
 
 TraceSpan::~TraceSpan() {
   if (pushed_) PopSpan();
-  if (active_) Tracer::Global().End(name_, id_, parent_, detail_);
+  if (active_) tracer_->End(name_, id_, parent_, detail_);
 }
 
 }  // namespace bddfc::obs

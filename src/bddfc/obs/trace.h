@@ -112,14 +112,19 @@ class Tracer {
   size_t filled_ = 0;  // slots holding valid events (<= ring_.size())
 };
 
-/// RAII span on the global tracer. Construct with a string literal name;
-/// optionally set_detail() before destruction (recorded on the 'E'
-/// event). The two-argument form re-parents the span under an explicit
-/// span id captured on another thread.
+/// RAII span. Construct with a string literal name; optionally
+/// set_detail() before destruction (recorded on the 'E' event). The
+/// (name, parent) form re-parents the span under an explicit span id
+/// captured on another thread. The (tracer, name) form records to an
+/// explicit tracer — a per-session ring instead of the process-wide one
+/// (null falls back to Global()); span ids are process-unique across
+/// tracers, so parent links stay coherent even if nested spans land in
+/// different rings.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
   TraceSpan(const char* name, uint64_t explicit_parent);
+  TraceSpan(Tracer* tracer, const char* name);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -130,8 +135,9 @@ class TraceSpan {
   uint64_t id() const { return id_; }
 
  private:
-  void Open(const char* name, uint64_t parent);
+  void Open(Tracer& tracer, const char* name, uint64_t parent);
 
+  Tracer* tracer_ = nullptr;  // the tracer Open recorded to
   const char* name_ = "";
   uint64_t id_ = 0;
   uint64_t parent_ = 0;

@@ -309,11 +309,14 @@ class Parser {
 
 }  // namespace
 
-Result<Program> ParseProgram(std::string_view text, SignaturePtr sig) {
-  // Chaos site: the parser has no ExecutionContext, so the process-global
-  // registry hosts its fault point (fail-stop; the CLI surfaces kInternal
-  // as an ordinary error). One relaxed load when chaos is off.
-  if (FaultRegistry& reg = FaultRegistry::Global(); reg.enabled()) {
+Result<Program> ParseProgram(std::string_view text, SignaturePtr sig,
+                             FaultRegistry* faults) {
+  // Chaos site (fail-stop; the CLI surfaces kInternal as an ordinary
+  // error). Sessions pass their own registry; standalone callers fall back
+  // to the process-global one. One relaxed load when chaos is off.
+  if (FaultRegistry& reg =
+          faults != nullptr ? *faults : FaultRegistry::Global();
+      reg.enabled()) {
     FaultFire fire = reg.Hit(faults::kParserParse);
     if (fire.fired) {
       return Status(StatusCode::kInternal, "injected fault at parser.parse");

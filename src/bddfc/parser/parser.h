@@ -40,8 +40,14 @@ struct Program {
       : theory(sig), instance(std::move(sig)) {}
 };
 
+class FaultRegistry;
+
 /// Parses a full program. If `sig` is null a fresh signature is created.
-Result<Program> ParseProgram(std::string_view text, SignaturePtr sig = nullptr);
+/// `faults` hosts the parser's chaos site; null falls back to the
+/// process-global registry (serving sessions pass their own so one
+/// tenant's fault plan never fires in another's parse).
+Result<Program> ParseProgram(std::string_view text, SignaturePtr sig = nullptr,
+                             FaultRegistry* faults = nullptr);
 
 /// Parses a single conjunctive query body, e.g. "edge(X, Y), u(Y)".
 /// Predicates/constants are interned into `sig`. Variable ids are assigned

@@ -153,45 +153,19 @@ double RewriteStats::TotalAccumMs() const {
   return ms;
 }
 
-void RewriteStats::PublishTo(const char* prefix) const {
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+void RewriteStats::PublishTo(const char* prefix,
+                             obs::MetricsRegistry& reg) const {
   if (!reg.enabled()) return;
-  // Registry handles are stable for the process lifetime (Reset zeroes
-  // values but never erases entries), so resolve the names once rather
-  // than paying string assembly + map lookups on every run.
-  struct Handles {
-    std::string prefix;
-    obs::Counter* candidates;
-    obs::Counter* key_deduped;
-    obs::Counter* subsumption_pruned;
-    obs::Counter* hom_checks;
-    obs::Counter* hom_checks_skipped;
-    obs::Histogram* depth;
-  };
-  auto resolve = [&reg](const char* pfx) {
-    const std::string p(pfx);
-    return Handles{p,
-                   reg.GetCounter(p + ".candidates"),
-                   reg.GetCounter(p + ".key_deduped"),
-                   reg.GetCounter(p + ".subsumption_pruned"),
-                   reg.GetCounter(p + ".hom_checks"),
-                   reg.GetCounter(p + ".hom_checks_skipped"),
-                   reg.GetHistogram(p + ".depth")};
-  };
-  auto publish = [this](const Handles& h) {
-    h.candidates->Add(TotalCandidates());
-    h.key_deduped->Add(TotalKeyDeduped());
-    h.subsumption_pruned->Add(TotalSubsumptionPruned());
-    h.hom_checks->Add(hom_checks);
-    h.hom_checks_skipped->Add(hom_checks_skipped);
-    h.depth->Record(levels.size());
-  };
-  static const Handles first = resolve(prefix);
-  if (first.prefix == prefix) {
-    publish(first);
-  } else {
-    publish(resolve(prefix));
-  }
+  // Handles are resolved per call: with per-session registries under the
+  // serving layer, a static handle cache would pin the first caller's
+  // registry and silently publish every later session's counters there.
+  const std::string p(prefix);
+  reg.GetCounter(p + ".candidates")->Add(TotalCandidates());
+  reg.GetCounter(p + ".key_deduped")->Add(TotalKeyDeduped());
+  reg.GetCounter(p + ".subsumption_pruned")->Add(TotalSubsumptionPruned());
+  reg.GetCounter(p + ".hom_checks")->Add(hom_checks);
+  reg.GetCounter(p + ".hom_checks_skipped")->Add(hom_checks_skipped);
+  reg.GetHistogram(p + ".depth")->Record(levels.size());
 }
 
 RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
@@ -219,7 +193,7 @@ RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
 RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
                            const RewriteOptions& options) {
   RewriteResult result;
-  obs::TraceSpan run_span("rewrite.query");
+  obs::TraceSpan run_span(&ContextTracer(options.context), "rewrite.query");
   const auto run_start = std::chrono::steady_clock::now();
   Result<std::vector<Rule>> prepared = PrepareRules(theory);
   if (!prepared.ok()) {
@@ -267,7 +241,7 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
     const size_t union_at_level_start = all.size();
 
     auto level_start = std::chrono::steady_clock::now();
-    obs::TraceSpan level_span("rewrite.level");
+    obs::TraceSpan level_span(&ctx->tracer(), "rewrite.level");
     RewriteLevelStats level;
     std::vector<ConjunctiveQuery> next;
     for (const ConjunctiveQuery& q : frontier) {
@@ -400,22 +374,13 @@ RewriteResult RewriteQuery(const Theory& theory, const ConjunctiveQuery& query,
   }
   ctx->memory().Release(charged_bytes);
   result.stats.wall_ms = MsSince(run_start);
-  result.stats.PublishTo("bddfc.rewrite");
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::MetricsRegistry& reg = ctx->metrics_registry();
+  result.stats.PublishTo("bddfc.rewrite", reg);
   if (reg.enabled()) {
-    struct RunMetrics {
-      obs::Counter* runs;
-      obs::Counter* queries_generated;
-      obs::Counter* disjuncts;
-    };
-    static const RunMetrics rm{
-        obs::MetricsRegistry::Global().GetCounter("bddfc.rewrite.runs"),
-        obs::MetricsRegistry::Global().GetCounter(
-            "bddfc.rewrite.queries_generated"),
-        obs::MetricsRegistry::Global().GetCounter("bddfc.rewrite.disjuncts")};
-    rm.runs->Add(1);
-    rm.queries_generated->Add(result.queries_generated);
-    rm.disjuncts->Add(result.rewriting.size());
+    reg.GetCounter("bddfc.rewrite.runs")->Add(1);
+    reg.GetCounter("bddfc.rewrite.queries_generated")
+        ->Add(result.queries_generated);
+    reg.GetCounter("bddfc.rewrite.disjuncts")->Add(result.rewriting.size());
   }
   return result;
 }
@@ -464,7 +429,7 @@ std::vector<RewriteResult> RewriteAll(const Theory& theory,
 
 KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
   KappaResult out;
-  obs::TraceSpan span("rewrite.kappa");
+  obs::TraceSpan span(&ContextTracer(options.context), "rewrite.kappa");
   const auto start = std::chrono::steady_clock::now();
   std::vector<ConjunctiveQuery> probes;
   probes.reserve(theory.rules().size());
@@ -482,7 +447,7 @@ KappaResult ComputeKappa(const Theory& theory, const RewriteOptions& options) {
 
 BddProbeResult ProbeBdd(const Theory& theory, const RewriteOptions& options) {
   BddProbeResult out;
-  obs::TraceSpan span("rewrite.probe_bdd");
+  obs::TraceSpan span(&ContextTracer(options.context), "rewrite.probe_bdd");
   const auto start = std::chrono::steady_clock::now();
   // Probe 1: every rule body. Probe 2: one fresh atom per predicate.
   std::vector<ConjunctiveQuery> probes;

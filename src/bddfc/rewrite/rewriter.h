@@ -121,10 +121,11 @@ struct RewriteStats {
   /// clock, for any thread count.
   double TotalWallMs() const { return wall_ms; }
 
-  /// Publishes these counters into the global metrics registry under
-  /// `<prefix>.*` keys ("bddfc.rewrite" for RewriteQuery). No-op when the
-  /// registry is disabled.
-  void PublishTo(const char* prefix) const;
+  /// Publishes these counters into `reg` under `<prefix>.*` keys
+  /// ("bddfc.rewrite" for RewriteQuery). Callers pass the run's registry
+  /// (ContextMetrics) so concurrent sessions never share series. No-op
+  /// when the registry is disabled.
+  void PublishTo(const char* prefix, obs::MetricsRegistry& reg) const;
 
   RewriteStats& operator+=(const RewriteStats& o);
 };

@@ -1,0 +1,284 @@
+#include "bddfc/serve/artifact_cache.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "bddfc/eval/match.h"
+#include "bddfc/obs/trace.h"
+#include "bddfc/parser/printer.h"
+
+namespace bddfc::serve {
+
+uint64_t CanonicalHash(std::string_view canonical_text) {
+  // FNV-1a, 64-bit: not cryptographic, but stable, fast, and collisions
+  // across a cache of tens of theories are astronomically unlikely.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : canonical_text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string KeyToHex(uint64_t key) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[key & 0xf];
+    key >>= 4;
+  }
+  return out;
+}
+
+bool KeyFromHex(std::string_view hex, uint64_t* out) {
+  if (hex.empty() || hex.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : hex) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  *out = v;
+  return true;
+}
+
+Result<bool> Artifact::EvalBoolean(const std::string& query_text) {
+  std::lock_guard<std::mutex> lock(mu);
+  Signature& sig = *program.instance.signature_ptr();
+  const Signature::Mark mark = sig.TakeMark();
+  Result<ConjunctiveQuery> q = ParseQuery(query_text, &sig);
+  if (!q.ok()) {
+    sig.RollbackTo(mark);
+    return q.status();
+  }
+  // Predicates/constants the query introduced are interned past the mark;
+  // the chase structure simply has no rows for them, so evaluation is
+  // safe, and the rollback below forgets them — the artifact signature is
+  // byte-identical to its admitted state regardless of query order.
+  const bool sat = Satisfies(chase.structure, q.value());
+  sig.RollbackTo(mark);
+  return sat;
+}
+
+Result<std::string> Artifact::RewriteFor(const std::string& query_text,
+                                         const RewriteOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu);
+  Signature& sig = *program.instance.signature_ptr();
+  const Signature::Mark mark = sig.TakeMark();
+  Result<ConjunctiveQuery> q = ParseQuery(query_text, &sig);
+  if (!q.ok()) {
+    sig.RollbackTo(mark);
+    return q.status();
+  }
+  const std::string memo_key = q.value().CanonicalKey();
+  if (auto it = rewrite_memo_.find(memo_key); it != rewrite_memo_.end()) {
+    sig.RollbackTo(mark);
+    return it->second;
+  }
+  RewriteResult rr = RewriteQuery(program.theory, q.value(), opts);
+  if (!rr.status.ok() && rr.status.code() != StatusCode::kUnknown) {
+    sig.RollbackTo(mark);
+    return rr.status;
+  }
+  // Render before the rollback: printing reads names interned past the
+  // mark. The rendered string owns its bytes, so it survives the rollback.
+  std::string body = "disjuncts=" + std::to_string(rr.rewriting.size()) +
+                     " complete=" + (rr.status.ok() ? "1" : "0");
+  const Theory empty_theory(program.instance.signature_ptr());
+  std::string rendered = ToProgramText(empty_theory, nullptr, &rr.rewriting);
+  if (!rendered.empty()) {
+    body += "\n";
+    if (rendered.back() == '\n') rendered.pop_back();
+    body += rendered;
+  }
+  sig.RollbackTo(mark);
+  rewrite_memo_.emplace(memo_key, body);
+  return body;
+}
+
+ArtifactCache::ArtifactCache(size_t capacity, MemoryAccountant* accountant)
+    : capacity_(capacity < 1 ? 1 : capacity), accountant_(accountant) {}
+
+ArtifactCache::~ArtifactCache() {
+  if (accountant_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto& [key, e] : entries_) accountant_->Release(e.artifact->bytes);
+}
+
+std::shared_ptr<Artifact> ArtifactCache::Find(uint64_t key) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return it->second.artifact;
+}
+
+size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return entries_.size();
+}
+
+size_t ArtifactCache::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  size_t total = 0;
+  for (const auto& [key, e] : entries_) total += e.artifact->bytes;
+  return total;
+}
+
+ArtifactCache::Outcome ArtifactCache::GetOrCompile(
+    const std::string& program_text, ExecutionContext* ctx,
+    obs::MetricsRegistry& metrics, const CompileOptions& copts) {
+  Outcome out;
+
+  // Parse the submission as-is (cheap; the chaos site routes through the
+  // session registry attached to ctx) and canonicalize. Equivalent
+  // spellings — reordered facts, whitespace, renamed variables — print
+  // identically, so they share one key and one artifact.
+  Result<Program> submitted =
+      ParseProgram(program_text, nullptr,
+                   ctx != nullptr ? ctx->fault_registry() : nullptr);
+  if (!submitted.ok()) {
+    out.status = submitted.status();
+    return out;
+  }
+  const std::string canonical = ToProgramText(
+      submitted.value().theory, &submitted.value().instance, nullptr);
+  const uint64_t key = CanonicalHash(canonical);
+
+  if (std::shared_ptr<Artifact> cached = Find(key)) {
+    out.artifact = std::move(cached);
+    out.hit = true;
+    return out;
+  }
+
+  // Single-flight: first loser-free requester for this key compiles;
+  // everyone else blocks on the inflight slot and shares the result.
+  std::shared_ptr<Inflight> flight;
+  bool is_leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(key, flight);
+      is_leader = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (!is_leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    out.status = flight->status;
+    out.artifact = flight->artifact;
+    // A shared compile is a hit from this request's perspective: it ran
+    // no chase of its own.
+    out.hit = out.status.ok();
+    return out;
+  }
+
+  out = Compile(key, canonical, ctx, metrics, copts);
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = out.status;
+    flight->artifact = out.artifact;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(key);
+  }
+  return out;
+}
+
+ArtifactCache::Outcome ArtifactCache::Compile(uint64_t key,
+                                              const std::string& canonical,
+                                              ExecutionContext* ctx,
+                                              obs::MetricsRegistry& metrics,
+                                              const CompileOptions& copts) {
+  Outcome out;
+  obs::TraceSpan span(&ContextTracer(ctx), "serve.compile");
+  const auto start = std::chrono::steady_clock::now();
+
+  // Copy-on-admit: re-parse the canonical text into a fresh Program with
+  // an artifact-owned Signature. Interned ids become a pure function of
+  // the canonical form, and no caller-visible signature is shared with
+  // the artifact — the precondition for EvalBoolean's rollback safety.
+  Result<Program> reparsed =
+      ParseProgram(canonical, nullptr,
+                   ctx != nullptr ? ctx->fault_registry() : nullptr);
+  if (!reparsed.ok()) {
+    out.status = reparsed.status();
+    return out;
+  }
+  auto artifact = std::make_shared<Artifact>(std::move(reparsed).value());
+  artifact->canonical_text = canonical;
+  artifact->key = key;
+
+  ChaseOptions chase_opts;
+  chase_opts.max_rounds = copts.max_rounds;
+  chase_opts.max_facts = copts.max_facts;
+  chase_opts.threads = copts.threads;
+  chase_opts.context = ctx;
+  artifact->chase =
+      RunChase(artifact->program.theory, artifact->program.instance,
+               chase_opts);
+  if (!artifact->chase.status.ok()) {
+    out.status = artifact->chase.status;
+    return out;
+  }
+  if (!artifact->chase.fixpoint_reached) {
+    out.status = Status(StatusCode::kResourceExhausted,
+                        "theory did not saturate within the compile budget");
+    return out;
+  }
+  artifact->rounds = artifact->chase.rounds_run;
+
+  // Accounted estimate: canonical bytes plus the chase structure's rows
+  // (same per-fact constant the chase charges) plus fixed overhead.
+  artifact->bytes = canonical.size() +
+                    artifact->chase.structure.NumFacts() * 64 + 4096;
+  if (accountant_ != nullptr) accountant_->Charge(artifact->bytes);
+
+  out.evicted = Admit(key, artifact);
+  out.artifact = std::move(artifact);
+  out.compiled = true;
+  span.set_detail("facts " +
+                  std::to_string(out.artifact->chase.structure.NumFacts()));
+  metrics.GetHistogram("bddfc.serve.compile_ms")
+      ->Record(static_cast<uint64_t>(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+  return out;
+}
+
+size_t ArtifactCache::Admit(uint64_t key, std::shared_ptr<Artifact> artifact) {
+  size_t evicted = 0;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  entries_[key] = Entry{std::move(artifact), ++tick_};
+  while (entries_.size() > capacity_) {
+    auto lru = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < lru->second.last_used) lru = it;
+    }
+    if (accountant_ != nullptr) {
+      accountant_->Release(lru->second.artifact->bytes);
+    }
+    entries_.erase(lru);
+    ++evicted;
+  }
+  return evicted;
+}
+
+}  // namespace bddfc::serve

@@ -1,0 +1,39 @@
+// The daemon's socket front-end: a loopback TCP accept loop over the
+// transport-independent ReasoningServer.
+//
+// Design: poll()-based accept with a stop flag checked between polls, one
+// detached-joinable thread per connection (connections are short: the
+// loadgen and the CI smoke script open, pump a request batch, QUIT). On
+// stop the listener closes first — no new connections — then every live
+// connection thread is joined: a graceful drain, in-flight requests
+// finish and their metrics fold before Serve() returns.
+
+#ifndef BDDFC_SERVE_DAEMON_H_
+#define BDDFC_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "bddfc/base/status.h"
+#include "bddfc/serve/server.h"
+
+namespace bddfc::serve {
+
+struct DaemonOptions {
+  /// TCP port on 127.0.0.1; 0 = kernel-assigned (reported via *bound_port).
+  uint16_t port = 0;
+  /// Written with the actual listening port once bound (before accepting).
+  /// Optional; lets tests and the CLI use port 0 race-free.
+  std::atomic<uint16_t>* bound_port = nullptr;
+};
+
+/// Binds 127.0.0.1:<port>, accepts connections, and serves each with the
+/// line protocol (protocol.h) — or one HTTP GET response for connections
+/// that open with "GET ". Returns after `stop` becomes true and every
+/// connection has drained. Runs on the calling thread.
+Status Serve(ReasoningServer& server, const DaemonOptions& options,
+             std::atomic<bool>& stop);
+
+}  // namespace bddfc::serve
+
+#endif  // BDDFC_SERVE_DAEMON_H_

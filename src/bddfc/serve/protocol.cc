@@ -1,0 +1,169 @@
+#include "bddfc/serve/protocol.h"
+
+#include <vector>
+
+namespace bddfc::serve {
+
+namespace {
+
+// Splits on single spaces; protocol tokens never contain spaces.
+std::vector<std::string_view> Tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t next = line.find(' ', pos);
+    if (next == std::string_view::npos) next = line.size();
+    if (next > pos) out.push_back(line.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool ParseSize(std::string_view token, size_t* out) {
+  if (token.empty() || token.size() > 9) return false;
+  size_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string FormatResponse(const Response& response) {
+  std::string out;
+  if (response.status.ok()) {
+    out = "OK ";
+  } else {
+    out = "ERR ";
+    out += StatusCodeName(response.status.code());
+    out += ' ';
+  }
+  out += std::to_string(response.body.size());
+  out += '\n';
+  out += response.body;
+  return out;
+}
+
+Status ParseRequestLine(std::string_view line, Request* out,
+                        size_t* payload_bytes, bool* quit) {
+  *payload_bytes = 0;
+  *quit = false;
+  const std::vector<std::string_view> tok = Tokens(line);
+  if (tok.empty()) return Status::InvalidArgument("empty request line");
+  const std::string_view verb = tok[0];
+
+  if (verb == "QUIT") {
+    if (tok.size() != 1) return Status::InvalidArgument("QUIT takes no args");
+    *quit = true;
+    return Status::OK();
+  }
+  if (verb == "HEALTH") {
+    if (tok.size() != 1) return Status::InvalidArgument("HEALTH takes no args");
+    out->kind = Request::Kind::kHealth;
+    return Status::OK();
+  }
+  if (verb == "METRICS") {
+    if (tok.size() > 2) {
+      return Status::InvalidArgument("usage: METRICS [<tenant>]");
+    }
+    out->kind = Request::Kind::kMetrics;
+    out->tenant = tok.size() == 2 ? std::string(tok[1]) : std::string();
+    return Status::OK();
+  }
+  if (verb == "LOAD") {
+    if (tok.size() != 3 || !ParseSize(tok[2], payload_bytes)) {
+      return Status::InvalidArgument("usage: LOAD <tenant> <nbytes>");
+    }
+    out->kind = Request::Kind::kLoad;
+    out->tenant = std::string(tok[1]);
+    return Status::OK();
+  }
+  if (verb == "QUERY" || verb == "REWRITE") {
+    if (tok.size() != 4 || !KeyFromHex(tok[2], &out->key) ||
+        !ParseSize(tok[3], payload_bytes)) {
+      return Status::InvalidArgument(
+          "usage: " + std::string(verb) + " <tenant> <key-hex> <nbytes>");
+    }
+    out->kind = verb == "QUERY" ? Request::Kind::kQuery
+                                : Request::Kind::kRewrite;
+    out->tenant = std::string(tok[1]);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown verb " + std::string(verb));
+}
+
+size_t ServeBuffer(ReasoningServer& server, std::string_view input,
+                   std::string* output) {
+  size_t served = 0;
+  size_t pos = 0;
+  while (pos < input.size()) {
+    size_t eol = input.find('\n', pos);
+    if (eol == std::string_view::npos) eol = input.size();
+    std::string_view line = input.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+
+    Request request;
+    size_t payload_bytes = 0;
+    bool quit = false;
+    Status parsed = ParseRequestLine(line, &request, &payload_bytes, &quit);
+    if (quit) break;
+    if (!parsed.ok()) {
+      *output += FormatResponse(Response{parsed, parsed.message()});
+      ++served;
+      continue;
+    }
+    if (payload_bytes > 0) {
+      if (pos + payload_bytes > input.size()) {
+        Status err = Status::InvalidArgument("truncated payload");
+        *output += FormatResponse(Response{err, err.message()});
+        ++served;
+        break;
+      }
+      request.payload = std::string(input.substr(pos, payload_bytes));
+      pos += payload_bytes;
+      // An optional newline after the payload keeps hand-written scripts
+      // readable; it is not part of the payload.
+      if (pos < input.size() && input[pos] == '\n') ++pos;
+    }
+    *output += FormatResponse(server.Handle(request));
+    ++served;
+  }
+  return served;
+}
+
+bool LooksLikeHttp(std::string_view prefix) {
+  return prefix.substr(0, 4) == "GET ";
+}
+
+std::string HandleHttp(ReasoningServer& server,
+                       std::string_view request_line) {
+  // "GET <path> ..." — only the path matters.
+  std::string_view path;
+  if (const std::vector<std::string_view> tok = Tokens(request_line);
+      tok.size() >= 2) {
+    path = tok[1];
+  }
+  std::string body;
+  const char* status_line = "HTTP/1.0 200 OK";
+  if (path == "/metrics") {
+    body = server.MetricsText();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "not found\n";
+  }
+  std::string out = status_line;
+  out += "\r\nContent-Type: text/plain\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace bddfc::serve

@@ -1,0 +1,53 @@
+// Per-tenant session state (DESIGN.md §2.15).
+//
+// A Session owns everything that used to live in process-wide singletons,
+// scoped to one tenant: the cumulative metrics registry its requests fold
+// into, the trace ring its spans record to, and the fault registry its
+// chaos plans arm. Requests themselves publish into a request-scoped
+// registry first (engines resolve it through the ExecutionContext's
+// RunContext) and the server folds that snapshot into BOTH the session's
+// cumulative registry and the server totals — so per-session counters sum
+// to the server's by construction, the invariant the loadgen and the
+// serve tests reconcile.
+
+#ifndef BDDFC_SERVE_SESSION_H_
+#define BDDFC_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "bddfc/base/faults.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
+
+namespace bddfc::serve {
+
+/// One tenant's server-side state. Created on first request, lives for
+/// the server's lifetime (sessions are small: registries plus a trace
+/// ring). Thread-safe: every member is.
+struct Session {
+  explicit Session(std::string tenant_name, bool tracing,
+                   size_t trace_capacity)
+      : tenant(std::move(tenant_name)) {
+    // Cumulative registry: always on — MergeFrom ignores enabled(), but
+    // direct session-level counters (sheds) go through the enabled path.
+    metrics.set_enabled(true);
+    if (tracing) tracer.Enable(trace_capacity);
+  }
+
+  const std::string tenant;
+  /// Cumulative over the session's completed requests.
+  obs::MetricsRegistry metrics;
+  /// The session's span ring (enabled only when the server traces).
+  obs::Tracer tracer;
+  /// The session's chaos plans; disarmed by default. A plan armed here
+  /// fires only in THIS session's requests — including the parser site.
+  FaultRegistry faults;
+  /// Requests accepted (not shed) for this session.
+  std::atomic<uint64_t> requests{0};
+};
+
+}  // namespace bddfc::serve
+
+#endif  // BDDFC_SERVE_SESSION_H_

@@ -12,6 +12,8 @@
 #include "bddfc/eval/match.h"
 #include "bddfc/finitemodel/pipeline.h"
 #include "bddfc/parser/parser.h"
+#include "bddfc/parser/printer.h"
+#include "bddfc/serve/server.h"
 
 namespace bddfc {
 
@@ -674,6 +676,90 @@ class ChaosRecoveryOracle : public Oracle {
   }
 };
 
+/// Renders one CQ as the bare body text the serve protocol's QUERY
+/// payload carries ("e(V0, V1), u(V1)").
+std::string QueryBodyText(const ConjunctiveQuery& q, const SignaturePtr& sig) {
+  std::vector<ConjunctiveQuery> one{q};
+  const Theory empty(sig);
+  std::string text = ToProgramText(empty, nullptr, &one);
+  // ToProgramText renders a query line as "?- <body>.\n".
+  if (text.rfind("?- ", 0) == 0) text.erase(0, 3);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '.')) {
+    text.pop_back();
+  }
+  return text;
+}
+
+/// Serving agreement (DESIGN.md §2.15): a ReasoningServer that LOADs the
+/// scenario and answers its queries from the cached artifact must agree
+/// byte-for-byte with a one-shot RunChase + Satisfies over the same
+/// program. Every query is asked twice — the second ask runs against a
+/// signature the first ask already marked and rolled back, so a rollback
+/// leak (satellite: one Signature per artifact, copy-on-admit) diverges
+/// here. Skips scenarios the compile budget rejects (serve only admits
+/// saturating theories).
+class ServeAgreementOracle : public Oracle {
+ public:
+  std::string_view name() const override { return "serve-agreement"; }
+
+  OracleOutcome Check(const Scenario& s,
+                      const OracleConfig& config) const override {
+    if (s.queries.empty()) return OracleOutcome::Skip("no queries");
+
+    ChaseOptions opts;
+    opts.max_rounds = config.max_rounds;
+    opts.max_facts = config.max_facts;
+    const ChaseResult one_shot = RunChase(s.theory, s.instance, opts);
+    if (!one_shot.status.ok() || !one_shot.fixpoint_reached) {
+      return OracleOutcome::Skip("chase budget (serve admits only fixpoints)");
+    }
+
+    serve::ServerOptions sopts;
+    sopts.compile.max_rounds = config.max_rounds;
+    sopts.compile.max_facts = config.max_facts;
+    serve::ReasoningServer server(sopts);
+
+    serve::Request load;
+    load.kind = serve::Request::Kind::kLoad;
+    load.tenant = "oracle";
+    load.payload = ToProgramText(s.theory, &s.instance, nullptr);
+    const serve::Response loaded = server.Handle(load);
+    if (!loaded.ok()) {
+      return OracleOutcome::Fail("LOAD rejected a saturating theory: " +
+                                 loaded.status.ToString());
+    }
+    uint64_t key = 0;
+    if (loaded.body.rfind("key=", 0) != 0 ||
+        !serve::KeyFromHex(loaded.body.substr(4, 16), &key)) {
+      return OracleOutcome::Fail("unparseable LOAD response: " + loaded.body);
+    }
+
+    for (size_t i = 0; i < s.queries.size(); ++i) {
+      const bool expected = Satisfies(one_shot.structure, s.queries[i]);
+      serve::Request ask;
+      ask.kind = serve::Request::Kind::kQuery;
+      ask.tenant = "oracle";
+      ask.key = key;
+      ask.payload = QueryBodyText(s.queries[i], s.sig);
+      for (int round = 0; round < 2; ++round) {
+        const serve::Response served = server.Handle(ask);
+        if (!served.ok()) {
+          return OracleOutcome::Fail("QUERY failed: " +
+                                     served.status.ToString());
+        }
+        const std::string want = expected ? "true" : "false";
+        if (served.body != want) {
+          return OracleOutcome::Fail(
+              "query " + std::to_string(i) + " ask " + std::to_string(round) +
+              " diverged: served " + served.body + ", one-shot " + want +
+              " (" + ask.payload + ")");
+        }
+      }
+    }
+    return OracleOutcome::Pass();
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -684,10 +770,11 @@ const std::vector<const Oracle*>& AllOracles() {
   static const PipelineCertifyOracle pipeline_certify;
   static const GovernorPrefixOracle governor_prefix;
   static const ChaosRecoveryOracle chaos_recovery;
+  static const ServeAgreementOracle serve_agreement;
   static const std::vector<const Oracle*> kAll = {
       &chase_agreement, &parser_roundtrip, &rewrite_determinism,
       &rewrite_vs_chase, &pipeline_certify, &governor_prefix,
-      &chaos_recovery};
+      &chaos_recovery, &serve_agreement};
   return kAll;
 }
 

@@ -179,7 +179,9 @@ TypeOracle::~TypeOracle() {
   // Bridge the oracle's run-scoped tally into the registry once, at the
   // end of its life (a moved-from oracle has no impl and publishes nothing).
   if (impl_ == nullptr) return;
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  // The run's registry, resolved through the context the oracle was built
+  // with (callers keep it alive for the oracle's lifetime).
+  obs::MetricsRegistry& reg = impl_->ctx->metrics_registry();
   if (reg.enabled()) {
     reg.GetCounter("bddfc.ptype.oracles")->Add(1);
     reg.GetCounter("bddfc.ptype.patterns_checked")->Add(
@@ -219,7 +221,7 @@ Result<TypePartition> ExactPtpPartition(const Structure& c, int n,
                                         const std::vector<PredId>& predicates,
                                         size_t max_patterns,
                                         ExecutionContext* context) {
-  obs::TraceSpan span("ptype.exact_partition");
+  obs::TraceSpan span(&ContextTracer(context), "ptype.exact_partition");
   TypeOracleOptions opts;
   opts.num_variables = n;
   opts.predicates = predicates;

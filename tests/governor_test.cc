@@ -557,5 +557,54 @@ TEST(GovernedPipelineTest, UngovernedRunsAreUnaffected) {
   EXPECT_FALSE(r.report.partial_result);
 }
 
+TEST(RunContextTest, ResolutionIsNearestAncestorWins) {
+  // The serving layer hangs every request off one shared server root,
+  // each request child carrying its own RunContext. Resolution must pick
+  // the nearest attachment up the parent chain — siblings never clobber
+  // each other, and an unattached child falls through to its ancestor's.
+  obs::MetricsRegistry root_reg, child_reg;
+  obs::Tracer root_tracer, child_tracer;
+  FaultRegistry root_faults, child_faults;
+  RunContext root_rc{&root_reg, &root_tracer, &root_faults};
+  RunContext child_rc{&child_reg, &child_tracer, &child_faults};
+
+  ExecutionContext root;
+  root.SetRunContext(&root_rc);
+  std::unique_ptr<ExecutionContext> with_own = root.CreateChild(0);
+  with_own->SetRunContext(&child_rc);
+  std::unique_ptr<ExecutionContext> plain = root.CreateChild(0);
+  std::unique_ptr<ExecutionContext> grandchild = with_own->CreateChild(0);
+
+  EXPECT_EQ(&root.metrics_registry(), &root_reg);
+  EXPECT_EQ(&with_own->metrics_registry(), &child_reg);
+  EXPECT_EQ(&with_own->tracer(), &child_tracer);
+  EXPECT_EQ(with_own->fault_registry(), &child_faults);
+  // A sibling without its own RunContext resolves the root's, unaffected
+  // by the other child's attachment.
+  EXPECT_EQ(&plain->metrics_registry(), &root_reg);
+  EXPECT_EQ(&plain->tracer(), &root_tracer);
+  EXPECT_EQ(plain->fault_registry(), &root_faults);
+  // Depth-2: the nearest attachment is the parent's, not the root's.
+  EXPECT_EQ(&grandchild->metrics_registry(), &child_reg);
+  EXPECT_EQ(grandchild->fault_registry(), &child_faults);
+
+  // Detaching one child must not disturb the others.
+  with_own->SetRunContext(nullptr);
+  EXPECT_EQ(&with_own->metrics_registry(), &root_reg);
+  EXPECT_EQ(&plain->metrics_registry(), &root_reg);
+}
+
+TEST(RunContextTest, UnattachedContextFallsBackToGlobals) {
+  ExecutionContext ctx;
+  EXPECT_EQ(&ctx.metrics_registry(), &obs::MetricsRegistry::Global());
+  EXPECT_EQ(&ctx.tracer(), &obs::Tracer::Global());
+  EXPECT_EQ(ctx.fault_registry(), nullptr);
+  // A RunContext with null members also resolves to the globals.
+  RunContext empty;
+  ctx.SetRunContext(&empty);
+  EXPECT_EQ(&ctx.metrics_registry(), &obs::MetricsRegistry::Global());
+  EXPECT_EQ(&ctx.tracer(), &obs::Tracer::Global());
+}
+
 }  // namespace
 }  // namespace bddfc

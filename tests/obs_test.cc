@@ -126,6 +126,35 @@ TEST_F(ObsTest, ExportsAreWellShaped) {
   EXPECT_NE(json.find("\"h.one\""), std::string::npos);
 }
 
+TEST_F(ObsTest, MergeFromAddsCountersAndHistogramsGaugesLastWrite) {
+  // The serving layer's aggregation primitive: request registries fold
+  // into session and server registries via MergeFrom, so its semantics
+  // (counters/histograms add, gauges overwrite, enabled() ignored) are
+  // load-bearing for the session-sums == server-totals invariant.
+  MetricsRegistry req;
+  req.GetCounter("c")->Add(3);
+  req.GetGauge("g")->Set(5);
+  req.GetHistogram("h")->Record(2);
+  req.GetHistogram("h")->Record(100);
+  const MetricsSnapshot snap = req.Snapshot();
+
+  MetricsRegistry total;  // deliberately left disabled: MergeFrom ignores it
+  ASSERT_FALSE(total.enabled());
+  total.MergeFrom(snap);
+  total.MergeFrom(snap);
+
+  EXPECT_EQ(total.GetCounter("c")->Value(), 6u);
+  EXPECT_EQ(total.GetGauge("g")->Value(), 5u);
+  bool found = false;
+  for (const auto& h : total.Snapshot().histograms) {
+    if (h.name != "h") continue;
+    found = true;
+    EXPECT_EQ(h.count, 4u);
+    EXPECT_EQ(h.sum, 204u);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST_F(ObsTest, DisabledGlobalRegistryIsANoOpForPublishers) {
   // Engines guard publication with enabled(); the default Global() state
   // must be disabled so un-instrumented runs never pay for metrics.

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 
+#include "bddfc/base/faults.h"
 #include "bddfc/parser/parser.h"
 #include "bddfc/parser/printer.h"
 #include "bddfc/workload/paper_examples.h"
@@ -234,6 +237,49 @@ TEST(PrinterRoundTripTest, PaperExamplesAreDoubleRoundTripStable) {
         ToProgramText(c.p.theory, &c.p.instance, &c.p.queries);
     EXPECT_EQ(Reprint(once), once);
   }
+}
+
+TEST(ParserFaultTest, ChaosSiteIsScopedToTheCallersRegistry) {
+  // Serving regression (DESIGN.md §2.15): the parser's chaos site routes
+  // through the registry the caller passes, so two sessions parsing
+  // concurrently under disjoint fault plans never see each other's
+  // chaos. Thread A's plan kills every parse; thread B parses clean.
+  constexpr int kIters = 200;
+  FaultRegistry reg_a;
+  reg_a.Arm({.site = faults::kParserParse,
+             .schedule = FaultSchedule::kAfterN,
+             .n = 0});
+  FaultRegistry reg_b;  // enabled by arming an unrelated site only
+  reg_b.Arm({.site = faults::kChaseRound,
+             .schedule = FaultSchedule::kAfterN,
+             .n = 0});
+
+  std::atomic<int> a_ok{0}, b_failed{0};
+  std::thread chaos([&] {
+    for (int i = 0; i < kIters; ++i) {
+      auto r = ParseProgram("e(a, b).", nullptr, &reg_a);
+      if (r.ok() || r.status().code() != StatusCode::kInternal) {
+        a_ok.fetch_add(1);
+      }
+    }
+  });
+  std::thread clean([&] {
+    for (int i = 0; i < kIters; ++i) {
+      if (!ParseProgram("e(a, b).", nullptr, &reg_b).ok()) {
+        b_failed.fetch_add(1);
+      }
+    }
+  });
+  chaos.join();
+  clean.join();
+
+  EXPECT_EQ(a_ok.load(), 0) << "armed parser fault failed to fire";
+  EXPECT_EQ(b_failed.load(), 0) << "another session's fault plan leaked in";
+  EXPECT_EQ(reg_a.FireCount(faults::kParserParse), uint64_t{kIters});
+  EXPECT_EQ(reg_b.FireCount(faults::kParserParse), 0u);
+  EXPECT_EQ(reg_b.HitCount(faults::kParserParse), uint64_t{kIters});
+  // The process-global registry was never consulted.
+  EXPECT_EQ(FaultRegistry::Global().FireCount(faults::kParserParse), 0u);
 }
 
 }  // namespace

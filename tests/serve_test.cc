@@ -1,0 +1,519 @@
+// Tests for the multi-tenant reasoning server (serve/): artifact cache
+// identity and single-flight, copy-on-admit signature stability under
+// concurrent queries, per-session metrics/fault isolation and the
+// session-sums == server-totals reconciliation invariant, admission
+// control, the wire protocol, and the socket daemon's drain.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bddfc/base/faults.h"
+#include "bddfc/chase/chase.h"
+#include "bddfc/eval/match.h"
+#include "bddfc/obs/metrics.h"
+#include "bddfc/parser/parser.h"
+#include "bddfc/serve/daemon.h"
+#include "bddfc/serve/protocol.h"
+#include "bddfc/serve/server.h"
+
+namespace bddfc {
+namespace {
+
+using serve::ArtifactCache;
+using serve::KeyFromHex;
+using serve::KeyToHex;
+using serve::ReasoningServer;
+using serve::Request;
+using serve::Response;
+using serve::ServerOptions;
+
+constexpr char kTheoryA[] =
+    "e(a, b).\n"
+    "e(b, c).\n"
+    "e(c, d).\n"
+    "e(X, Y), e(Y, Z) -> e(X, Z).\n"
+    "e(a, d) -> top(a).\n";
+
+// Same theory, different spelling: reordered facts, noise whitespace and
+// comments. Must land on the same artifact key as kTheoryA.
+constexpr char kTheoryAVariant[] =
+    "% a comment\n"
+    "  e(c, d).\n"
+    "e(a, b).   e(b, c).\n"
+    "e(X, Y), e(Y, Z) -> e(X, Z).\n"
+    "e(a, d) -> top(a).\n";
+
+constexpr char kTheoryB[] =
+    "p(x, y).\n"
+    "p(y, z).\n"
+    "p(X, Y), p(Y, Z) -> p(X, Z).\n";
+
+constexpr char kTheoryC[] =
+    "q(m, n).\n"
+    "q(X, Y) -> q(Y, X).\n";
+
+Request Load(const std::string& tenant, const std::string& theory) {
+  Request r;
+  r.kind = Request::Kind::kLoad;
+  r.tenant = tenant;
+  r.payload = theory;
+  return r;
+}
+
+Request Query(const std::string& tenant, uint64_t key,
+              const std::string& body) {
+  Request r;
+  r.kind = Request::Kind::kQuery;
+  r.tenant = tenant;
+  r.key = key;
+  r.payload = body;
+  return r;
+}
+
+uint64_t KeyOf(const Response& load_response) {
+  EXPECT_TRUE(load_response.ok()) << load_response.status.ToString();
+  EXPECT_EQ(load_response.body.rfind("key=", 0), 0u) << load_response.body;
+  uint64_t key = 0;
+  EXPECT_TRUE(KeyFromHex(load_response.body.substr(4, 16), &key));
+  return key;
+}
+
+uint64_t Counter(ReasoningServer& server, const char* name) {
+  for (const auto& p : server.ServerSnapshot().counters) {
+    if (p.name == name) return p.value;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache identity, hits, eviction.
+// ---------------------------------------------------------------------------
+
+TEST(ServeCacheTest, EquivalentSpellingsHitOneArtifact) {
+  ServerOptions options;
+  options.tracing = true;
+  ReasoningServer server(options);
+
+  const uint64_t key1 = KeyOf(server.Handle(Load("t1", kTheoryA)));
+  const uint64_t key2 = KeyOf(server.Handle(Load("t1", kTheoryAVariant)));
+  EXPECT_EQ(key1, key2);
+  EXPECT_EQ(server.cache().size(), 1u);
+
+  EXPECT_EQ(Counter(server, "bddfc.serve.compiles"), 1u);
+  EXPECT_EQ(Counter(server, "bddfc.serve.cache_misses"), 1u);
+  EXPECT_EQ(Counter(server, "bddfc.serve.cache_hits"), 1u);
+
+  // The trace ring proves the hit skipped recompilation: exactly one
+  // serve.compile span for two LOADs.
+  const std::string trace = server.GetSession("t1").tracer.ExportChromeJson();
+  const std::string needle =
+      "\"name\":\"serve.compile\",\"cat\":\"bddfc\",\"ph\":\"B\"";
+  size_t count = 0;
+  for (size_t pos = trace.find(needle); pos != std::string::npos;
+       pos = trace.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ServeCacheTest, QueryAnswersMatchOneShotRun) {
+  ReasoningServer server{ServerOptions{}};
+  const uint64_t key = KeyOf(server.Handle(Load("t1", kTheoryA)));
+
+  // Independent one-shot baseline over the same program text.
+  auto program = ParseProgram(kTheoryA);
+  ASSERT_TRUE(program.ok());
+  const ChaseResult chase =
+      RunChase(program.value().theory, program.value().instance, {});
+  ASSERT_TRUE(chase.fixpoint_reached);
+
+  const std::vector<std::string> bodies = {"e(a, d)", "top(a)", "e(d, a)",
+                                           "top(b)", "e(a, X), e(X, d)"};
+  for (const std::string& body : bodies) {
+    auto q = ParseQuery(body, program.value().instance.signature_ptr().get());
+    ASSERT_TRUE(q.ok()) << body;
+    const std::string want =
+        Satisfies(chase.structure, q.value()) ? "true" : "false";
+    // Ask twice: the second ask runs against a signature the first ask
+    // already marked and rolled back.
+    for (int round = 0; round < 2; ++round) {
+      const Response r = server.Handle(Query("t1", key, body));
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      EXPECT_EQ(r.body, want) << body << " ask " << round;
+    }
+  }
+}
+
+TEST(ServeCacheTest, UnknownArtifactIsNotFound) {
+  ReasoningServer server{ServerOptions{}};
+  const Response r = server.Handle(Query("t1", 0xdeadbeef, "e(a, b)"));
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(Counter(server, "bddfc.serve.unknown_artifact"), 1u);
+}
+
+TEST(ServeCacheTest, NonSaturatingTheoryIsRejected) {
+  ServerOptions options;
+  options.compile.max_rounds = 3;
+  ReasoningServer server(options);
+  // Divergent existential chain: never saturates within 3 rounds.
+  const Response r = server.Handle(
+      Load("t1", "e(a, b).\ne(X, Y) -> exists Z: e(Y, Z).\n"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(server.cache().size(), 0u);
+  EXPECT_EQ(Counter(server, "bddfc.serve.load_failures"), 1u);
+}
+
+TEST(ServeCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  ServerOptions options;
+  options.cache_capacity = 2;
+  ReasoningServer server(options);
+
+  const uint64_t key_a = KeyOf(server.Handle(Load("t1", kTheoryA)));
+  const uint64_t key_b = KeyOf(server.Handle(Load("t1", kTheoryB)));
+  const uint64_t key_c = KeyOf(server.Handle(Load("t1", kTheoryC)));
+  EXPECT_NE(key_a, key_b);
+  EXPECT_NE(key_b, key_c);
+  EXPECT_EQ(server.cache().size(), 2u);
+  EXPECT_EQ(Counter(server, "bddfc.serve.evictions"), 1u);
+
+  // A was least recently used; its bytes were released with it.
+  EXPECT_EQ(server.cache().Find(key_a), nullptr);
+  EXPECT_NE(server.cache().Find(key_b), nullptr);
+  const Response r = server.Handle(Query("t1", key_a, "e(a, d)"));
+  EXPECT_EQ(r.status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServeCacheTest, ConcurrentLoadsSingleFlight) {
+  ReasoningServer server{ServerOptions{}};
+  constexpr int kThreads = 8;
+  std::vector<uint64_t> keys(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      keys[t] = KeyOf(
+          server.Handle(Load("t" + std::to_string(t % 2), kTheoryA)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(keys[t], keys[0]);
+  // Exactly one chase ran no matter how the eight LOADs interleaved.
+  EXPECT_EQ(Counter(server, "bddfc.serve.compiles"), 1u);
+  EXPECT_EQ(server.cache().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-admit: the artifact-owned signature stays byte-stable under
+// concurrent queries that intern and roll back fresh names.
+// ---------------------------------------------------------------------------
+
+TEST(ServeSignatureTest, ConcurrentQueriesKeepArtifactSignatureStable) {
+  ReasoningServer server{ServerOptions{}};
+  const uint64_t key = KeyOf(server.Handle(Load("t1", kTheoryA)));
+  auto artifact = server.cache().Find(key);
+  ASSERT_NE(artifact, nullptr);
+  const Signature& sig = *artifact->program.instance.signature_ptr();
+  const int preds_before = sig.num_predicates();
+  const int consts_before = sig.num_constants();
+
+  constexpr int kThreads = 8;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        // Every query interns thread-unique fresh names (a predicate and
+        // a constant) past the artifact's admit mark; the per-query
+        // rollback must retire them for every interleaving.
+        const std::string fresh = "zz" + std::to_string(t) + "_" +
+                                  std::to_string(i);
+        const Response neg = server.Handle(
+            Query("t1", key, "e(a, " + fresh + "), " + fresh + "(a)"));
+        const Response pos = server.Handle(Query("t1", key, "e(a, d)"));
+        if (!neg.ok() || neg.body != "false") wrong.fetch_add(1);
+        if (!pos.ok() || pos.body != "true") wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  // The rollback regression: a leaked query name would grow the tables.
+  EXPECT_EQ(sig.num_predicates(), preds_before);
+  EXPECT_EQ(sig.num_constants(), consts_before);
+}
+
+TEST(ServeSignatureTest, RewriteIsMemoizedPerArtifact) {
+  ServerOptions options;
+  options.rewrite.max_depth = 4;
+  options.rewrite.max_queries = 200;
+  ReasoningServer server(options);
+  const uint64_t key = KeyOf(server.Handle(Load("t1", kTheoryA)));
+
+  Request r;
+  r.kind = Request::Kind::kRewrite;
+  r.tenant = "t1";
+  r.key = key;
+  r.payload = "top(X)";
+  const Response first = server.Handle(r);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(first.body.rfind("disjuncts=", 0), 0u) << first.body;
+  const Response second = server.Handle(r);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(Counter(server, "bddfc.serve.rewrites"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Session isolation and reconciliation.
+// ---------------------------------------------------------------------------
+
+TEST(ServeSessionTest, SessionSumsEqualServerTotalsUnderConcurrency) {
+  // The process-global registry must stay untouched: serving threads all
+  // publish through their request-scoped registries.
+  const size_t global_before =
+      obs::MetricsRegistry::Global().Snapshot().counters.size();
+
+  ReasoningServer server{ServerOptions{}};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string tenant = "tenant" + std::to_string(t % 3);
+      const char* theory = t % 2 == 0 ? kTheoryA : kTheoryB;
+      const uint64_t key = KeyOf(server.Handle(Load(tenant, theory)));
+      for (int i = 0; i < 20; ++i) {
+        server.Handle(Query(tenant, key,
+                            t % 2 == 0 ? "e(a, d)" : "p(x, z)"));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::map<std::string, uint64_t> sums;
+  for (const std::string& tenant : server.Tenants()) {
+    for (const auto& p : server.SessionSnapshot(tenant).counters) {
+      sums[p.name] += p.value;
+    }
+  }
+  std::map<std::string, uint64_t> totals;
+  for (const auto& p : server.ServerSnapshot().counters) {
+    totals[p.name] = p.value;
+  }
+  EXPECT_EQ(sums, totals);
+  EXPECT_EQ(totals["bddfc.serve.requests"], kThreads * 21u);
+
+  EXPECT_EQ(obs::MetricsRegistry::Global().Snapshot().counters.size(),
+            global_before);
+}
+
+TEST(ServeSessionTest, ConcurrentAnswersAreByteIdenticalToSerial) {
+  // The same request list, served concurrently and serially on fresh
+  // servers, must produce identical response bodies.
+  std::vector<Request> requests;
+  for (int i = 0; i < 40; ++i) {
+    requests.push_back(Query("t" + std::to_string(i % 3), 0,
+                             i % 2 == 0 ? "e(a, d)" : "e(d, a)"));
+  }
+
+  auto run = [&](bool concurrent) {
+    ReasoningServer server{ServerOptions{}};
+    const uint64_t key = KeyOf(server.Handle(Load("t0", kTheoryA)));
+    std::vector<std::string> bodies(requests.size());
+    auto serve_one = [&](size_t i) {
+      Request r = requests[i];
+      r.key = key;
+      bodies[i] = server.Handle(r).body;
+    };
+    if (concurrent) {
+      std::vector<std::thread> threads;
+      for (size_t i = 0; i < requests.size(); ++i) {
+        threads.emplace_back(serve_one, i);
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (size_t i = 0; i < requests.size(); ++i) serve_one(i);
+    }
+    return bodies;
+  };
+
+  EXPECT_EQ(run(/*concurrent=*/true), run(/*concurrent=*/false));
+}
+
+TEST(ServeSessionTest, ParserFaultPlansAreSessionScoped) {
+  ReasoningServer server{ServerOptions{}};
+  // Arm a parser fault in tenant A's session only.
+  FaultSpec spec;
+  spec.site = faults::kParserParse;
+  spec.schedule = FaultSchedule::kAfterN;
+  spec.n = 0;
+  server.GetSession("a").faults.Arm(spec);
+
+  const Response in_a = server.Handle(Load("a", kTheoryA));
+  EXPECT_FALSE(in_a.ok());
+  EXPECT_EQ(in_a.status.code(), StatusCode::kInternal);
+  EXPECT_GE(server.GetSession("a").faults.FireCount(faults::kParserParse),
+            1u);
+
+  // The same LOAD from tenant B parses fine: A's chaos never leaks.
+  const Response in_b = server.Handle(Load("b", kTheoryA));
+  EXPECT_TRUE(in_b.ok()) << in_b.status.ToString();
+  EXPECT_EQ(server.GetSession("b").faults.FireCount(faults::kParserParse),
+            0u);
+  // And the process-global registry saw none of it.
+  EXPECT_EQ(FaultRegistry::Global().FireCount(faults::kParserParse), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmissionTest, ShedsWhenServerBudgetIsExhausted) {
+  ServerOptions options;
+  options.memory_limit_bytes = 1 << 20;
+  ReasoningServer server(options);
+  const uint64_t key = KeyOf(server.Handle(Load("t1", kTheoryA)));
+
+  // Push the server accountant over budget the way a full cache would.
+  server.memory().Charge(2 << 20);
+  const Response shed = server.Handle(Query("t1", key, "e(a, d)"));
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(Counter(server, "bddfc.serve.shed"), 1u);
+  // Counted identically on the session, preserving reconciliation.
+  uint64_t session_shed = 0;
+  for (const auto& p : server.SessionSnapshot("t1").counters) {
+    if (p.name == "bddfc.serve.shed") session_shed = p.value;
+  }
+  EXPECT_EQ(session_shed, 1u);
+
+  // Health and metrics still answer while shedding.
+  Request health;
+  health.kind = Request::Kind::kHealth;
+  EXPECT_TRUE(server.Handle(health).ok());
+
+  server.memory().Release(2 << 20);
+  const Response after = server.Handle(Query("t1", key, "e(a, d)"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.body, "true");
+}
+
+TEST(ServeAdmissionTest, RequestDeadlineTripsTheCompile) {
+  ServerOptions options;
+  options.request_deadline_ms = 1e-6;
+  ReasoningServer server(options);
+  const Response r = server.Handle(Load("t1", kTheoryA));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocolTest, ServesFramedRequestStream) {
+  ReasoningServer server{ServerOptions{}};
+  const std::string theory = kTheoryA;
+  std::string input = "HEALTH\n";
+  input += "LOAD t1 " + std::to_string(theory.size()) + "\n" + theory;
+  std::string output;
+  EXPECT_EQ(serve::ServeBuffer(server, input, &output), 2u);
+  EXPECT_EQ(output.rfind("OK 2\nok", 0), 0u) << output;
+  EXPECT_NE(output.find("key="), std::string::npos);
+
+  // Reuse the reported key for a framed QUERY, then QUIT ends the stream.
+  const size_t key_pos = output.find("key=") + 4;
+  const std::string hex = output.substr(key_pos, 16);
+  std::string input2 = "QUERY t1 " + hex + " 7\ne(a, d)\nQUIT\nHEALTH\n";
+  std::string output2;
+  EXPECT_EQ(serve::ServeBuffer(server, input2, &output2), 1u);
+  EXPECT_EQ(output2, "OK 4\ntrue");
+
+  // Malformed lines answer ERR without killing the stream.
+  std::string output3;
+  EXPECT_EQ(serve::ServeBuffer(server, "NONSENSE x\nHEALTH\n", &output3), 2u);
+  EXPECT_EQ(output3.rfind("ERR InvalidArgument", 0), 0u) << output3;
+  EXPECT_NE(output3.find("OK 2\nok"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, MetricsAndHttpFallback) {
+  ReasoningServer server{ServerOptions{}};
+  KeyOf(server.Handle(Load("t1", kTheoryA)));
+
+  std::string output;
+  serve::ServeBuffer(server, "METRICS t1\nMETRICS\n", &output);
+  EXPECT_NE(output.find("bddfc.serve.requests 1"), std::string::npos);
+
+  EXPECT_TRUE(serve::LooksLikeHttp("GET /metrics HTTP/1.1\r\n"));
+  EXPECT_FALSE(serve::LooksLikeHttp("LOAD t1 10\n"));
+  const std::string health = serve::HandleHttp(server, "GET /healthz HTTP/1.0");
+  EXPECT_EQ(health.rfind("HTTP/1.0 200 OK", 0), 0u);
+  EXPECT_NE(health.find("\r\n\r\nok"), std::string::npos);
+  const std::string metrics =
+      serve::HandleHttp(server, "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("bddfc.serve.requests"), std::string::npos);
+  const std::string missing = serve::HandleHttp(server, "GET /nope HTTP/1.0");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Socket daemon: bind, serve, drain.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDaemonTest, SocketRoundTripAndGracefulDrain) {
+  ReasoningServer server{ServerOptions{}};
+  std::atomic<bool> stop{false};
+  std::atomic<uint16_t> port{0};
+  serve::DaemonOptions daemon;
+  daemon.port = 0;
+  daemon.bound_port = &port;
+  std::thread loop([&] {
+    const Status st = serve::Serve(server, daemon, stop);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  while (port.load(std::memory_order_acquire) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port.load());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string theory = kTheoryA;
+  const std::string wire = "HEALTH\nLOAD t1 " +
+                           std::to_string(theory.size()) + "\n" + theory +
+                           "QUIT\n";
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  std::string got;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    got.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(got.rfind("OK 2\nok", 0), 0u) << got;
+  EXPECT_NE(got.find("key="), std::string::npos);
+
+  stop.store(true);
+  loop.join();
+  // The drained LOAD folded into the server totals before Serve returned
+  // (HEALTH bypasses admission and is not an accounted request).
+  EXPECT_EQ(Counter(server, "bddfc.serve.requests"), 1u);
+}
+
+}  // namespace
+}  // namespace bddfc

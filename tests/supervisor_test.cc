@@ -12,6 +12,7 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "bddfc/base/faults.h"
 #include "bddfc/base/governor.h"
@@ -268,6 +269,86 @@ TEST(SupervisorTest, RecoveredRunPublishesCleanMetricsAndPhases) {
     if (phase.phase == "supervisor.retry") ++retry_notes;
   }
   EXPECT_EQ(retry_notes, 1u);
+}
+
+TEST(SupervisorTest, RetryResetIsScopedToTheRunsRegistry) {
+  // Serving regression (DESIGN.md §2.15): the per-retry metrics reset
+  // wipes the RUN's registry, resolved through the context's RunContext —
+  // never the process-wide one. A retry storm in one session must not
+  // erase counters a concurrent session is accumulating. (With the old
+  // Global()-based reset this test races: the supervised thread's resets
+  // interleave with the plain thread's publications.)
+  constexpr int kPlainRuns = 8;
+
+  // Serial baseline for what one clean chase publishes.
+  obs::MetricsRegistry baseline;
+  baseline.set_enabled(true);
+  {
+    Program p = Parse();
+    ExecutionContext ctx;
+    RunContext rc;
+    rc.metrics = &baseline;
+    ctx.SetRunContext(&rc);
+    ChaseOptions o = RichOptions();
+    o.context = &ctx;
+    RunChase(p.theory, p.instance, o);
+  }
+  const uint64_t runs_per_chase = baseline.GetCounter("bddfc.chase.runs")->Value();
+  const uint64_t rounds_per_chase =
+      baseline.GetCounter("bddfc.chase.rounds")->Value();
+  ASSERT_EQ(runs_per_chase, 1u);
+
+  obs::MetricsRegistry session_a, session_b;
+  session_a.set_enabled(true);
+  session_b.set_enabled(true);
+
+  std::thread supervised([&] {
+    // Session A: every chase attempt fails round 2 once, so the
+    // supervisor retries (and resets session A's registry) repeatedly.
+    for (int i = 0; i < 4; ++i) {
+      Program p = Parse();
+      ExecutionContext ctx;
+      FaultRegistry faults;
+      faults.Arm({.site = faults::kChaseRound,
+                  .schedule = FaultSchedule::kAfterN,
+                  .n = 1,
+                  .max_fires = 1});
+      RunContext rc;
+      rc.metrics = &session_a;
+      rc.faults = &faults;
+      ctx.SetRunContext(&rc);
+      SupervisorOptions sup;
+      sup.context = &ctx;
+      sup.backoff_ms = 0.0;
+      SupervisedChase s =
+          RunChaseSupervised(p.theory, p.instance, RichOptions(), sup);
+      EXPECT_TRUE(s.recovered);
+    }
+  });
+  std::thread plain([&] {
+    // Session B: clean chases publishing into its own registry.
+    for (int i = 0; i < kPlainRuns; ++i) {
+      Program p = Parse();
+      ExecutionContext ctx;
+      RunContext rc;
+      rc.metrics = &session_b;
+      ctx.SetRunContext(&rc);
+      ChaseOptions o = RichOptions();
+      o.context = &ctx;
+      RunChase(p.theory, p.instance, o);
+    }
+  });
+  supervised.join();
+  plain.join();
+
+  // Session B kept every publication: nothing was reset out from under it.
+  EXPECT_EQ(session_b.GetCounter("bddfc.chase.runs")->Value(),
+            kPlainRuns * runs_per_chase);
+  EXPECT_EQ(session_b.GetCounter("bddfc.chase.rounds")->Value(),
+            kPlainRuns * rounds_per_chase);
+  // Session A's last supervised run left exactly one clean chase (the
+  // reset wiped the failed attempt, then the recovery published once).
+  EXPECT_EQ(session_a.GetCounter("bddfc.chase.runs")->Value(), 1u);
 }
 
 TEST(SupervisorTest, GivingUpIsCountedOnce) {

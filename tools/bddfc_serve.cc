@@ -1,0 +1,169 @@
+// bddfc-serve: the multi-tenant reasoning daemon (DESIGN.md §2.15).
+//
+// Listens on 127.0.0.1, serves the line protocol (and GET /metrics,
+// GET /healthz for scrapers), and drains gracefully on SIGTERM/SIGINT:
+// the listener closes, in-flight requests finish and fold their metrics,
+// then --metrics-out / --trace-out artifacts are written and the process
+// exits 0. Prints "listening on 127.0.0.1:<port>" once bound, so scripts
+// using --port 0 can scrape the real port from stdout.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "bddfc/obs/metrics.h"
+#include "bddfc/obs/trace.h"
+#include "bddfc/serve/daemon.h"
+#include "bddfc/serve/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bddfc_serve [options]\n"
+      "  --port=N             TCP port on 127.0.0.1 (default 0 = auto)\n"
+      "  --memory-limit-mb=N  server-wide byte budget (default 256)\n"
+      "  --cache-capacity=N   artifact cache entries (default 64)\n"
+      "  --max-concurrent=N   in-flight requests before shedding "
+      "(default 64)\n"
+      "  --deadline-ms=N      per-request deadline (default 30000)\n"
+      "  --max-rounds=N       compile chase round budget (default 256)\n"
+      "  --max-facts=N        compile chase fact budget (default 1048576)\n"
+      "  --threads=N          compile chase shards (default 1)\n"
+      "  --trace              record per-session trace rings\n"
+      "  --metrics-out=PATH   write server metrics JSON on shutdown\n"
+      "  --trace-out=PATH     write a Chrome trace on shutdown "
+      "(implies --trace)\n");
+  return 2;
+}
+
+bool ParseU64(const char* s, uint64_t* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bddfc::serve::DaemonOptions;
+  using bddfc::serve::ReasoningServer;
+  using bddfc::serve::ServerOptions;
+
+  ServerOptions options;
+  DaemonOptions daemon;
+  const char* metrics_out = nullptr;
+  const char* trace_out = nullptr;
+  uint64_t v = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto flag = [&](const char* name) -> const char* {
+      const size_t n = std::strlen(name);
+      return std::strncmp(arg, name, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* p = flag("--port=")) {
+      if (!ParseU64(p, &v) || v > 65535) return Usage();
+      daemon.port = static_cast<uint16_t>(v);
+    } else if (const char* p = flag("--memory-limit-mb=")) {
+      if (!ParseU64(p, &v)) return Usage();
+      options.memory_limit_bytes = static_cast<size_t>(v) << 20;
+    } else if (const char* p = flag("--cache-capacity=")) {
+      if (!ParseU64(p, &v) || v == 0) return Usage();
+      options.cache_capacity = v;
+    } else if (const char* p = flag("--max-concurrent=")) {
+      if (!ParseU64(p, &v)) return Usage();
+      options.max_concurrent = v;
+    } else if (const char* p = flag("--deadline-ms=")) {
+      if (!ParseU64(p, &v)) return Usage();
+      options.request_deadline_ms = static_cast<double>(v);
+    } else if (const char* p = flag("--max-rounds=")) {
+      if (!ParseU64(p, &v) || v == 0) return Usage();
+      options.compile.max_rounds = v;
+    } else if (const char* p = flag("--max-facts=")) {
+      if (!ParseU64(p, &v) || v == 0) return Usage();
+      options.compile.max_facts = v;
+    } else if (const char* p = flag("--threads=")) {
+      if (!ParseU64(p, &v) || v == 0) return Usage();
+      options.compile.threads = v;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.tracing = true;
+    } else if (const char* p = flag("--metrics-out=")) {
+      if (*p == '\0') return Usage();
+      metrics_out = p;
+    } else if (const char* p = flag("--trace-out=")) {
+      if (*p == '\0') return Usage();
+      trace_out = p;
+      options.tracing = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  ReasoningServer server(options);
+  std::atomic<uint16_t> bound_port{0};
+  daemon.bound_port = &bound_port;
+
+  // The accept loop owns the main thread; a sidecar announces the bound
+  // port (scripts parse this line to find a --port 0 daemon).
+  std::atomic<bool> done{false};
+  std::thread announcer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const uint16_t port = bound_port.load(std::memory_order_acquire);
+      if (port != 0) {
+        std::printf("listening on 127.0.0.1:%u\n", port);
+        std::fflush(stdout);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  const bddfc::Status status = bddfc::serve::Serve(server, daemon, g_stop);
+  done.store(true, std::memory_order_relaxed);
+  announcer.join();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Post-drain artifacts: every request has folded, so these are final.
+  if (metrics_out != nullptr) {
+    std::ofstream out(metrics_out);
+    if (out) out << server.ServerSnapshot().ToJson() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_out);
+      return 1;
+    }
+  }
+  if (trace_out != nullptr) {
+    // One Chrome trace per shutdown: the first tenant's ring (sessions
+    // each own a ring; the smoke script drives one tenant through it).
+    std::ofstream out(trace_out);
+    std::string json = "{\"traceEvents\":[]}";
+    const std::vector<std::string> tenants = server.Tenants();
+    if (!tenants.empty()) {
+      json = server.GetSession(tenants.front()).tracer.ExportChromeJson();
+    }
+    if (out) out << json << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n", trace_out);
+      return 1;
+    }
+  }
+  return 0;
+}
